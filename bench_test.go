@@ -1,0 +1,263 @@
+// Benchmarks: one per reproduced figure/table (see the experiment index
+// in DESIGN.md), plus ablation benches for the design choices called out
+// there. Run with:
+//
+//	go test -bench=. -benchmem
+package hpl_test
+
+import (
+	"testing"
+
+	"hpl/internal/causality"
+	"hpl/internal/experiments"
+	"hpl/internal/failure"
+	"hpl/internal/knowledge"
+	"hpl/internal/protocols/diffusing"
+	"hpl/internal/protocols/tokenbus"
+	"hpl/internal/termination"
+	"hpl/internal/trace"
+	"hpl/internal/tracking"
+	"hpl/internal/universe"
+)
+
+func benchTable(b *testing.B, f func() (experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per figure / experiment row ---
+
+func BenchmarkFig31IsomorphismDiagram(b *testing.B) { benchTable(b, experiments.Fig31) }
+
+func BenchmarkFig32FusionLemma(b *testing.B) { benchTable(b, experiments.Fig32) }
+
+func BenchmarkFig33FusionTheorem(b *testing.B) { benchTable(b, experiments.Fig33) }
+
+func BenchmarkIsoProperties(b *testing.B) { benchTable(b, experiments.IsoProperties) }
+
+func BenchmarkTheorem1Dichotomy(b *testing.B) { benchTable(b, experiments.Theorem1) }
+
+func BenchmarkTheorem3EventSemantics(b *testing.B) { benchTable(b, experiments.Theorem3) }
+
+func BenchmarkKnowledgeAxioms(b *testing.B) { benchTable(b, experiments.KnowledgeAxioms) }
+
+func BenchmarkLocalPredicateFacts(b *testing.B) { benchTable(b, experiments.LocalPredicateFacts) }
+
+func BenchmarkCommonKnowledge(b *testing.B) { benchTable(b, experiments.CommonKnowledge) }
+
+func BenchmarkTheorem4KnowledgePath(b *testing.B) { benchTable(b, experiments.Theorem4Path) }
+
+func BenchmarkTheorem5KnowledgeGain(b *testing.B) { benchTable(b, experiments.Theorem5Gain) }
+
+func BenchmarkTheorem6KnowledgeLoss(b *testing.B) { benchTable(b, experiments.Theorem6Loss) }
+
+func BenchmarkTokenBusKnowledge(b *testing.B) { benchTable(b, experiments.TokenBus) }
+
+func BenchmarkTrackingUnsureWindow(b *testing.B) { benchTable(b, experiments.Tracking) }
+
+func BenchmarkFailureDetection(b *testing.B) { benchTable(b, experiments.FailureDetection) }
+
+func BenchmarkTerminationOverhead(b *testing.B) { benchTable(b, experiments.TerminationBound) }
+
+func BenchmarkStateAbstraction(b *testing.B) { benchTable(b, experiments.StateAbstraction) }
+
+func BenchmarkCommitKnowledge(b *testing.B) { benchTable(b, experiments.CommitKnowledge) }
+
+// --- Component benchmarks ---
+
+func BenchmarkUniverseEnumeration(b *testing.B) {
+	cfg := universe.FreeConfig{Procs: []trace.ProcID{"p", "q"}, MaxSends: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := universe.Enumerate(universe.NewFree(cfg), 5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVectorClocks(b *testing.B) {
+	res, err := diffusing.RunDS(diffusing.Workload{
+		Topo: diffusing.Complete(6), TotalMessages: 100, FanOut: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := res.Comp.Events()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		causality.VectorClocks(events)
+	}
+}
+
+func BenchmarkHappenedBeforeGraph(b *testing.B) {
+	res, err := diffusing.RunDS(diffusing.Workload{
+		Topo: diffusing.Complete(6), TotalMessages: 100, FanOut: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := res.Comp.Events()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		causality.NewGraph(events)
+	}
+}
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	bus := tokenbus.MustNew("p", "q", "r", "s", "t")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bus.Simulate(int64(i), 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDijkstraScholtenRun(b *testing.B) {
+	w := diffusing.Workload{Topo: diffusing.Complete(8), TotalMessages: 200, FanOut: 2, Seed: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := diffusing.RunDS(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCreditRun(b *testing.B) {
+	w := diffusing.Workload{Topo: diffusing.Complete(8), TotalMessages: 200, FanOut: 2, Seed: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := diffusing.RunCredit(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForeverUnsureCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := failure.CheckForeverUnsure(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrackingModelCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tracking.CheckUnsureDuringChange(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuietCounterexampleSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := termination.FindQuietCounterexample(6, 30, 2, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md §5) ---
+
+func ablationUniverse(b *testing.B) *universe.Universe {
+	b.Helper()
+	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+		Procs:    []trace.ProcID{"p", "q"},
+		MaxSends: 1,
+	}), 5, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+// BenchmarkAblationProjectionIndex measures class lookup via the
+// projection-key index (warm) against pairwise scanning.
+func BenchmarkAblationProjectionIndex(b *testing.B) {
+	u := ablationUniverse(b)
+	p := trace.Singleton("q")
+	u.Class(u.At(0), p) // warm the index
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < u.Len(); j++ {
+				u.Class(u.At(j), p)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < u.Len(); j++ {
+				u.ClassScan(u.At(j), p)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationChainDetection compares the linear-pass chain DP
+// against quadratic brute force over the happened-before closure.
+func BenchmarkAblationChainDetection(b *testing.B) {
+	res, err := diffusing.RunDS(diffusing.Workload{
+		Topo: diffusing.Complete(6), TotalMessages: 60, FanOut: 2, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := res.Comp.Events()
+	sets := []trace.ProcSet{trace.Singleton("n01"), trace.Singleton("n00")}
+	b.Run("dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := causality.NewGraph(events)
+			g.HasChain(sets)
+		}
+	})
+	b.Run("bruteforce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := causality.NewGraph(events)
+			found := false
+			for x := 0; x < g.Len() && !found; x++ {
+				if g.Event(x).Proc != "n01" {
+					continue
+				}
+				for y := 0; y < g.Len() && !found; y++ {
+					if g.Event(y).Proc == "n00" && g.HappenedBefore(x, y) {
+						found = true
+					}
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationKnowledgeMemo compares the memoizing evaluator
+// against naive recursion on a nested-knowledge formula.
+func BenchmarkAblationKnowledgeMemo(b *testing.B) {
+	u := ablationUniverse(b)
+	f := knowledge.Knows(trace.Singleton("p"),
+		knowledge.Knows(trace.Singleton("q"),
+			knowledge.NewAtom(knowledge.SentTag("p", "m"))))
+	b.Run("memoized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := knowledge.NewEvaluator(u)
+			for j := 0; j < u.Len(); j++ {
+				e.HoldsAt(f, j)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < u.Len(); j++ {
+				knowledge.EvalNaive(u, f, j)
+			}
+		}
+	})
+}
+
+func BenchmarkKnowledgeLadder(b *testing.B) { benchTable(b, experiments.KnowledgeLadder) }
+
+func BenchmarkGeneralizations(b *testing.B) { benchTable(b, experiments.Generalizations) }

@@ -1,0 +1,103 @@
+package hpl_test
+
+import (
+	"strings"
+	"testing"
+
+	"hpl"
+)
+
+func TestFacadeCausality(t *testing.T) {
+	c := hpl.NewBuilder().
+		Send("p", "q", "m").
+		Receive("q", "p").
+		Internal("r", "solo").
+		MustBuild()
+	g := hpl.CausalGraphOf(c)
+	if !g.HappenedBefore(0, 1) {
+		t.Errorf("send must precede receive")
+	}
+	if !g.Concurrent(0, 2) {
+		t.Errorf("r's event is concurrent")
+	}
+	ok, err := hpl.HasChainIn(hpl.Empty(), c, []hpl.ProcSet{hpl.Singleton("p"), hpl.Singleton("q")})
+	if err != nil || !ok {
+		t.Errorf("chain <p q> missing: %v", err)
+	}
+	vcs := hpl.VectorClocks(c.Events())
+	if vcs[1]["p"] != 1 || vcs[1]["q"] != 1 {
+		t.Errorf("vc of receive = %v", vcs[1])
+	}
+	lc := hpl.LamportClocks(c.Events())
+	if lc[0] >= lc[1] {
+		t.Errorf("lamport clocks out of order")
+	}
+}
+
+func TestFacadeCuts(t *testing.T) {
+	c := hpl.NewBuilder().Send("p", "q", "m").Receive("q", "p").MustBuild()
+	g := hpl.CausalGraphOf(c)
+	cut := g.CutBefore(0)
+	sub, err := hpl.ExtractCut(c, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 1 {
+		t.Fatalf("extracted %d events", sub.Len())
+	}
+}
+
+func TestFacadeTraceText(t *testing.T) {
+	c, err := hpl.ParseTraceText(strings.NewReader("send p q m\nrecv q p\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("events = %d", c.Len())
+	}
+}
+
+func TestFacadeEveryone(t *testing.T) {
+	u := hpl.MustEnumerateFree(hpl.FreeConfig{
+		Procs:    []hpl.ProcID{"p", "q"},
+		MaxSends: 1,
+	}, 4, 0)
+	ev := hpl.NewEvaluator(u)
+	b := hpl.NewAtom(hpl.SentTag("p", "m"))
+	full := hpl.NewBuilder().Send("p", "q", "m").Receive("q", "p").MustBuild()
+	if !ev.MustHolds(hpl.Everyone(hpl.NewProcSet("p", "q"), b), full) {
+		t.Errorf("E b must hold after delivery")
+	}
+	depths := hpl.EveryoneDepth(ev, b, 3)
+	if depths[u.IndexOf(full)] < 1 {
+		t.Errorf("depth at full delivery = %d", depths[u.IndexOf(full)])
+	}
+	if hpl.EveryoneK(hpl.NewProcSet("p"), b, 0).Key() != b.Key() {
+		t.Errorf("E^0 must be identity")
+	}
+}
+
+func TestFacadeStateAbstraction(t *testing.T) {
+	u := hpl.MustEnumerateFree(hpl.FreeConfig{
+		Procs:    []hpl.ProcID{"p", "q"},
+		MaxSends: 1,
+	}, 4, 0)
+	se := hpl.NewStateEvaluator(u, hpl.CountersAbstraction())
+	b := hpl.NewAtom(hpl.SentTag("p", "m"))
+	if !se.Valid(hpl.Implies(hpl.Knows(hpl.Singleton("q"), b), b)) {
+		t.Errorf("veridicality must survive abstraction")
+	}
+	custom := hpl.NewAbstraction("len", func(_ hpl.ProcID, proj []hpl.Event) string {
+		if len(proj) == 0 {
+			return "idle"
+		}
+		return "busy"
+	})
+	se2 := hpl.NewStateEvaluator(u, custom)
+	if !se2.Valid(hpl.Implies(hpl.Knows(hpl.Singleton("q"), b), b)) {
+		t.Errorf("custom abstraction broke veridicality")
+	}
+	if hpl.FullHistoryAbstraction().Name() == "" {
+		t.Errorf("abstraction name empty")
+	}
+}

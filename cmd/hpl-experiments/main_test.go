@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runWith(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestSingleExperiment(t *testing.T) {
+	code, out, _ := runWith(t, "-only", "FIG-3-1")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "FIG-3-1") || strings.Contains(out, "EXP-A3") {
+		t.Errorf("filtering broken:\n%s", out)
+	}
+	if !strings.Contains(out, "0 violations") {
+		t.Errorf("missing summary line")
+	}
+}
+
+func TestSingleExperimentCaseInsensitive(t *testing.T) {
+	code, out, _ := runWith(t, "-only", "exp-tok")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "EXP-TOK") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, errOut := runWith(t, "-only", "EXP-NOPE")
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "no experiment") {
+		t.Errorf("stderr:\n%s", errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runWith(t, "-bogus"); code != 2 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
+func TestAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full run is slow in -short mode")
+	}
+	code, out, _ := runWith(t)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, id := range []string{"FIG-3-1", "EXP-T1", "EXP-A3", "EXP-GEN"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("output missing %s", id)
+		}
+	}
+}

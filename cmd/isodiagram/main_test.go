@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runWith(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFigure31Default(t *testing.T) {
+	code, out, _ := runWith(t)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, frag := range []string{"figure-3-1", "x -- y  [p]", "x -- z  [p,q]", "z -- w  [q]"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	code, out, _ := runWith(t, "-dot")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, `graph "figure-3-1"`) {
+		t.Errorf("DOT header missing:\n%s", out)
+	}
+}
+
+func TestUniverseMode(t *testing.T) {
+	code, out, _ := runWith(t, "-universe", "-procs", "a,b", "-sends", "1", "-events", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "free universe (7 computations)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestUniverseTooLarge(t *testing.T) {
+	code, _, errOut := runWith(t, "-universe", "-procs", "a,b,c,d", "-sends", "3", "-events", "8")
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "isodiagram:") {
+		t.Errorf("stderr:\n%s", errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runWith(t, "-bogus"); code != 2 {
+		t.Errorf("exit = %d", code)
+	}
+}

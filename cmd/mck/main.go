@@ -1,0 +1,112 @@
+// Command mck is an epistemic model checker for small free systems: it
+// enumerates every computation of the system, then evaluates a formula
+// at each member (or reports validity).
+//
+// Usage:
+//
+//	mck [-procs p,q] [-sends 1] [-events 4] [-valid] 'K{q} "sent(p,m)"'
+//
+// Atoms available in the vocabulary: "sent(<proc>,m)" and
+// "received(<proc>,m)" for every process. The formula grammar is
+// documented in internal/logic.
+//
+// Example:
+//
+//	mck -valid 'K{q} "sent(p,m)" -> "sent(p,m)"'   # fact 4: knowledge is true
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hpl/internal/knowledge"
+	"hpl/internal/logic"
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	procs := fs.String("procs", "p,q", "comma-separated process names")
+	sends := fs.Int("sends", 1, "max sends per process")
+	events := fs.Int("events", 4, "max events per computation")
+	valid := fs.Bool("valid", false, "report only whether the formula holds at every computation")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: mck [flags] '<formula>'")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	var ids []trace.ProcID
+	for _, s := range strings.Split(*procs, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			ids = append(ids, trace.ProcID(s))
+		}
+	}
+	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+		Procs:    ids,
+		MaxSends: *sends,
+	}), *events, 200000)
+	if err != nil {
+		fmt.Fprintf(stderr, "mck: %v\n", err)
+		return 1
+	}
+
+	var preds []knowledge.Predicate
+	for _, p := range ids {
+		preds = append(preds,
+			knowledge.SentTag(p, "m"),
+			knowledge.ReceivedTag(p, "m"),
+		)
+	}
+	vocab := logic.NewVocabulary(preds...)
+	f, err := logic.Parse(fs.Arg(0), vocab)
+	if err != nil {
+		fmt.Fprintf(stderr, "mck: %v\n", err)
+		fmt.Fprintf(stderr, "available atoms: %s\n", atomList(vocab))
+		return 1
+	}
+
+	ev := knowledge.NewEvaluator(u)
+	if *valid {
+		for i := 0; i < u.Len(); i++ {
+			if !ev.HoldsAt(f, i) {
+				fmt.Fprintf(stdout, "NOT VALID: fails at computation %d:\n%s\n", i, indent(u.At(i).String()))
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "VALID over %d computations\n", u.Len())
+		return 0
+	}
+	holds := 0
+	for i := 0; i < u.Len(); i++ {
+		if ev.HoldsAt(f, i) {
+			holds++
+		}
+	}
+	fmt.Fprintf(stdout, "%s\nholds at %d / %d computations\n", logic.Print(f), holds, u.Len())
+	return 0
+}
+
+func atomList(v logic.Vocabulary) string {
+	var names []string
+	for name := range v {
+		names = append(names, `"`+name+`"`)
+	}
+	return strings.Join(names, ", ")
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}

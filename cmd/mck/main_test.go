@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runWith(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestValidFormula(t *testing.T) {
+	code, out, _ := runWith(t, "-valid", `K{q} "sent(p,m)" -> "sent(p,m)"`)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "VALID over") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestInvalidFormulaReportsCounterexample(t *testing.T) {
+	code, out, _ := runWith(t, "-valid", `"sent(p,m)"`)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "NOT VALID") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestCountMode(t *testing.T) {
+	code, out, _ := runWith(t, `K{q} "sent(p,m)"`)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "holds at") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestParseErrorListsAtoms(t *testing.T) {
+	code, _, errOut := runWith(t, "nosuchatom")
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "available atoms") {
+		t.Errorf("stderr:\n%s", errOut)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runWith(t); code != 2 {
+		t.Errorf("no-arg exit = %d", code)
+	}
+	if code, _, _ := runWith(t, "-nosuchflag", "true"); code != 2 {
+		t.Errorf("bad-flag exit = %d", code)
+	}
+}
+
+func TestCustomSystem(t *testing.T) {
+	code, out, _ := runWith(t, "-procs", "a,b,c", "-sends", "1", "-events", "2",
+		`K{a} "sent(a,m)" | !K{a} "sent(a,m)"`)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "holds at") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestEnumerationTooLarge(t *testing.T) {
+	code, _, errOut := runWith(t, "-procs", "a,b,c,d", "-sends", "3", "-events", "9", "true")
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "mck:") {
+		t.Errorf("stderr:\n%s", errOut)
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runWith(t *testing.T, args []string, input string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(input), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+const sampleTrace = `
+send p q hello
+recv q p
+internal q work
+send q r fwd
+`
+
+func TestValidTrace(t *testing.T) {
+	code, out, _ := runWith(t, nil, sampleTrace)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, frag := range []string{
+		"valid system computation: 4 events, 2 processes",
+		"process p (1 events)",
+		"process q (3 events)",
+		"in flight:",
+		"q → r",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestInvalidTrace(t *testing.T) {
+	code, _, errOut := runWith(t, nil, "recv q p\n")
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "tracecheck:") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestChainQuery(t *testing.T) {
+	code, out, _ := runWith(t, []string{"-chain", "p,q"}, sampleTrace)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "chain <p,q>: PRESENT") {
+		t.Errorf("chain missing:\n%s", out)
+	}
+	code, out, _ = runWith(t, []string{"-chain", "q,p"}, sampleTrace)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "chain <q,p>: ABSENT") {
+		t.Errorf("reverse chain should be absent:\n%s", out)
+	}
+}
+
+func TestCutsFlag(t *testing.T) {
+	code, out, _ := runWith(t, []string{"-cuts"}, "internal p a\ninternal q b\n")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "consistent cuts: 4") {
+		t.Errorf("cut count missing:\n%s", out)
+	}
+}
+
+func TestJSONInput(t *testing.T) {
+	jsonTrace := `{"events":[
+		{"id":"p#0","proc":"p","kind":"send","msg":"p:0","peer":"q","tag":"m"},
+		{"id":"q#0","proc":"q","kind":"recv","msg":"p:0","peer":"p","tag":"m"}
+	]}`
+	code, out, _ := runWith(t, []string{"-json"}, jsonTrace)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "valid system computation: 2 events") {
+		t.Errorf("output:\n%s", out)
+	}
+	code, _, _ = runWith(t, []string{"-json"}, "{not json")
+	if code != 1 {
+		t.Fatalf("bad json exit = %d", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	code, _, _ := runWith(t, []string{"-nosuch"}, "")
+	if code != 2 {
+		t.Fatalf("exit = %d", code)
+	}
+}
+
+func TestNoInFlight(t *testing.T) {
+	code, out, _ := runWith(t, nil, "send p q m\nrecv q p\n")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "no messages in flight") {
+		t.Errorf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,67 @@
+// Knowledge ladder: the coordinated-attack phenomenon on an
+// acknowledgement chain. Each delivered acknowledgement buys exactly one
+// rung of "everyone knows"; common knowledge needs infinitely many, and
+// the paper's corollary to Lemma 3 says it can never be gained at all.
+//
+// Run with: go run ./examples/ladder
+package main
+
+import (
+	"fmt"
+
+	"hpl"
+	"hpl/internal/knowledge"
+	"hpl/internal/protocols/ackchain"
+)
+
+func main() {
+	fmt.Println("acknowledgement chain p ⇄ q, base fact b = \"message 1 was sent\":")
+	fmt.Println("  messages  universe  max E^k  common knowledge")
+	for _, total := range []int{1, 2, 3, 4} {
+		s := ackchain.MustNew("p", "q", total)
+		u, err := s.Enumerate(0)
+		if err != nil {
+			panic(err)
+		}
+		ev := hpl.NewEvaluator(u)
+		b := hpl.NewAtom(s.Base())
+		depths := knowledge.EveryoneDepth(ev, b, total+2)
+		best := -1
+		for _, d := range depths {
+			if d > best {
+				best = d
+			}
+		}
+		ck := "never"
+		if !ev.Valid(hpl.Not(hpl.Common(b))) {
+			ck = "ATTAINED (bug!)"
+		}
+		fmt.Printf("  %8d  %8d  %7d  %s\n", total, u.Len(), best, ck)
+	}
+
+	// Walk the rungs along the 4-message full exchange.
+	s := ackchain.MustNew("p", "q", 4)
+	u, err := s.Enumerate(0)
+	if err != nil {
+		panic(err)
+	}
+	ev := hpl.NewEvaluator(u)
+	b := hpl.NewAtom(s.Base())
+	depths := knowledge.EveryoneDepth(ev, b, 6)
+	full := s.FullExchange()
+	fmt.Println("\nalong the full 4-message exchange:")
+	for n := 0; n <= full.Len(); n++ {
+		x := full.Prefix(n)
+		i := u.IndexOf(x)
+		label := "—"
+		if depths[i] >= 0 {
+			label = fmt.Sprintf("E^%d b", depths[i])
+		}
+		last := "start"
+		if n > 0 {
+			last = full.At(n - 1).String()
+		}
+		fmt.Printf("  after %-38s %s\n", last, label)
+	}
+	fmt.Println("\nno finite exchange reaches common knowledge — the generals never attack.")
+}

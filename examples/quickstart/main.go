@@ -1,0 +1,51 @@
+// Quickstart: build computations, test isomorphism, and ask epistemic
+// questions with the public hpl API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"hpl"
+)
+
+func main() {
+	// A computation: p sends "hello" to q; q receives it.
+	c := hpl.NewBuilder().
+		Send("p", "q", "hello").
+		Receive("q", "p").
+		MustBuild()
+	fmt.Println("computation:")
+	fmt.Println(c)
+
+	// Isomorphism: the prefix before the receive looks identical to p
+	// (p's projection is unchanged), but different to q.
+	before := c.Prefix(1)
+	fmt.Printf("\nbefore [p] after: %v\n", before.IsomorphicTo(c, hpl.Singleton("p")))
+	fmt.Printf("before [q] after: %v\n", before.IsomorphicTo(c, hpl.Singleton("q")))
+
+	// Knowledge: enumerate every computation of the system (p may send
+	// one message) and evaluate "q knows p sent hello".
+	u := hpl.MustEnumerateFree(hpl.FreeConfig{
+		Procs:    []hpl.ProcID{"p", "q"},
+		MaxSends: 1,
+		SendTags: []string{"hello"},
+	}, 4, 0)
+	ev := hpl.NewEvaluator(u)
+	sent := hpl.NewAtom(hpl.SentTag("p", "hello"))
+	qKnows := hpl.Knows(hpl.NewProcSet("q"), sent)
+
+	fmt.Printf("\nuniverse: %d computations\n", u.Len())
+	fmt.Printf("q knows sent(p) before receive: %v\n", ev.MustHolds(qKnows, before))
+	fmt.Printf("q knows sent(p) after  receive: %v\n", ev.MustHolds(qKnows, c))
+
+	// The same question in the textual formula language.
+	vocab := hpl.NewVocabulary(hpl.SentTag("p", "hello"))
+	f, err := hpl.ParseFormula(`K{q} "sent(p,hello)" -> "sent(p,hello)"`, vocab)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n%q is valid: %v (fact 4: knowledge implies truth)\n",
+		hpl.PrintFormula(f), ev.Valid(f))
+}

@@ -1,0 +1,250 @@
+// Package hpl is a Go implementation of Chandy & Misra's "How Processes
+// Learn" (PODC 1985): the event/trace model of asynchronous
+// message-passing computation, isomorphism between computations with
+// respect to process sets, process chains (happened-before), fusion of
+// computations, and knowledge defined extensionally from isomorphism —
+// together with exhaustive model checkers for every theorem in the paper
+// and simulation harnesses for its §5 applications (tracking, failure
+// detection, termination detection).
+//
+// # Quick start
+//
+//	// Build a computation: p sends to q, q receives.
+//	c := hpl.NewBuilder().Send("p", "q", "hello").Receive("q", "p").MustBuild()
+//
+//	// Enumerate every computation of a small system and ask an
+//	// epistemic question.
+//	u := hpl.MustEnumerateFree(hpl.FreeConfig{
+//	    Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1,
+//	}, 4, 0)
+//	ev := hpl.NewEvaluator(u)
+//	b := hpl.NewAtom(hpl.SentTag("p", "hello"))
+//	knows := ev.MustHolds(hpl.Knows(hpl.NewProcSet("q"), b), c) // true
+//
+// The facade re-exports the stable core of the internal packages; the
+// experiment harnesses live in cmd/hpl-experiments and the runnable
+// examples in examples/.
+package hpl
+
+import (
+	"hpl/internal/diagram"
+	"hpl/internal/fusion"
+	"hpl/internal/iso"
+	"hpl/internal/knowledge"
+	"hpl/internal/logic"
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// --- Model (package trace) ---
+
+// Core model types.
+type (
+	// ProcID identifies a process.
+	ProcID = trace.ProcID
+	// ProcSet is an immutable set of processes.
+	ProcSet = trace.ProcSet
+	// Event is a send, receive, or internal event on one process.
+	Event = trace.Event
+	// Kind classifies events.
+	Kind = trace.Kind
+	// MsgID identifies a message.
+	MsgID = trace.MsgID
+	// EventID identifies an event within a computation.
+	EventID = trace.EventID
+	// Computation is a validated system computation.
+	Computation = trace.Computation
+	// Builder incrementally constructs computations.
+	Builder = trace.Builder
+)
+
+// Event kinds.
+const (
+	KindInternal = trace.KindInternal
+	KindSend     = trace.KindSend
+	KindReceive  = trace.KindReceive
+)
+
+// NewProcSet builds a process set.
+func NewProcSet(ids ...ProcID) ProcSet { return trace.NewProcSet(ids...) }
+
+// Singleton returns {p}.
+func Singleton(p ProcID) ProcSet { return trace.Singleton(p) }
+
+// Empty returns the empty computation (the paper's "null").
+func Empty() *Computation { return trace.Empty() }
+
+// NewComputation validates an event sequence as a system computation.
+func NewComputation(events []Event) (*Computation, error) { return trace.NewComputation(events) }
+
+// NewBuilder returns an empty computation builder.
+func NewBuilder() *Builder { return trace.NewBuilder() }
+
+// FromComputation returns a builder that extends c.
+func FromComputation(c *Computation) *Builder { return trace.FromComputation(c) }
+
+// --- Universes (package universe) ---
+
+type (
+	// Universe is an exhaustively enumerated, indexed set of
+	// computations of one system — the quantification domain for
+	// knowledge.
+	Universe = universe.Universe
+	// Protocol describes a system as per-process state machines for
+	// enumeration.
+	Protocol = universe.Protocol
+	// Action is a spontaneous protocol step.
+	Action = universe.Action
+	// FreeConfig parameterizes the unconstrained reference system.
+	FreeConfig = universe.FreeConfig
+)
+
+// NewUniverse builds a universe from computations with D = all.
+func NewUniverse(comps []*Computation, all ProcSet) *Universe { return universe.New(comps, all) }
+
+// Enumerate exhaustively generates the protocol's computations up to
+// maxEvents events (capN <= 0 disables the size cap).
+func Enumerate(p Protocol, maxEvents, capN int) (*Universe, error) {
+	return universe.Enumerate(p, maxEvents, capN)
+}
+
+// MustEnumerateFree enumerates a free system; it panics on error.
+func MustEnumerateFree(cfg FreeConfig, maxEvents, capN int) *Universe {
+	return universe.MustEnumerate(universe.NewFree(cfg), maxEvents, capN)
+}
+
+// --- Isomorphism (package iso) ---
+
+// Reachable returns the members related to x by the composite relation
+// [sets[0] … sets[n-1]].
+func Reachable(u *Universe, x *Computation, sets []ProcSet) []int {
+	return iso.Reachable(u, x, sets)
+}
+
+// Related reports x [sets…] z over the universe.
+func Related(u *Universe, x *Computation, sets []ProcSet, z *Computation) bool {
+	return iso.Related(u, x, sets, z)
+}
+
+// LargestLabel returns the largest P ⊆ procs with x [P] y — the edge
+// label of the isomorphism diagram.
+func LargestLabel(x, y *Computation, procs ProcSet) ProcSet {
+	return iso.LargestLabel(x, y, procs)
+}
+
+// --- Fusion (package fusion) ---
+
+type (
+	// Square is the commuting diagram of Lemma 1 (Figure 3-2).
+	Square = fusion.Square
+	// Fusion is the result of Theorem 2 (Figure 3-3).
+	Fusion = fusion.Fusion
+)
+
+// Lemma1 fuses y and z over their common prefix x (see fusion.Lemma1).
+func Lemma1(x, y, z *Computation, p, q, all ProcSet) (Square, error) {
+	return fusion.Lemma1(x, y, z, p, q, all)
+}
+
+// Theorem2 fuses arbitrary extensions under chain-absence preconditions
+// (see fusion.Theorem2).
+func Theorem2(x, y, z *Computation, p, all ProcSet) (Fusion, error) {
+	return fusion.Theorem2(x, y, z, p, all)
+}
+
+// --- Knowledge (package knowledge) ---
+
+type (
+	// Formula is an epistemic formula.
+	Formula = knowledge.Formula
+	// Predicate is a total predicate on computations.
+	Predicate = knowledge.Predicate
+	// Evaluator evaluates formulas over a universe.
+	Evaluator = knowledge.Evaluator
+)
+
+// NewEvaluator builds an evaluator over the universe.
+func NewEvaluator(u *Universe) *Evaluator { return knowledge.NewEvaluator(u) }
+
+// NewPredicate builds a predicate from a name and evaluation function.
+func NewPredicate(name string, fn func(*Computation) bool) Predicate {
+	return knowledge.NewPredicate(name, fn)
+}
+
+// Formula constructors.
+var (
+	// True and False are the constant formulas.
+	True  = knowledge.True
+	False = knowledge.False
+)
+
+// NewAtom lifts a predicate to a formula.
+func NewAtom(p Predicate) Formula { return knowledge.NewAtom(p) }
+
+// Not negates f.
+func Not(f Formula) Formula { return knowledge.Not(f) }
+
+// And conjoins formulas.
+func And(fs ...Formula) Formula { return knowledge.And(fs...) }
+
+// Or disjoins formulas.
+func Or(fs ...Formula) Formula { return knowledge.Or(fs...) }
+
+// Implies builds l → r.
+func Implies(l, r Formula) Formula { return knowledge.Implies(l, r) }
+
+// Knows builds (P knows f): f holds at every computation isomorphic to
+// the current one with respect to P.
+func Knows(p ProcSet, f Formula) Formula { return knowledge.Knows(p, f) }
+
+// Sure builds (P sure f): P knows f or P knows ¬f.
+func Sure(p ProcSet, f Formula) Formula { return knowledge.Sure(p, f) }
+
+// Common builds common knowledge of f among all processes.
+func Common(f Formula) Formula { return knowledge.Common(f) }
+
+// Standard predicates.
+
+// SentTag holds when p has sent a message tagged tag.
+func SentTag(p ProcID, tag string) Predicate { return knowledge.SentTag(p, tag) }
+
+// ReceivedTag holds when p has received a message tagged tag.
+func ReceivedTag(p ProcID, tag string) Predicate { return knowledge.ReceivedTag(p, tag) }
+
+// DidInternal holds when p performed an internal event tagged tag.
+func DidInternal(p ProcID, tag string) Predicate { return knowledge.DidInternal(p, tag) }
+
+// TokenAt holds when p holds the token in a token-passing system.
+func TokenAt(p, initialHolder ProcID, tag string) Predicate {
+	return knowledge.TokenAt(p, initialHolder, tag)
+}
+
+// --- Formula language (package logic) ---
+
+// Vocabulary resolves atom names for the textual formula language.
+type Vocabulary = logic.Vocabulary
+
+// NewVocabulary builds a vocabulary from predicates.
+func NewVocabulary(preds ...Predicate) Vocabulary { return logic.NewVocabulary(preds...) }
+
+// ParseFormula parses the textual syntax, e.g. `K{p} !K{q} "sent(p,m)"`.
+func ParseFormula(input string, vocab Vocabulary) (Formula, error) {
+	return logic.Parse(input, vocab)
+}
+
+// PrintFormula renders a formula back into parseable syntax.
+func PrintFormula(f Formula) string { return logic.Print(f) }
+
+// --- Diagrams (package diagram) ---
+
+type (
+	// Diagram is a rendered isomorphism diagram (Figures 3-1…3-3).
+	Diagram = diagram.Diagram
+	// Vertex is a named computation in a diagram.
+	Vertex = diagram.Vertex
+)
+
+// NewDiagram computes the isomorphism diagram of the named computations.
+func NewDiagram(vertices []Vertex, procs ProcSet) *Diagram {
+	return diagram.New(vertices, procs)
+}

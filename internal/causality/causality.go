@@ -1,0 +1,242 @@
+// Package causality implements Lamport's happened-before relation over
+// event sequences, vector and Lamport logical clocks, and the paper's
+// process chains: a computation z has a process chain <P1 … Pn> when there
+// are events e1 → e2 → … → en in z with ei on Pi (events need not be
+// distinct, since e → e for every event).
+//
+// Chain detection works on arbitrary event sequences, not only full system
+// computations, because the paper applies chains to suffixes (x, z): a
+// receive whose corresponding send lies outside the sequence simply
+// contributes no cross-process edge.
+package causality
+
+import (
+	"fmt"
+
+	"hpl/internal/trace"
+)
+
+// Graph is the happened-before structure of an event sequence: for each
+// event, its direct predecessors under Lamport's rules (previous event on
+// the same process; corresponding send for a receive), plus the reflexive
+// transitive closure as bitsets.
+type Graph struct {
+	events []trace.Event
+	// preds[i] lists indexes of direct predecessors of event i.
+	preds [][]int
+	// reach[i] is a bitset over event indexes j with e_j → e_i (including
+	// j == i, since → is reflexive).
+	reach []bitset
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b bitset) or(c bitset) {
+	for i := range b {
+		b[i] |= c[i]
+	}
+}
+
+// NewGraph builds the happened-before graph of the event sequence.
+func NewGraph(events []trace.Event) *Graph {
+	n := len(events)
+	g := &Graph{
+		events: append([]trace.Event(nil), events...),
+		preds:  make([][]int, n),
+		reach:  make([]bitset, n),
+	}
+	lastOnProc := make(map[trace.ProcID]int, 8)
+	sendIdx := make(map[trace.MsgID]int, n)
+	for i, e := range events {
+		if j, ok := lastOnProc[e.Proc]; ok {
+			g.preds[i] = append(g.preds[i], j)
+		}
+		lastOnProc[e.Proc] = i
+		switch e.Kind {
+		case trace.KindSend:
+			sendIdx[e.Msg] = i
+		case trace.KindReceive:
+			if j, ok := sendIdx[e.Msg]; ok {
+				g.preds[i] = append(g.preds[i], j)
+			}
+			// A receive whose send is outside the sequence has no
+			// cross-process predecessor within it.
+		}
+		bs := newBitset(n)
+		bs.set(i)
+		for _, j := range g.preds[i] {
+			bs.or(g.reach[j])
+		}
+		g.reach[i] = bs
+	}
+	return g
+}
+
+// FromComputation builds the graph of a full system computation.
+func FromComputation(c *trace.Computation) *Graph { return NewGraph(c.Events()) }
+
+// Len reports the number of events in the graph.
+func (g *Graph) Len() int { return len(g.events) }
+
+// Event returns the i-th event of the underlying sequence.
+func (g *Graph) Event(i int) trace.Event { return g.events[i] }
+
+// HappenedBefore reports e_i → e_j (reflexive: true when i == j).
+func (g *Graph) HappenedBefore(i, j int) bool {
+	return g.reach[j].get(i)
+}
+
+// Concurrent reports that neither e_i → e_j nor e_j → e_i (and i != j).
+func (g *Graph) Concurrent(i, j int) bool {
+	return i != j && !g.HappenedBefore(i, j) && !g.HappenedBefore(j, i)
+}
+
+// IndexOf returns the index of the event with the given identifier, or -1.
+func (g *Graph) IndexOf(id trace.EventID) int {
+	for i, e := range g.events {
+		if e.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasChain reports whether the sequence has a process chain <sets[0] …
+// sets[len-1]>. It implements the dynamic program
+//
+//	f(e) = max over direct predecessors d of f(d), then while the event is
+//	       on sets[f(e)] (0-based), f(e)++
+//
+// which is sound because chain events may repeat (e → e) and complete
+// because direct-predecessor edges generate the whole → relation.
+func (g *Graph) HasChain(sets []trace.ProcSet) bool {
+	found, _ := g.Chain(sets)
+	return found
+}
+
+// Chain is HasChain but also returns a witness: for each chain position,
+// the index in the sequence of the event used (indices may repeat).
+// The witness is nil when no chain exists or when sets is empty.
+func (g *Graph) Chain(sets []trace.ProcSet) (bool, []int) {
+	n := len(sets)
+	if n == 0 {
+		return true, nil
+	}
+	// f[i] = number of chain positions completed by events ≤→ e_i.
+	f := make([]int, len(g.events))
+	// wit[i][k] = event index used for position k in the best chain at i.
+	wit := make([][]int, len(g.events))
+	for i, e := range g.events {
+		best, bestWit := 0, []int(nil)
+		for _, j := range g.preds[i] {
+			if f[j] > best {
+				best, bestWit = f[j], wit[j]
+			}
+		}
+		myWit := append([]int(nil), bestWit...)
+		for best < n && e.IsOn(sets[best]) {
+			myWit = append(myWit, i)
+			best++
+		}
+		f[i], wit[i] = best, myWit
+		if best == n {
+			return true, myWit
+		}
+	}
+	return false, nil
+}
+
+// HasChainIn reports whether the suffix (x, z) has the chain. It returns
+// an error when x is not a prefix of z.
+func HasChainIn(x, z *trace.Computation, sets []trace.ProcSet) (bool, error) {
+	suffix, err := z.Suffix(x)
+	if err != nil {
+		return false, fmt.Errorf("causality: %w", err)
+	}
+	return NewGraph(suffix).HasChain(sets), nil
+}
+
+// VectorClock maps processes to event counts. VC(e)[p] is the number of
+// events on p that happened before (or equal) e.
+type VectorClock map[trace.ProcID]int
+
+// Leq reports component-wise v ≤ w.
+func (v VectorClock) Leq(w VectorClock) bool {
+	for p, n := range v {
+		if n > w[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Copy returns an independent copy of the clock; the copy of nil is nil.
+func (v VectorClock) Copy() VectorClock {
+	if v == nil {
+		return nil
+	}
+	c := make(VectorClock, len(v))
+	for p, n := range v {
+		c[p] = n
+	}
+	return c
+}
+
+// VectorClocks computes the vector clock of every event in the sequence.
+// For events in a system computation, VC(e_i).Leq(VC(e_j)) holds exactly
+// when e_i → e_j; this equivalence is property-tested against Graph.
+func VectorClocks(events []trace.Event) []VectorClock {
+	procClock := make(map[trace.ProcID]VectorClock)
+	sendClock := make(map[trace.MsgID]VectorClock)
+	out := make([]VectorClock, len(events))
+	for i, e := range events {
+		vc := procClock[e.Proc].Copy()
+		if vc == nil {
+			vc = make(VectorClock)
+		}
+		if e.Kind == trace.KindReceive {
+			if sc, ok := sendClock[e.Msg]; ok {
+				for p, n := range sc {
+					if n > vc[p] {
+						vc[p] = n
+					}
+				}
+			}
+		}
+		vc[e.Proc]++
+		out[i] = vc
+		procClock[e.Proc] = vc
+		if e.Kind == trace.KindSend {
+			sendClock[e.Msg] = vc
+		}
+	}
+	return out
+}
+
+// LamportClocks computes the classic scalar Lamport clock of every event:
+// L(e) = 1 + max(previous event on process, corresponding send).
+// e → e' implies L(e) < L(e') (but not conversely).
+func LamportClocks(events []trace.Event) []int {
+	procClock := make(map[trace.ProcID]int)
+	sendClock := make(map[trace.MsgID]int)
+	out := make([]int, len(events))
+	for i, e := range events {
+		c := procClock[e.Proc]
+		if e.Kind == trace.KindReceive {
+			if sc, ok := sendClock[e.Msg]; ok && sc > c {
+				c = sc
+			}
+		}
+		c++
+		out[i] = c
+		procClock[e.Proc] = c
+		if e.Kind == trace.KindSend {
+			sendClock[e.Msg] = c
+		}
+	}
+	return out
+}

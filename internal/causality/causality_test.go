@@ -1,0 +1,352 @@
+package causality
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hpl/internal/trace"
+)
+
+// chainComp builds p → q → r: p sends to q, q receives then sends to r,
+// r receives.
+func chainComp() *trace.Computation {
+	return trace.NewBuilder().
+		Send("p", "q", "a").
+		Receive("q", "p").
+		Send("q", "r", "b").
+		Receive("r", "q").
+		MustBuild()
+}
+
+func ps(ids ...trace.ProcID) trace.ProcSet { return trace.NewProcSet(ids...) }
+
+func setsOf(ids ...trace.ProcID) []trace.ProcSet {
+	out := make([]trace.ProcSet, len(ids))
+	for i, id := range ids {
+		out[i] = trace.Singleton(id)
+	}
+	return out
+}
+
+func TestHappenedBeforeBasics(t *testing.T) {
+	c := chainComp()
+	g := FromComputation(c)
+	// send(p) → recv(q) → send(q) → recv(r)
+	for i := 0; i < 4; i++ {
+		for j := i; j < 4; j++ {
+			if !g.HappenedBefore(i, j) {
+				t.Errorf("want e%d → e%d", i, j)
+			}
+		}
+	}
+	if g.HappenedBefore(3, 0) {
+		t.Errorf("recv(r) must not precede send(p)")
+	}
+}
+
+func TestReflexivity(t *testing.T) {
+	g := FromComputation(chainComp())
+	for i := 0; i < g.Len(); i++ {
+		if !g.HappenedBefore(i, i) {
+			t.Errorf("e → e must hold (event %d)", i)
+		}
+	}
+}
+
+func TestConcurrentEvents(t *testing.T) {
+	c := trace.NewBuilder().
+		Internal("p", "a").
+		Internal("q", "b").
+		MustBuild()
+	g := FromComputation(c)
+	if !g.Concurrent(0, 1) {
+		t.Fatalf("independent internals must be concurrent")
+	}
+	if g.Concurrent(0, 0) {
+		t.Fatalf("an event is not concurrent with itself")
+	}
+}
+
+func TestSameProcessOrdering(t *testing.T) {
+	c := trace.NewBuilder().
+		Internal("p", "a").
+		Internal("q", "x").
+		Internal("p", "b").
+		Internal("p", "c").
+		MustBuild()
+	g := FromComputation(c)
+	// p#0 → p#1 → p#2 even though q's event sits in between; and not
+	// conversely.
+	if !g.HappenedBefore(0, 2) || !g.HappenedBefore(2, 3) || !g.HappenedBefore(0, 3) {
+		t.Errorf("same-process order broken")
+	}
+	if g.HappenedBefore(3, 0) {
+		t.Errorf("reverse same-process order must not hold")
+	}
+	if !g.Concurrent(1, 0) || !g.Concurrent(1, 3) {
+		t.Errorf("q's event must be concurrent with p's")
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	g := FromComputation(chainComp())
+	if got := g.IndexOf(trace.NewEventID("q", 1)); got != 2 {
+		t.Errorf("IndexOf(q#1) = %d, want 2", got)
+	}
+	if got := g.IndexOf(trace.NewEventID("zz", 0)); got != -1 {
+		t.Errorf("IndexOf(missing) = %d, want -1", got)
+	}
+}
+
+func TestChainSimple(t *testing.T) {
+	g := FromComputation(chainComp())
+	if !g.HasChain(setsOf("p", "q", "r")) {
+		t.Errorf("want chain <p q r>")
+	}
+	if g.HasChain(setsOf("r", "q", "p")) {
+		t.Errorf("no chain <r q p> exists")
+	}
+	if !g.HasChain(setsOf("p")) || !g.HasChain(setsOf("q")) {
+		t.Errorf("singleton chains must exist for active processes")
+	}
+	if g.HasChain(setsOf("zz")) {
+		t.Errorf("chain on absent process")
+	}
+}
+
+func TestChainRepeatedEvent(t *testing.T) {
+	// Observation 1: <P> can be replaced by <P P>: a single event may
+	// serve consecutive positions.
+	g := FromComputation(chainComp())
+	if !g.HasChain(setsOf("p", "p", "q", "q", "r")) {
+		t.Errorf("repeated sets must be absorbed by single events")
+	}
+}
+
+func TestChainWithSets(t *testing.T) {
+	g := FromComputation(chainComp())
+	// <{p,q} {r}> holds via q's send → r's receive.
+	if !g.HasChain([]trace.ProcSet{ps("p", "q"), ps("r")}) {
+		t.Errorf("want chain <{p,q} r>")
+	}
+	// <{r} {p,q}> does not hold: nothing on r precedes p or q events.
+	if g.HasChain([]trace.ProcSet{ps("r"), ps("p", "q")}) {
+		t.Errorf("chain <r {p,q}> must not hold")
+	}
+}
+
+func TestChainEmptySets(t *testing.T) {
+	g := FromComputation(chainComp())
+	ok, wit := g.Chain(nil)
+	if !ok || wit != nil {
+		t.Fatalf("empty chain must hold trivially")
+	}
+	if g.HasChain([]trace.ProcSet{trace.NewProcSet()}) {
+		t.Fatalf("chain through the empty set is impossible")
+	}
+}
+
+func TestChainWitness(t *testing.T) {
+	g := FromComputation(chainComp())
+	ok, wit := g.Chain(setsOf("p", "q", "r"))
+	if !ok {
+		t.Fatal("chain must exist")
+	}
+	if len(wit) != 3 {
+		t.Fatalf("witness length = %d", len(wit))
+	}
+	for k := 0; k+1 < len(wit); k++ {
+		if !g.HappenedBefore(wit[k], wit[k+1]) {
+			t.Errorf("witness not causal at position %d", k)
+		}
+	}
+	want := []trace.ProcID{"p", "q", "r"}
+	for k, idx := range wit {
+		if g.Event(idx).Proc != want[k] {
+			t.Errorf("witness %d on %s, want %s", k, g.Event(idx).Proc, want[k])
+		}
+	}
+}
+
+func TestChainInSuffix(t *testing.T) {
+	z := chainComp()
+	x := z.Prefix(2) // send(p), recv(q)
+	// Suffix is send(q), recv(r): chain <q r> present, <p anything> absent.
+	ok, err := HasChainIn(x, z, setsOf("q", "r"))
+	if err != nil || !ok {
+		t.Fatalf("want chain <q r> in suffix, err=%v", err)
+	}
+	ok, err = HasChainIn(x, z, setsOf("p", "r"))
+	if err != nil || ok {
+		t.Fatalf("chain <p r> must not exist in suffix, err=%v", err)
+	}
+}
+
+func TestChainInSuffixDanglingReceive(t *testing.T) {
+	// Send in prefix, receive in suffix: the receive has no send edge
+	// within the suffix, so no cross-process chain through it.
+	z := trace.NewBuilder().
+		Send("p", "q", "a").
+		Internal("p", "w").
+		Receive("q", "p").
+		MustBuild()
+	x := z.Prefix(2)
+	ok, err := HasChainIn(x, z, setsOf("p", "q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("chain <p q> must not exist: send is outside the suffix")
+	}
+	ok, err = HasChainIn(x, z, setsOf("q"))
+	if err != nil || !ok {
+		t.Fatalf("chain <q> must exist, err=%v", err)
+	}
+}
+
+func TestChainInNotPrefix(t *testing.T) {
+	a := trace.NewBuilder().Internal("p", "x").MustBuild()
+	b := trace.NewBuilder().Internal("q", "y").MustBuild()
+	if _, err := HasChainIn(a, b, setsOf("p")); err == nil {
+		t.Fatalf("expected not-a-prefix error")
+	}
+}
+
+func randomComputation(r *rand.Rand, procs []trace.ProcID, n int) *trace.Computation {
+	b := trace.NewBuilder()
+	for i := 0; i < n; i++ {
+		p := procs[r.Intn(len(procs))]
+		switch r.Intn(3) {
+		case 0:
+			b.Internal(p, "t")
+		case 1:
+			q := procs[r.Intn(len(procs))]
+			if q != p {
+				b.Send(p, q, "m")
+			}
+		case 2:
+			var mine []trace.Event
+			for _, e := range b.MustSnapshot().InFlight() {
+				if e.Peer == p {
+					mine = append(mine, e)
+				}
+			}
+			if len(mine) > 0 {
+				b.ReceiveMsg(mine[r.Intn(len(mine))].Msg)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestVectorClockAgreesWithGraphProperty(t *testing.T) {
+	procs := []trace.ProcID{"p", "q", "r"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomComputation(r, procs, 14)
+		events := c.Events()
+		g := NewGraph(events)
+		vcs := VectorClocks(events)
+		for i := range events {
+			for j := range events {
+				hb := g.HappenedBefore(i, j)
+				leq := vcs[i].Leq(vcs[j])
+				if i == j {
+					if !hb || !leq {
+						return false
+					}
+					continue
+				}
+				// For distinct events of a valid computation, VC(i) ≤ VC(j)
+				// iff i → j. (Events of the same process at different
+				// positions always differ in the process component.)
+				if hb != leq {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLamportClockConsistentProperty(t *testing.T) {
+	procs := []trace.ProcID{"p", "q", "r"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomComputation(r, procs, 14)
+		events := c.Events()
+		g := NewGraph(events)
+		lc := LamportClocks(events)
+		for i := range events {
+			for j := range events {
+				if i != j && g.HappenedBefore(i, j) && lc[i] >= lc[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainAgreesWithBruteForceProperty(t *testing.T) {
+	// Compare the DP against explicit enumeration of candidate event
+	// tuples for 2-set chains.
+	procs := []trace.ProcID{"p", "q", "r"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomComputation(r, procs, 10)
+		events := c.Events()
+		g := NewGraph(events)
+		for _, a := range procs {
+			for _, b := range procs {
+				sets := setsOf(a, b)
+				want := false
+				for i := range events {
+					for j := range events {
+						if events[i].Proc == a && events[j].Proc == b && g.HappenedBefore(i, j) {
+							want = true
+						}
+					}
+				}
+				if g.HasChain(sets) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorClockCopyIndependent(t *testing.T) {
+	v := VectorClock{"p": 1}
+	w := v.Copy()
+	w["p"] = 99
+	if v["p"] != 1 {
+		t.Fatalf("Copy shares storage")
+	}
+	var nilVC VectorClock
+	if nilVC.Copy() != nil {
+		t.Fatalf("copy of nil should be nil")
+	}
+}
+
+func TestGraphEventAccess(t *testing.T) {
+	c := chainComp()
+	g := FromComputation(c)
+	if g.Len() != c.Len() {
+		t.Fatalf("Len mismatch")
+	}
+	if g.Event(0).ID != c.At(0).ID {
+		t.Fatalf("Event(0) mismatch")
+	}
+}

@@ -1,0 +1,211 @@
+package causality
+
+import (
+	"errors"
+	"fmt"
+
+	"hpl/internal/trace"
+)
+
+// This file implements consistent cuts: subsets of a computation's
+// events that are downward closed under the happened-before relation.
+// They are the formal content of the paper's Observation 2 — "a subset
+// of a computation's events that contains, with every event, all events
+// that happened before it, is itself a computation" — and the device
+// behind the fusion constructions (the intermediates u and v of Theorem
+// 2 are cuts of y and z).
+
+// Cut is a subset of the event positions of one computation, represented
+// as a membership vector aligned with the event sequence.
+type Cut struct {
+	in []bool
+}
+
+// NewCut builds a cut of a sequence of length n from member positions.
+func NewCut(n int, members ...int) (Cut, error) {
+	c := Cut{in: make([]bool, n)}
+	for _, m := range members {
+		if m < 0 || m >= n {
+			return Cut{}, fmt.Errorf("causality: cut member %d out of range [0,%d)", m, n)
+		}
+		c.in[m] = true
+	}
+	return c, nil
+}
+
+// FullCut returns the cut containing every position.
+func FullCut(n int) Cut {
+	c := Cut{in: make([]bool, n)}
+	for i := range c.in {
+		c.in[i] = true
+	}
+	return c
+}
+
+// EmptyCut returns the empty cut of a length-n sequence.
+func EmptyCut(n int) Cut { return Cut{in: make([]bool, n)} }
+
+// Len reports the length of the underlying sequence.
+func (c Cut) Len() int { return len(c.in) }
+
+// Size reports the number of members.
+func (c Cut) Size() int {
+	n := 0
+	for _, b := range c.in {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports membership of position i.
+func (c Cut) Contains(i int) bool { return i >= 0 && i < len(c.in) && c.in[i] }
+
+// Members returns the member positions in sequence order.
+func (c Cut) Members() []int {
+	var out []int
+	for i, b := range c.in {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Union returns c ∪ d. The cuts must cover sequences of equal length.
+func (c Cut) Union(d Cut) (Cut, error) {
+	if len(c.in) != len(d.in) {
+		return Cut{}, errors.New("causality: cut length mismatch")
+	}
+	out := Cut{in: make([]bool, len(c.in))}
+	for i := range c.in {
+		out.in[i] = c.in[i] || d.in[i]
+	}
+	return out, nil
+}
+
+// Intersect returns c ∩ d. The cuts must cover sequences of equal length.
+func (c Cut) Intersect(d Cut) (Cut, error) {
+	if len(c.in) != len(d.in) {
+		return Cut{}, errors.New("causality: cut length mismatch")
+	}
+	out := Cut{in: make([]bool, len(c.in))}
+	for i := range c.in {
+		out.in[i] = c.in[i] && d.in[i]
+	}
+	return out, nil
+}
+
+// IsConsistent reports whether the cut is downward closed under the
+// graph's happened-before relation: every predecessor of a member is a
+// member.
+func (g *Graph) IsConsistent(c Cut) bool {
+	if c.Len() != g.Len() {
+		return false
+	}
+	for i, in := range c.in {
+		if !in {
+			continue
+		}
+		for _, j := range g.preds[i] {
+			if !c.in[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Closure returns the smallest consistent cut containing c: the downward
+// closure under happened-before.
+func (g *Graph) Closure(c Cut) Cut {
+	out := Cut{in: make([]bool, g.Len())}
+	var visit func(i int)
+	visit = func(i int) {
+		if out.in[i] {
+			return
+		}
+		out.in[i] = true
+		for _, j := range g.preds[i] {
+			visit(j)
+		}
+	}
+	for i, in := range c.in {
+		if in {
+			visit(i)
+		}
+	}
+	return out
+}
+
+// CutBefore returns the consistent cut of all events that happened
+// before (or equal) event i.
+func (g *Graph) CutBefore(i int) Cut {
+	c := Cut{in: make([]bool, g.Len())}
+	for j := 0; j < g.Len(); j++ {
+		if g.HappenedBefore(j, i) {
+			c.in[j] = true
+		}
+	}
+	return c
+}
+
+// ConsistentCuts enumerates every consistent cut of the graph. The count
+// grows exponentially; enumeration fails once more than capN cuts exist
+// (capN <= 0 means no cap).
+func (g *Graph) ConsistentCuts(capN int) ([]Cut, error) {
+	cuts := []Cut{EmptyCut(g.Len())}
+	// Events are processed in sequence order, which is a linearisation
+	// of happened-before: extending each existing cut by event i keeps
+	// consistency exactly when all of i's predecessors are present.
+	for i := 0; i < g.Len(); i++ {
+		var next []Cut
+		for _, c := range cuts {
+			next = append(next, c)
+			ok := true
+			for _, j := range g.preds[i] {
+				if !c.in[j] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			ext := Cut{in: append([]bool(nil), c.in...)}
+			ext.in[i] = true
+			next = append(next, ext)
+		}
+		cuts = next
+		if capN > 0 && len(cuts) > capN {
+			return nil, fmt.Errorf("causality: more than %d consistent cuts", capN)
+		}
+	}
+	return cuts, nil
+}
+
+// ErrInconsistentCut reports an extraction from a non-consistent cut.
+var ErrInconsistentCut = errors.New("causality: cut is not consistent")
+
+// Extract implements Observation 2: the subsequence of a computation
+// induced by a consistent cut is itself a computation. It validates both
+// the consistency of the cut and the resulting sequence.
+func Extract(comp *trace.Computation, cut Cut) (*trace.Computation, error) {
+	g := FromComputation(comp)
+	if !g.IsConsistent(cut) {
+		return nil, ErrInconsistentCut
+	}
+	var events []trace.Event
+	for _, i := range cut.Members() {
+		events = append(events, comp.At(i))
+	}
+	sub, err := trace.NewComputation(events)
+	if err != nil {
+		return nil, fmt.Errorf("causality: observation 2 violated (bug): %w", err)
+	}
+	return sub, nil
+}
+
+// enumeration note: cuts whose membership is extended in sequence order
+// cannot skip a predecessor, because sequence order linearises →.

@@ -1,0 +1,268 @@
+package causality
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hpl/internal/trace"
+)
+
+func TestCutBasics(t *testing.T) {
+	c, err := NewCut(4, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 2 || !c.Contains(0) || c.Contains(1) || !c.Contains(2) {
+		t.Fatalf("cut = %v", c.Members())
+	}
+	if c.Contains(-1) || c.Contains(99) {
+		t.Fatalf("out-of-range Contains must be false")
+	}
+	if _, err := NewCut(3, 5); err == nil {
+		t.Fatalf("out-of-range member accepted")
+	}
+	if FullCut(3).Size() != 3 || EmptyCut(3).Size() != 0 {
+		t.Fatalf("full/empty sizes wrong")
+	}
+}
+
+func TestCutAlgebra(t *testing.T) {
+	a, _ := NewCut(4, 0, 1)
+	b, _ := NewCut(4, 1, 2)
+	u, err := a.Union(b)
+	if err != nil || u.Size() != 3 {
+		t.Fatalf("union = %v, err %v", u.Members(), err)
+	}
+	i, err := a.Intersect(b)
+	if err != nil || i.Size() != 1 || !i.Contains(1) {
+		t.Fatalf("intersect = %v, err %v", i.Members(), err)
+	}
+	short := EmptyCut(2)
+	if _, err := a.Union(short); err == nil {
+		t.Fatalf("length mismatch accepted")
+	}
+	if _, err := a.Intersect(short); err == nil {
+		t.Fatalf("length mismatch accepted")
+	}
+}
+
+func TestIsConsistent(t *testing.T) {
+	c := chainComp() // send(p), recv(q), send(q), recv(r)
+	g := FromComputation(c)
+	cases := []struct {
+		members []int
+		want    bool
+	}{
+		{nil, true},
+		{[]int{0}, true},
+		{[]int{0, 1}, true},
+		{[]int{0, 1, 2}, true},
+		{[]int{0, 1, 2, 3}, true},
+		{[]int{1}, false},       // receive without its send
+		{[]int{0, 2}, false},    // q's send without q's receive
+		{[]int{3}, false},       // last receive alone
+		{[]int{0, 1, 3}, false}, // r's receive without q's send
+	}
+	for _, tc := range cases {
+		cut, err := NewCut(4, tc.members...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.IsConsistent(cut); got != tc.want {
+			t.Errorf("IsConsistent(%v) = %v, want %v", tc.members, got, tc.want)
+		}
+	}
+	// Length mismatch is inconsistent by definition.
+	if g.IsConsistent(EmptyCut(2)) {
+		t.Errorf("length-mismatched cut accepted")
+	}
+}
+
+func TestClosure(t *testing.T) {
+	c := chainComp()
+	g := FromComputation(c)
+	cut, _ := NewCut(4, 3) // just the final receive
+	closed := g.Closure(cut)
+	if closed.Size() != 4 {
+		t.Fatalf("closure size = %d, want 4", closed.Size())
+	}
+	if !g.IsConsistent(closed) {
+		t.Fatalf("closure not consistent")
+	}
+}
+
+func TestCutBefore(t *testing.T) {
+	c := chainComp()
+	g := FromComputation(c)
+	cut := g.CutBefore(2) // q's send: includes send(p), recv(q), send(q)
+	if cut.Size() != 3 || !cut.Contains(0) || !cut.Contains(1) || !cut.Contains(2) {
+		t.Fatalf("CutBefore(2) = %v", cut.Members())
+	}
+	if !g.IsConsistent(cut) {
+		t.Fatalf("CutBefore result inconsistent")
+	}
+}
+
+func TestConsistentCutsEnumeration(t *testing.T) {
+	// A fully sequential chain has exactly n+1 consistent cuts.
+	c := chainComp()
+	g := FromComputation(c)
+	cuts, err := g.ConsistentCuts(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) != 5 {
+		t.Fatalf("chain cuts = %d, want 5", len(cuts))
+	}
+	// Two concurrent events give 4 cuts (the boolean lattice).
+	c2 := trace.NewBuilder().Internal("p", "a").Internal("q", "b").MustBuild()
+	cuts2, err := FromComputation(c2).ConsistentCuts(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts2) != 4 {
+		t.Fatalf("concurrent cuts = %d, want 4", len(cuts2))
+	}
+	for _, cut := range cuts2 {
+		if !FromComputation(c2).IsConsistent(cut) {
+			t.Fatalf("enumerated cut inconsistent")
+		}
+	}
+}
+
+func TestConsistentCutsCap(t *testing.T) {
+	b := trace.NewBuilder()
+	for i := 0; i < 10; i++ {
+		b.Internal(trace.ProcID(rune('a'+i)), "x")
+	}
+	g := FromComputation(b.MustBuild())
+	if _, err := g.ConsistentCuts(100); err == nil {
+		t.Fatalf("expected cap error (2^10 cuts)")
+	}
+}
+
+func TestExtractObservationTwo(t *testing.T) {
+	c := chainComp()
+	g := FromComputation(c)
+	cuts, err := g.ConsistentCuts(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range cuts {
+		sub, err := Extract(c, cut)
+		if err != nil {
+			t.Fatalf("cut %v: %v", cut.Members(), err)
+		}
+		if sub.Len() != cut.Size() {
+			t.Fatalf("extracted length mismatch")
+		}
+	}
+	// Inconsistent cut is rejected.
+	bad, _ := NewCut(4, 1)
+	if _, err := Extract(c, bad); !errors.Is(err, ErrInconsistentCut) {
+		t.Fatalf("err = %v, want ErrInconsistentCut", err)
+	}
+}
+
+func TestLatticePropertyUnionIntersection(t *testing.T) {
+	// Consistent cuts are closed under union and intersection (they form
+	// a distributive lattice) — property-checked on random computations.
+	procs := []trace.ProcID{"p", "q", "r"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		comp := randomComputation(r, procs, 8)
+		g := FromComputation(comp)
+		cuts, err := g.ConsistentCuts(4096)
+		if err != nil {
+			return true // too many cuts; skip this instance
+		}
+		if len(cuts) < 2 {
+			return true
+		}
+		a := cuts[r.Intn(len(cuts))]
+		b := cuts[r.Intn(len(cuts))]
+		u, err := a.Union(b)
+		if err != nil || !g.IsConsistent(u) {
+			return false
+		}
+		i, err := a.Intersect(b)
+		if err != nil || !g.IsConsistent(i) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractIsPrefixLikeProperty(t *testing.T) {
+	// Extracting a consistent cut yields a computation whose per-process
+	// projections are prefixes of the original's.
+	procs := []trace.ProcID{"p", "q"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		comp := randomComputation(r, procs, 8)
+		g := FromComputation(comp)
+		cuts, err := g.ConsistentCuts(4096)
+		if err != nil || len(cuts) == 0 {
+			return true
+		}
+		cut := cuts[r.Intn(len(cuts))]
+		sub, err := Extract(comp, cut)
+		if err != nil {
+			return false
+		}
+		for _, p := range procs {
+			sp := sub.Projection(trace.Singleton(p))
+			fp := comp.Projection(trace.Singleton(p))
+			if len(sp) > len(fp) {
+				return false
+			}
+			for i := range sp {
+				if sp[i] != fp[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosureIdempotentProperty(t *testing.T) {
+	procs := []trace.ProcID{"p", "q", "r"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		comp := randomComputation(r, procs, 8)
+		g := FromComputation(comp)
+		var members []int
+		for i := 0; i < comp.Len(); i++ {
+			if r.Intn(2) == 0 {
+				members = append(members, i)
+			}
+		}
+		cut, err := NewCut(comp.Len(), members...)
+		if err != nil {
+			return false
+		}
+		closed := g.Closure(cut)
+		if !g.IsConsistent(closed) {
+			return false
+		}
+		again := g.Closure(closed)
+		for i := 0; i < closed.Len(); i++ {
+			if closed.Contains(i) != again.Contains(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package diagram renders isomorphism diagrams (the paper's Figures 3-1,
+// 3-2 and 3-3): undirected labelled graphs whose vertices are
+// computations and whose edge between x and y carries the largest process
+// set P with x [P] y. Output formats are Graphviz DOT and a plain-text
+// adjacency listing suitable for terminals and golden tests.
+package diagram
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpl/internal/iso"
+	"hpl/internal/trace"
+)
+
+// Vertex is a named computation to place in a diagram.
+type Vertex struct {
+	Name string
+	Comp *trace.Computation
+}
+
+// Edge is an undirected labelled edge of the diagram.
+type Edge struct {
+	From, To string
+	Label    trace.ProcSet
+}
+
+// Diagram is a rendered isomorphism diagram.
+type Diagram struct {
+	Vertices []Vertex
+	Edges    []Edge
+	// Procs is the process set D used for labels (self loops carry [D]).
+	Procs trace.ProcSet
+}
+
+// New computes the isomorphism diagram of the given named computations:
+// for every unordered pair, the largest label P with x [P] y; pairs with
+// empty largest label get no edge. Every vertex implicitly has a self
+// loop labelled [D], which renderers may show or omit.
+func New(vertices []Vertex, procs trace.ProcSet) *Diagram {
+	d := &Diagram{Vertices: append([]Vertex(nil), vertices...), Procs: procs}
+	for i := 0; i < len(vertices); i++ {
+		for j := i + 1; j < len(vertices); j++ {
+			label := iso.LargestLabel(vertices[i].Comp, vertices[j].Comp, procs)
+			if label.IsEmpty() {
+				continue
+			}
+			d.Edges = append(d.Edges, Edge{
+				From:  vertices[i].Name,
+				To:    vertices[j].Name,
+				Label: label,
+			})
+		}
+	}
+	return d
+}
+
+// EdgeBetween returns the label between two named vertices and whether an
+// edge exists.
+func (d *Diagram) EdgeBetween(a, b string) (trace.ProcSet, bool) {
+	for _, e := range d.Edges {
+		if (e.From == a && e.To == b) || (e.From == b && e.To == a) {
+			return e.Label, true
+		}
+	}
+	return trace.ProcSet{}, false
+}
+
+// DOT renders the diagram in Graphviz format. Self loops are omitted;
+// the [D] label on every vertex is implicit, as in the paper's figures.
+func (d *Diagram) DOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", title)
+	b.WriteString("  layout=neato;\n  node [shape=circle];\n")
+	names := make([]string, 0, len(d.Vertices))
+	for _, v := range d.Vertices {
+		names = append(names, v.Name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %q;\n", n)
+	}
+	edges := append([]Edge(nil), d.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -- %q [label=%q];\n", e.From, e.To, "["+e.Label.Key()+"]")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ASCII renders the diagram as a sorted adjacency listing:
+//
+//	x -- y  [p]
+//	x -- z  [p,q]
+//
+// plus one line per vertex for the implicit [D] self loop.
+func (d *Diagram) ASCII() string {
+	var b strings.Builder
+	names := make([]string, 0, len(d.Vertices))
+	for _, v := range d.Vertices {
+		names = append(names, v.Name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s -- %s  [%s] (self)\n", n, n, d.Procs.Key())
+	}
+	edges := append([]Edge(nil), d.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "%s -- %s  [%s]\n", e.From, e.To, e.Label.Key())
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package diagram
+
+import (
+	"strings"
+	"testing"
+
+	"hpl/internal/trace"
+)
+
+// figure31 builds the four computations of the paper's Example 1.
+func figure31() []Vertex {
+	x := trace.NewBuilder().Internal("p", "a").Internal("q", "b").MustBuild()
+	z := trace.NewBuilder().Internal("q", "b").Internal("p", "a").MustBuild()
+	y := trace.NewBuilder().Internal("p", "a").Internal("q", "c").MustBuild()
+	w := trace.NewBuilder().Internal("p", "d").Internal("q", "b").MustBuild()
+	return []Vertex{{"x", x}, {"y", y}, {"z", z}, {"w", w}}
+}
+
+func TestFigure31Edges(t *testing.T) {
+	d := New(figure31(), trace.NewProcSet("p", "q"))
+	cases := []struct {
+		a, b  string
+		label string
+		want  bool
+	}{
+		{"x", "y", "p", true},
+		{"x", "z", "p,q", true},
+		{"x", "w", "q", true},
+		{"y", "z", "p", true},
+		{"z", "w", "q", true},
+		{"y", "w", "", false},
+	}
+	for _, c := range cases {
+		label, ok := d.EdgeBetween(c.a, c.b)
+		if ok != c.want {
+			t.Errorf("edge %s-%s present=%v, want %v", c.a, c.b, ok, c.want)
+			continue
+		}
+		if ok && label.Key() != c.label {
+			t.Errorf("edge %s-%s label=%s, want %s", c.a, c.b, label.Key(), c.label)
+		}
+	}
+}
+
+func TestFigure31EdgeCount(t *testing.T) {
+	d := New(figure31(), trace.NewProcSet("p", "q"))
+	if got := len(d.Edges); got != 5 {
+		t.Fatalf("edges = %d, want 5", got)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	d := New(figure31(), trace.NewProcSet("p", "q"))
+	dot := d.DOT("figure-3-1")
+	for _, frag := range []string{
+		`graph "figure-3-1"`,
+		`"x" -- "y" [label="[p]"]`,
+		`"x" -- "z" [label="[p,q]"]`,
+		`"x";`,
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+func TestASCIIOutput(t *testing.T) {
+	d := New(figure31(), trace.NewProcSet("p", "q"))
+	out := d.ASCII()
+	for _, frag := range []string{
+		"x -- x  [p,q] (self)",
+		"x -- y  [p]",
+		"z -- w  [q]",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("ASCII missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestASCIIDeterministic(t *testing.T) {
+	d := New(figure31(), trace.NewProcSet("p", "q"))
+	if d.ASCII() != d.ASCII() {
+		t.Fatalf("ASCII output must be deterministic")
+	}
+	if d.DOT("t") != d.DOT("t") {
+		t.Fatalf("DOT output must be deterministic")
+	}
+}
+
+func TestEdgeBetweenMissing(t *testing.T) {
+	d := New(figure31(), trace.NewProcSet("p", "q"))
+	if _, ok := d.EdgeBetween("x", "nosuch"); ok {
+		t.Fatalf("unexpected edge")
+	}
+}
+
+func TestEmptyDiagram(t *testing.T) {
+	d := New(nil, trace.NewProcSet("p"))
+	if len(d.Edges) != 0 || d.ASCII() != "" {
+		t.Fatalf("empty diagram must render empty")
+	}
+}

@@ -1,0 +1,141 @@
+// Package failure implements the paper's §5 failure-detection results:
+//
+//   - the impossibility, checked exactly: over the exhaustive universe of
+//     a heartbeat system, the monitor is unsure at every computation
+//     whether the worker has failed (no algorithm without timing
+//     assumptions can detect failure);
+//   - the classical workaround, simulated: under a synchrony assumption
+//     (bounded message delay, worker heartbeats every round), a timeout
+//     detector is sound and live, with detection latency ≈ timeout +
+//     delay; when the delay bound is violated the detector false-positives.
+package failure
+
+import (
+	"errors"
+	"fmt"
+
+	"hpl/internal/knowledge"
+	"hpl/internal/protocols/heartbeat"
+	"hpl/internal/trace"
+)
+
+// UnsureReport summarizes the impossibility check.
+type UnsureReport struct {
+	// UniverseSize is the number of computations checked.
+	UniverseSize int
+	// CrashComputations counts members where the worker has failed.
+	CrashComputations int
+	// MonitorEverKnows / MonitorEverKnowsNot report violations (must
+	// both stay false).
+	MonitorEverKnows    bool
+	MonitorEverKnowsNot bool
+}
+
+// CheckForeverUnsure model-checks the impossibility on a heartbeat
+// system with the given bound: at every computation of the system the
+// monitor neither knows "worker failed" nor knows its negation. It
+// returns an error on the first violation.
+func CheckForeverUnsure(maxHeartbeats int) (UnsureReport, error) {
+	sys, err := heartbeat.New("w", "m", maxHeartbeats)
+	if err != nil {
+		return UnsureReport{}, err
+	}
+	u, err := sys.Enumerate(sys.SuggestedMaxEvents(), 0)
+	if err != nil {
+		return UnsureReport{}, err
+	}
+	e := knowledge.NewEvaluator(u)
+	failed := knowledge.NewAtom(sys.Failed())
+	m := trace.Singleton(sys.Monitor)
+	rep := UnsureReport{UniverseSize: u.Len()}
+
+	// Sanity: the failure predicate is local to the worker.
+	if !e.LocalTo(failed, trace.Singleton(sys.Worker)) {
+		return rep, errors.New("failure: crash predicate is not local to the worker")
+	}
+
+	knows := knowledge.Knows(m, failed)
+	knowsNot := knowledge.Knows(m, knowledge.Not(failed))
+	for i := 0; i < u.Len(); i++ {
+		if e.HoldsAt(failed, i) {
+			rep.CrashComputations++
+		}
+		if e.HoldsAt(knows, i) {
+			rep.MonitorEverKnows = true
+			return rep, fmt.Errorf("failure: monitor knows the crash at member %d — impossibility violated", i)
+		}
+		if e.HoldsAt(knowsNot, i) {
+			rep.MonitorEverKnowsNot = true
+			return rep, fmt.Errorf("failure: monitor knows non-crash at member %d — impossibility violated", i)
+		}
+	}
+	if rep.CrashComputations == 0 {
+		return rep, errors.New("failure: no crash computations enumerated; check is vacuous")
+	}
+	return rep, nil
+}
+
+// SyncConfig parameterizes the synchronous timeout detector simulation.
+// Time is measured in rounds; each round the worker (if alive) sends one
+// heartbeat, which arrives Delay rounds later.
+type SyncConfig struct {
+	// CrashAtRound is the round at which the worker crashes; < 0 means
+	// it never crashes.
+	CrashAtRound int
+	// Timeout is the number of consecutive heartbeat-free rounds after
+	// which the monitor suspects the worker.
+	Timeout int
+	// Delay is the delivery delay in rounds (the synchrony bound the
+	// detector is calibrated for is Delay ≤ Timeout).
+	Delay int
+	// Rounds bounds the simulation.
+	Rounds int
+}
+
+// SyncResult reports one synchronous run.
+type SyncResult struct {
+	// SuspectedAt is the round at which the monitor first suspected the
+	// worker, or -1.
+	SuspectedAt int
+	// CrashedAt echoes the configured crash round (-1 if never).
+	CrashedAt int
+	// FalsePositive reports a suspicion while the worker was alive.
+	FalsePositive bool
+	// Latency is SuspectedAt − CrashedAt when both happened, else -1.
+	Latency int
+}
+
+// RunSync simulates the round-based timeout detector.
+func RunSync(cfg SyncConfig) (SyncResult, error) {
+	if cfg.Timeout <= 0 {
+		return SyncResult{}, errors.New("failure: timeout must be positive")
+	}
+	if cfg.Delay < 1 {
+		return SyncResult{}, errors.New("failure: delay must be at least one round")
+	}
+	if cfg.Rounds <= 0 {
+		return SyncResult{}, errors.New("failure: rounds must be positive")
+	}
+	res := SyncResult{SuspectedAt: -1, CrashedAt: cfg.CrashAtRound, Latency: -1}
+	if cfg.CrashAtRound < 0 {
+		res.CrashedAt = -1
+	}
+	lastHeard := 0 // round of last heartbeat arrival (round 0 = start)
+	for r := 1; r <= cfg.Rounds; r++ {
+		// A heartbeat sent at round s arrives at round s+Delay. The
+		// worker sends at every round while alive.
+		sent := r - cfg.Delay
+		if sent >= 1 && (cfg.CrashAtRound < 0 || sent < cfg.CrashAtRound) {
+			lastHeard = r
+		}
+		if res.SuspectedAt < 0 && r-lastHeard > cfg.Timeout {
+			res.SuspectedAt = r
+			alive := cfg.CrashAtRound < 0 || r < cfg.CrashAtRound
+			res.FalsePositive = alive
+		}
+	}
+	if res.SuspectedAt >= 0 && res.CrashedAt >= 0 && !res.FalsePositive {
+		res.Latency = res.SuspectedAt - res.CrashedAt
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package failure
+
+import (
+	"testing"
+
+	"hpl/internal/knowledge"
+	"hpl/internal/protocols/heartbeat"
+	"hpl/internal/trace"
+)
+
+func TestForeverUnsureSmall(t *testing.T) {
+	for _, hb := range []int{0, 1, 2, 3} {
+		rep, err := CheckForeverUnsure(hb)
+		if err != nil {
+			t.Fatalf("maxHeartbeats=%d: %v", hb, err)
+		}
+		if rep.UniverseSize == 0 || rep.CrashComputations == 0 {
+			t.Fatalf("maxHeartbeats=%d: vacuous report %+v", hb, rep)
+		}
+		if rep.MonitorEverKnows || rep.MonitorEverKnowsNot {
+			t.Fatalf("maxHeartbeats=%d: %+v", hb, rep)
+		}
+	}
+}
+
+func TestHeartbeatSystemValidation(t *testing.T) {
+	if _, err := heartbeat.New("x", "x", 1); err == nil {
+		t.Errorf("same worker and monitor accepted")
+	}
+	if _, err := heartbeat.New("w", "m", -1); err == nil {
+		t.Errorf("negative bound accepted")
+	}
+}
+
+func TestCrashIsLastWorkerEvent(t *testing.T) {
+	sys, err := heartbeat.New("w", "m", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := sys.Enumerate(sys.SuggestedMaxEvents(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := sys.Failed()
+	for i := 0; i < u.Len(); i++ {
+		c := u.At(i)
+		if !failed.Holds(c) {
+			continue
+		}
+		proj := c.Projection(trace.Singleton("w"))
+		if proj[len(proj)-1].Tag != heartbeat.TagCrash {
+			t.Fatalf("member %d: worker acted after crashing", i)
+		}
+	}
+}
+
+func TestMonitorKnowledgeOfHeartbeats(t *testing.T) {
+	// The monitor does learn positive facts (heartbeats received); only
+	// the crash is undetectable.
+	sys, err := heartbeat.New("w", "m", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := sys.Enumerate(sys.SuggestedMaxEvents(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := knowledge.NewEvaluator(u)
+	sentHb := knowledge.NewAtom(knowledge.SentTag("w", heartbeat.TagHeartbeat))
+	y := trace.NewBuilder().Send("w", "m", heartbeat.TagHeartbeat).Receive("m", "w").MustBuild()
+	if !e.MustHolds(knowledge.Knows(trace.Singleton("m"), sentHb), y) {
+		t.Fatalf("monitor must know the worker sent after receiving")
+	}
+}
+
+func TestRunSyncDetectsCrash(t *testing.T) {
+	res, err := RunSync(SyncConfig{CrashAtRound: 10, Timeout: 3, Delay: 1, Rounds: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuspectedAt < 0 {
+		t.Fatalf("detector never suspected: %+v", res)
+	}
+	if res.FalsePositive {
+		t.Fatalf("false positive within the synchrony bound: %+v", res)
+	}
+	// Last heartbeat sent at round 9 arrives at 10; suspicion at
+	// 10 + timeout + 1 = 14; latency 4.
+	if res.SuspectedAt != 14 || res.Latency != 4 {
+		t.Fatalf("suspicion timing: %+v", res)
+	}
+}
+
+func TestRunSyncNoCrashNoSuspicion(t *testing.T) {
+	res, err := RunSync(SyncConfig{CrashAtRound: -1, Timeout: 3, Delay: 2, Rounds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuspectedAt >= 0 {
+		t.Fatalf("suspected a live worker: %+v", res)
+	}
+}
+
+func TestRunSyncFalsePositiveWhenDelayExceedsTimeout(t *testing.T) {
+	// Delay 6 > timeout 3: at the start the monitor has heard nothing
+	// for > timeout rounds while the worker is alive.
+	res, err := RunSync(SyncConfig{CrashAtRound: -1, Timeout: 3, Delay: 6, Rounds: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FalsePositive {
+		t.Fatalf("expected false positive: %+v", res)
+	}
+}
+
+func TestRunSyncLatencyGrowsWithTimeout(t *testing.T) {
+	var prev int
+	for i, timeout := range []int{2, 4, 8} {
+		res, err := RunSync(SyncConfig{CrashAtRound: 5, Timeout: timeout, Delay: 1, Rounds: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Latency < 0 {
+			t.Fatalf("timeout=%d: no detection", timeout)
+		}
+		if i > 0 && res.Latency <= prev {
+			t.Fatalf("latency must grow with timeout: %d then %d", prev, res.Latency)
+		}
+		prev = res.Latency
+	}
+}
+
+func TestRunSyncValidation(t *testing.T) {
+	if _, err := RunSync(SyncConfig{Timeout: 0, Delay: 1, Rounds: 5}); err == nil {
+		t.Errorf("zero timeout accepted")
+	}
+	if _, err := RunSync(SyncConfig{Timeout: 1, Delay: 0, Rounds: 5}); err == nil {
+		t.Errorf("zero delay accepted")
+	}
+	if _, err := RunSync(SyncConfig{Timeout: 1, Delay: 1, Rounds: 0}); err == nil {
+		t.Errorf("zero rounds accepted")
+	}
+}

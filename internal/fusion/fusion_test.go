@@ -1,0 +1,400 @@
+package fusion
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hpl/internal/trace"
+)
+
+func ps(ids ...trace.ProcID) trace.ProcSet { return trace.NewProcSet(ids...) }
+
+func TestLemma1Basic(t *testing.T) {
+	// x: p and q exchange nothing yet; y extends x with q-events only
+	// (so x [p] y); z extends x with p-events only (so x [q] z).
+	all := ps("p", "q")
+	x := trace.NewBuilder().Internal("p", "start").MustBuild()
+	y := trace.FromComputation(x).Internal("q", "qwork").MustBuild()
+	z := trace.FromComputation(x).Internal("p", "pwork").MustBuild()
+	sq, err := Lemma1(x, y, z, ps("p"), ps("q"), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq.W.Len() != 3 {
+		t.Fatalf("w has %d events, want 3", sq.W.Len())
+	}
+	if err := sq.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma1WithMessages(t *testing.T) {
+	// The independence in Lemma 1 allows in-flight messages: y's suffix
+	// (on q) receives a message sent inside x.
+	all := ps("p", "q")
+	x := trace.NewBuilder().Send("p", "q", "m").MustBuild()
+	y := trace.FromComputation(x).Receive("q", "p").MustBuild()
+	z := trace.FromComputation(x).Internal("p", "more").MustBuild()
+	sq, err := Lemma1(x, y, z, ps("p"), ps("q"), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w must contain both the receive (from y) and p's internal (from z).
+	if got := sq.W.CountKind(ps("q"), trace.KindReceive); got != 1 {
+		t.Errorf("w receives = %d", got)
+	}
+	if got := sq.W.CountKind(ps("p"), trace.KindInternal); got != 1 {
+		t.Errorf("w internals on p = %d", got)
+	}
+}
+
+func TestLemma1ThreeProcs(t *testing.T) {
+	all := ps("p", "q", "r")
+	x := trace.Empty()
+	// y adds events on {q,r} = complement of {p}; z adds events on p.
+	y := trace.NewBuilder().Send("q", "r", "a").Receive("r", "q").MustBuild()
+	z := trace.NewBuilder().Internal("p", "w").MustBuild()
+	sq, err := Lemma1(x, y, z, ps("p"), ps("q", "r"), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq.W.Len() != 3 {
+		t.Fatalf("w len = %d", sq.W.Len())
+	}
+}
+
+func TestLemma1PreconditionNotPrefix(t *testing.T) {
+	all := ps("p", "q")
+	x := trace.NewBuilder().Internal("p", "a").MustBuild()
+	other := trace.NewBuilder().Internal("q", "b").MustBuild()
+	if _, err := Lemma1(x, other, x, ps("p"), ps("q"), all); !errors.Is(err, ErrNotPrefix) {
+		t.Fatalf("err = %v, want ErrNotPrefix", err)
+	}
+}
+
+func TestLemma1PreconditionCovering(t *testing.T) {
+	all := ps("p", "q", "r")
+	x := trace.Empty()
+	if _, err := Lemma1(x, x, x, ps("p"), ps("q"), all); !errors.Is(err, ErrNotCovering) {
+		t.Fatalf("err = %v, want ErrNotCovering", err)
+	}
+}
+
+func TestLemma1PreconditionIsomorphism(t *testing.T) {
+	all := ps("p", "q")
+	x := trace.Empty()
+	// y adds a p-event, violating x [p] y.
+	y := trace.NewBuilder().Internal("p", "a").MustBuild()
+	z := trace.Empty()
+	if _, err := Lemma1(x, y, z, ps("p"), ps("q"), all); !errors.Is(err, ErrNotIsomorphic) {
+		t.Fatalf("err = %v, want ErrNotIsomorphic", err)
+	}
+	// Symmetric violation on z.
+	z2 := trace.NewBuilder().Internal("q", "b").MustBuild()
+	if _, err := Lemma1(x, trace.Empty(), z2, ps("p"), ps("q"), all); !errors.Is(err, ErrNotIsomorphic) {
+		t.Fatalf("err = %v, want ErrNotIsomorphic", err)
+	}
+}
+
+func TestTheorem2Basic(t *testing.T) {
+	// After the common prefix, y extends with p-activity (sends that are
+	// never received by q within y), z extends with q-activity.
+	all := ps("p", "q")
+	x := trace.NewBuilder().Send("p", "q", "seed").Receive("q", "p").MustBuild()
+	y := trace.FromComputation(x).
+		Internal("p", "y1").
+		Send("p", "q", "y2"). // in flight: no P̄-event depends on it in y
+		MustBuild()
+	z := trace.FromComputation(x).
+		Internal("q", "z1").
+		Send("q", "p", "z2"). // in flight
+		MustBuild()
+	f, err := Theorem2(x, y, z, ps("p"), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w = x + p's events from y + q's events from z.
+	if got := f.W.Len(); got != x.Len()+4 {
+		t.Fatalf("w len = %d, want %d", got, x.Len()+4)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem2RejectsForwardChain(t *testing.T) {
+	// In (x,y), q receives p's message: chain <q̄ ... > — concretely a
+	// P̄-event (q) after... the forbidden chain for y is <P̄ P>: a q-event
+	// causally before a p-event. Build exactly that: q sends, p receives.
+	all := ps("p", "q")
+	x := trace.Empty()
+	y := trace.NewBuilder().Send("q", "p", "m").Receive("p", "q").MustBuild()
+	z := trace.Empty()
+	_, err := Theorem2(x, y, z, ps("p"), all)
+	if !errors.Is(err, ErrChainPresent) {
+		t.Fatalf("err = %v, want ErrChainPresent", err)
+	}
+}
+
+func TestTheorem2RejectsBackwardChain(t *testing.T) {
+	// The forbidden chain for z is <P P̄>: a p-event causally before a
+	// q-event within (x,z).
+	all := ps("p", "q")
+	x := trace.Empty()
+	y := trace.Empty()
+	z := trace.NewBuilder().Send("p", "q", "m").Receive("q", "p").MustBuild()
+	_, err := Theorem2(x, y, z, ps("p"), all)
+	if !errors.Is(err, ErrChainPresent) {
+		t.Fatalf("err = %v, want ErrChainPresent", err)
+	}
+}
+
+func TestTheorem2AllowsHarmlessCrossActivity(t *testing.T) {
+	// y may contain P̄-events, as long as no P-event depends on them.
+	all := ps("p", "q")
+	x := trace.Empty()
+	y := trace.NewBuilder().
+		Internal("p", "pwork").
+		Internal("q", "qwork"). // q-event, but nothing on p depends on it
+		MustBuild()
+	z := trace.NewBuilder().
+		Internal("q", "zwork").
+		MustBuild()
+	f, err := Theorem2(x, y, z, ps("p"), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w keeps p's event from y, drops y's q-event, keeps z's q-event.
+	if f.W.Len() != 2 {
+		t.Fatalf("w len = %d, want 2", f.W.Len())
+	}
+	if got := len(f.W.Projection(ps("q"))); got != 1 {
+		t.Fatalf("q events in w = %d, want 1", got)
+	}
+	if f.W.Projection(ps("q"))[0].Tag != "zwork" {
+		t.Fatalf("q's event must come from z")
+	}
+}
+
+func TestTheorem2IntermediatesMatchFigure33(t *testing.T) {
+	all := ps("p", "q")
+	x := trace.NewBuilder().Internal("p", "x0").MustBuild()
+	y := trace.FromComputation(x).Internal("p", "ywork").MustBuild()
+	z := trace.FromComputation(x).Internal("q", "zwork").MustBuild()
+	f, err := Theorem2(x, y, z, ps("p"), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.U == nil || f.V == nil {
+		t.Fatal("intermediates missing")
+	}
+	// Figure 3-3: x [P̄] u, u [P] y, x [P] v, v [P̄] z.
+	if !f.X.IsomorphicTo(f.U, ps("q")) || !f.U.IsomorphicTo(f.Y, ps("p")) {
+		t.Errorf("u relations wrong")
+	}
+	if !f.X.IsomorphicTo(f.V, ps("p")) || !f.V.IsomorphicTo(f.Z, ps("q")) {
+		t.Errorf("v relations wrong")
+	}
+}
+
+func TestTheorem2NotPrefix(t *testing.T) {
+	all := ps("p", "q")
+	x := trace.NewBuilder().Internal("p", "a").MustBuild()
+	other := trace.NewBuilder().Internal("q", "b").MustBuild()
+	if _, err := Theorem2(x, other, x, ps("p"), all); !errors.Is(err, ErrNotPrefix) {
+		t.Fatalf("err = %v, want ErrNotPrefix", err)
+	}
+}
+
+// randomExtension extends x with events on procs only, never receiving
+// messages sent by the other side within the extension.
+func randomOneSidedExtension(r *rand.Rand, x *trace.Computation, procs []trace.ProcID, n int) *trace.Computation {
+	b := trace.FromComputation(x)
+	side := trace.NewProcSet(procs...)
+	for i := 0; i < n; i++ {
+		p := procs[r.Intn(len(procs))]
+		switch r.Intn(3) {
+		case 0:
+			b.Internal(p, "t")
+		case 1:
+			// Send to anyone (may leave the side); stays in flight unless
+			// received by the same side later.
+			all := []trace.ProcID{"p", "q", "r"}
+			q := all[r.Intn(len(all))]
+			if q != p {
+				b.Send(p, q, "m")
+			}
+		case 2:
+			// Receive only messages destined for this side whose sender
+			// is also on this side or in x.
+			var candidates []trace.MsgID
+			snap := b.MustSnapshot()
+			for _, e := range snap.InFlight() {
+				sentInX := false
+				for _, xe := range x.Events() {
+					if xe.Kind == trace.KindSend && xe.Msg == e.Msg {
+						sentInX = true
+					}
+				}
+				if side.Contains(e.Peer) && (side.Contains(e.Proc) || sentInX) {
+					candidates = append(candidates, e.Msg)
+				}
+			}
+			if len(candidates) > 0 {
+				b.ReceiveMsg(candidates[r.Intn(len(candidates))])
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func randomPrefixComp(r *rand.Rand, n int) *trace.Computation {
+	b := trace.NewBuilder()
+	procs := []trace.ProcID{"p", "q", "r"}
+	for i := 0; i < n; i++ {
+		p := procs[r.Intn(len(procs))]
+		if r.Intn(2) == 0 {
+			b.Internal(p, "x")
+		} else {
+			q := procs[r.Intn(len(procs))]
+			if q != p {
+				b.Send(p, q, "xm")
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestTheorem2RandomisedProperty(t *testing.T) {
+	// For random common prefixes and one-sided extensions (P = {p},
+	// P̄ = {q,r}), the fusion must always succeed and verify.
+	all := ps("p", "q", "r")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randomPrefixComp(r, r.Intn(4))
+		y := randomOneSidedExtension(r, x, []trace.ProcID{"p"}, r.Intn(4))
+		z := randomOneSidedExtension(r, x, []trace.ProcID{"q", "r"}, r.Intn(4))
+		fu, err := Theorem2(x, y, z, ps("p"), all)
+		if err != nil {
+			// One-sided extensions cannot create the forbidden chains.
+			return false
+		}
+		return fu.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma1RandomisedProperty(t *testing.T) {
+	all := ps("p", "q", "r")
+	pSide, qSide := ps("q", "r"), ps("p")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randomPrefixComp(r, r.Intn(4))
+		// x [P] y requires the suffix of y to avoid P = {q,r}: extend on p.
+		y := randomOneSidedExtension(r, x, []trace.ProcID{"p"}, r.Intn(3))
+		// x [Q] z requires the suffix of z to avoid Q = {p}.
+		z := randomOneSidedExtension(r, x, []trace.ProcID{"q", "r"}, r.Intn(3))
+		sq, err := Lemma1(x, y, z, pSide, qSide, all)
+		if err != nil {
+			return false
+		}
+		return sq.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquareVerifyDetectsCorruption(t *testing.T) {
+	all := ps("p", "q")
+	x := trace.Empty()
+	y := trace.NewBuilder().Internal("q", "a").MustBuild()
+	z := trace.NewBuilder().Internal("p", "b").MustBuild()
+	sq, err := Lemma1(x, y, z, ps("p"), ps("q"), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt each corner and confirm Verify catches it.
+	other := trace.NewBuilder().Internal("q", "zzz").MustBuild()
+	bad := sq
+	bad.W = other
+	if bad.Verify() == nil {
+		t.Errorf("corrupted W accepted")
+	}
+	bad = sq
+	bad.Y = other
+	if bad.Verify() == nil {
+		t.Errorf("corrupted Y accepted")
+	}
+	bad = sq
+	bad.Z = trace.NewBuilder().Internal("p", "zzz").MustBuild()
+	if bad.Verify() == nil {
+		t.Errorf("corrupted Z accepted")
+	}
+	bad = sq
+	bad.X = trace.NewBuilder().Internal("p", "nope").Internal("q", "nope").MustBuild()
+	if bad.Verify() == nil {
+		t.Errorf("corrupted X accepted")
+	}
+}
+
+func TestFusionVerifyDetectsCorruption(t *testing.T) {
+	all := ps("p", "q")
+	x := trace.Empty()
+	y := trace.NewBuilder().Internal("p", "a").MustBuild()
+	z := trace.NewBuilder().Internal("q", "b").MustBuild()
+	f, err := Theorem2(x, y, z, ps("p"), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := f
+	bad.W = trace.NewBuilder().Internal("p", "zzz").MustBuild()
+	if bad.Verify() == nil {
+		t.Errorf("corrupted W accepted")
+	}
+	bad = f
+	bad.Y = trace.NewBuilder().Internal("p", "zzz").MustBuild()
+	if bad.Verify() == nil {
+		t.Errorf("corrupted Y accepted")
+	}
+	bad = f
+	bad.Z = trace.NewBuilder().Internal("q", "zzz").MustBuild()
+	if bad.Verify() == nil {
+		t.Errorf("corrupted Z accepted")
+	}
+	bad = f
+	bad.U = trace.NewBuilder().Internal("q", "zzz").MustBuild()
+	if bad.Verify() == nil {
+		t.Errorf("corrupted U accepted")
+	}
+	bad = f
+	bad.V = trace.NewBuilder().Internal("p", "zzz").MustBuild()
+	if bad.Verify() == nil {
+		t.Errorf("corrupted V accepted")
+	}
+	bad = f
+	bad.X = trace.NewBuilder().Internal("p", "w").MustBuild()
+	if bad.Verify() == nil {
+		t.Errorf("corrupted X accepted")
+	}
+}
+
+func TestFusionVerifyWithoutIntermediates(t *testing.T) {
+	// Verify must tolerate nil U/V (constructed by hand).
+	all := ps("p", "q")
+	x := trace.Empty()
+	y := trace.NewBuilder().Internal("p", "a").MustBuild()
+	z := trace.NewBuilder().Internal("q", "b").MustBuild()
+	f, err := Theorem2(x, y, z, ps("p"), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.U, f.V = nil, nil
+	if err := f.Verify(); err != nil {
+		t.Fatalf("nil intermediates must be allowed: %v", err)
+	}
+}

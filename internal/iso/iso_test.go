@@ -1,0 +1,382 @@
+package iso
+
+import (
+	"testing"
+
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+func ps(ids ...trace.ProcID) trace.ProcSet { return trace.NewProcSet(ids...) }
+
+// example1 reconstructs the paper's Example 1 (Figure 3-1): a system of
+// two processes p, q and four computations with
+//
+//	x [p] y but not x [q] y;  x [D] z with z a permutation of x;
+//	y [p] z and z [q] w;      neither y [p] w nor y [q] w.
+func example1() (x, y, z, w *trace.Computation) {
+	x = trace.NewBuilder().Internal("p", "a").Internal("q", "b").MustBuild()
+	z = trace.NewBuilder().Internal("q", "b").Internal("p", "a").MustBuild()
+	y = trace.NewBuilder().Internal("p", "a").Internal("q", "c").MustBuild()
+	w = trace.NewBuilder().Internal("p", "d").Internal("q", "b").MustBuild()
+	return
+}
+
+func example1Universe() *universe.Universe {
+	x, y, z, w := example1()
+	var comps []*trace.Computation
+	for _, c := range []*trace.Computation{x, y, z, w} {
+		comps = append(comps, c.Prefixes()...)
+	}
+	return universe.New(comps, ps("p", "q"))
+}
+
+func TestExample1DirectRelations(t *testing.T) {
+	x, y, z, w := example1()
+	p, q := trace.Singleton("p"), trace.Singleton("q")
+	d := ps("p", "q")
+
+	if !x.IsomorphicTo(y, p) {
+		t.Errorf("want x [p] y")
+	}
+	if x.IsomorphicTo(y, q) {
+		t.Errorf("want not x [q] y")
+	}
+	if !x.IsomorphicTo(z, d) || x.SameAs(z) {
+		t.Errorf("want x [D] z with x ≠ z")
+	}
+	if !x.PermutationOf(z) {
+		t.Errorf("z must be a permutation of x")
+	}
+	if y.IsomorphicTo(w, p) || y.IsomorphicTo(w, q) {
+		t.Errorf("want neither y [p] w nor y [q] w")
+	}
+	if !y.IsomorphicTo(z, p) {
+		t.Errorf("want y [p] z")
+	}
+	if !z.IsomorphicTo(w, q) {
+		t.Errorf("want z [q] w")
+	}
+}
+
+func TestExample1CompositeRelations(t *testing.T) {
+	x, y, z, w := example1()
+	_ = x
+	u := example1Universe()
+	p, q := trace.Singleton("p"), trace.Singleton("q")
+
+	// y [p q] w via z; and w [q p] y (inversion).
+	if !Related(u, y, []trace.ProcSet{p, q}, w) {
+		t.Errorf("want y [p q] w")
+	}
+	if !Related(u, w, []trace.ProcSet{q, p}, y) {
+		t.Errorf("want w [q p] y")
+	}
+	// Trivially y [q p] z and y [q p q] z (paper).
+	if !Related(u, y, []trace.ProcSet{q, p}, z) {
+		t.Errorf("want y [q p] z")
+	}
+	if !Related(u, y, []trace.ProcSet{q, p, q}, z) {
+		t.Errorf("want y [q p q] z")
+	}
+}
+
+func TestExample1LargestLabels(t *testing.T) {
+	x, y, z, w := example1()
+	d := ps("p", "q")
+	cases := []struct {
+		a, b *trace.Computation
+		want trace.ProcSet
+		name string
+	}{
+		{x, y, ps("p"), "x-y"},
+		{x, z, ps("p", "q"), "x-z"},
+		{x, w, ps("q"), "x-w"},
+		{y, z, ps("p"), "y-z"},
+		{z, w, ps("q"), "z-w"},
+		{y, w, ps(), "y-w"},
+		{x, x, ps("p", "q"), "self loop"},
+	}
+	for _, c := range cases {
+		if got := LargestLabel(c.a, c.b, d); !got.Equal(c.want) {
+			t.Errorf("%s: label = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func freeUniverse(t *testing.T, procs []trace.ProcID, maxSends, maxEvents int) *universe.Universe {
+	t.Helper()
+	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+		Procs:    procs,
+		MaxSends: maxSends,
+	}), maxEvents, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestRelatedEmptySequence(t *testing.T) {
+	x, y, _, _ := example1()
+	u := example1Universe()
+	if !Related(u, x, nil, x) {
+		t.Errorf("x [] x must hold")
+	}
+	if Related(u, x, nil, y) {
+		t.Errorf("x [] y must not hold for x != y")
+	}
+}
+
+func TestReachableEmptySetRelation(t *testing.T) {
+	// [{}] relates everything to everything.
+	u := example1Universe()
+	got := Reachable(u, u.At(0), []trace.ProcSet{ps()})
+	if len(got) != u.Len() {
+		t.Fatalf("[{}]-reachable = %d members, want %d", len(got), u.Len())
+	}
+}
+
+func TestAllPropertiesOnFreeUniverse(t *testing.T) {
+	u := freeUniverse(t, []trace.ProcID{"p", "q"}, 1, 4)
+	if err := CheckAllProperties(u); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllPropertiesOnExample1Universe(t *testing.T) {
+	if err := CheckAllProperties(example1Universe()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubstitutionProperty(t *testing.T) {
+	u := freeUniverse(t, []trace.ProcID{"p", "q"}, 1, 3)
+	p, q := trace.Singleton("p"), trace.Singleton("q")
+	d := ps("p", "q")
+	// [q q] = [q] (idempotence) so substituting β=[q q] by δ=[q] inside
+	// any context must preserve the relation.
+	alpha := [][]trace.ProcSet{{p}, {d}, {}}
+	beta := [][]trace.ProcSet{{q, q}}
+	delta := [][]trace.ProcSet{{q}}
+	gamma := [][]trace.ProcSet{{p}, {}}
+	if err := CheckSubstitution(u, alpha, beta, gamma, delta); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem1OnFreeUniverse(t *testing.T) {
+	u := freeUniverse(t, []trace.ProcID{"p", "q"}, 1, 4)
+	p, q := trace.Singleton("p"), trace.Singleton("q")
+	seqs := [][]trace.ProcSet{
+		{p}, {q}, {p, q}, {q, p}, {p, q, p}, {ps("p", "q")}, {ps("p", "q"), p},
+	}
+	checked := 0
+	for i := 0; i < u.Len(); i++ {
+		z := u.At(i)
+		if z.Len() > 3 {
+			continue // keep intermediates well inside the universe bound
+		}
+		for _, x := range z.Prefixes() {
+			for _, sets := range seqs {
+				out, err := CheckTheorem1(u, x, z, sets)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !out.Holds() {
+					t.Fatalf("theorem 1 violated: x=%q z=%q sets=%v", x.Key(), z.Key(), sets)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no instances checked")
+	}
+}
+
+func TestTheorem1BothSidesOccur(t *testing.T) {
+	// The dichotomy is not vacuous: some instances hold only via the
+	// isomorphism side and some only via the chain side.
+	u := freeUniverse(t, []trace.ProcID{"p", "q"}, 1, 4)
+	p, q := trace.Singleton("p"), trace.Singleton("q")
+	var isoOnly, chainOnly bool
+	for i := 0; i < u.Len(); i++ {
+		z := u.At(i)
+		if z.Len() > 3 {
+			continue
+		}
+		for _, x := range z.Prefixes() {
+			for _, sets := range [][]trace.ProcSet{{p, q}, {q, p}} {
+				out, err := CheckTheorem1(u, x, z, sets)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.Iso && !out.Chain {
+					isoOnly = true
+				}
+				if out.Chain && !out.Iso {
+					chainOnly = true
+				}
+			}
+		}
+	}
+	if !isoOnly {
+		t.Errorf("never saw iso-only instance")
+	}
+	if !chainOnly {
+		t.Errorf("never saw chain-only instance")
+	}
+}
+
+func TestTheorem1RequiresPrefix(t *testing.T) {
+	u := example1Universe()
+	x, y, _, _ := example1()
+	if _, err := CheckTheorem1(u, x, y, []trace.ProcSet{ps("p")}); err == nil {
+		t.Fatalf("expected error for non-prefix pair")
+	}
+}
+
+func TestTheorem3OnFreeUniverse(t *testing.T) {
+	u := freeUniverse(t, []trace.ProcID{"p", "q"}, 1, 4)
+	subsets := []trace.ProcSet{ps("p"), ps("q"), ps("p", "q")}
+	checked := 0
+	for i := 0; i < u.Len(); i++ {
+		xe := u.At(i)
+		if xe.Len() == 0 || xe.Len() > 2 {
+			continue // keep [P P̄]-intermediates within the bound
+		}
+		x := xe.Prefix(xe.Len() - 1)
+		e := xe.At(xe.Len() - 1)
+		for _, p := range subsets {
+			if !p.Contains(e.Proc) {
+				continue
+			}
+			if err := CheckTheorem3(u, x, xe, e, p); err != nil {
+				t.Fatalf("x=%q e=%v P=%v: %v", x.Key(), e, p, err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no instances checked")
+	}
+}
+
+func TestExtendWithSendAndInternal(t *testing.T) {
+	// x: p sends to q. y: empty (x [q] y? no — x [q] y holds since q has
+	// no events in either). Extending y with p's send must be valid.
+	x := trace.NewBuilder().Send("p", "q", "m").MustBuild()
+	y := trace.Empty()
+	e := x.At(0)
+	ext, err := ExtendWith(y, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Len() != 1 || ext.At(0).Kind != trace.KindSend {
+		t.Fatalf("extension = %v", ext)
+	}
+	// PCE note: (x;e) [P] (y;e) — here both are the same single send.
+	if !ext.IsomorphicTo(x, ps("p")) {
+		t.Errorf("(y;e) must be [p]-isomorphic to (x;e)")
+	}
+}
+
+func TestExtendWithRejectsReceive(t *testing.T) {
+	x := trace.NewBuilder().Send("p", "q", "m").Receive("q", "p").MustBuild()
+	if _, err := ExtendWith(trace.Empty(), x.At(1)); err == nil {
+		t.Fatalf("receive must be rejected by ExtendWith")
+	}
+}
+
+func TestExtendWithReceiveCorollary(t *testing.T) {
+	// e is a receive on q of p's message; y contains the send (x [P∪Q] y
+	// with P={q}, Q={p}); extension must succeed.
+	x := trace.NewBuilder().Send("p", "q", "m").MustBuild()
+	xe := trace.FromComputation(x).Receive("q", "p").MustBuild()
+	e := xe.At(1)
+	y := trace.NewBuilder().Send("p", "q", "m").Internal("q", "other").MustBuild()
+	ext, err := ExtendWithReceive(y, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Len() != 3 || ext.At(2).Kind != trace.KindReceive {
+		t.Fatalf("extension = %v", ext)
+	}
+	// Without the send in y, the same extension must fail.
+	if _, err := ExtendWithReceive(trace.Empty(), e); err == nil {
+		t.Fatalf("extension without corresponding send must fail")
+	}
+	if _, err := ExtendWithReceive(y, y.At(0)); err == nil {
+		t.Fatalf("non-receive must be rejected")
+	}
+}
+
+func TestShrink(t *testing.T) {
+	// (x;e) with e an internal on q; y [q]-isomorphic to (x;e) with extra
+	// p events; (y - e) must be a computation.
+	xe := trace.NewBuilder().Internal("q", "z").MustBuild()
+	y := trace.NewBuilder().Internal("p", "noise").Internal("q", "z").MustBuild()
+	e := xe.At(0)
+	shrunk, err := Shrink(y, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shrunk.Len() != 1 || shrunk.At(0).Proc != "p" {
+		t.Fatalf("shrunk = %v", shrunk)
+	}
+}
+
+func TestShrinkRejectsSendAndMismatch(t *testing.T) {
+	y := trace.NewBuilder().Send("p", "q", "m").MustBuild()
+	if _, err := Shrink(y, y.At(0)); err == nil {
+		t.Fatalf("send must be rejected by Shrink")
+	}
+	e := trace.Event{ID: "q#0", Proc: "q", Kind: trace.KindInternal, Tag: "z"}
+	if _, err := Shrink(trace.Empty(), e); err == nil {
+		t.Fatalf("shrinking absent process must fail")
+	}
+	other := trace.NewBuilder().Internal("q", "different").MustBuild()
+	if _, err := Shrink(other, e); err == nil {
+		t.Fatalf("mismatched last event must fail")
+	}
+}
+
+func TestClassPPReceiveShrinksStrictly(t *testing.T) {
+	// Concrete instance of the Theorem 3 intuition: before receiving, q
+	// considers possible a world where p never sent; after receiving, it
+	// does not.
+	u := freeUniverse(t, []trace.ProcID{"p", "q"}, 1, 3)
+	x := trace.NewBuilder().Send("p", "q", "m").MustBuild()
+	xe := trace.FromComputation(x).Receive("q", "p").MustBuild()
+	q := trace.Singleton("q")
+	before := ClassPP(u, x, q)
+	after := ClassPP(u, xe, q)
+	if len(after) >= len(before) {
+		t.Fatalf("receive must strictly shrink here: before=%d after=%d", len(before), len(after))
+	}
+}
+
+func TestComputationExtensionPrincipleExhaustive(t *testing.T) {
+	u := freeUniverse(t, []trace.ProcID{"p", "q"}, 1, 4)
+	st, err := CheckComputationExtension(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Part1 == 0 || st.Part2 == 0 || st.Corollary == 0 {
+		t.Fatalf("vacuous PCE check: %+v", st)
+	}
+	t.Logf("PCE instances: %+v", st)
+}
+
+func TestComputationExtensionOnThreeProcs(t *testing.T) {
+	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+		Procs:    []trace.ProcID{"p", "q", "r"},
+		MaxSends: 1,
+	}), 3, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckComputationExtension(u); err != nil {
+		t.Fatal(err)
+	}
+}

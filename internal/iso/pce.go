@@ -1,0 +1,86 @@
+package iso
+
+import (
+	"fmt"
+
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// PCEStats counts the instances checked by CheckComputationExtension.
+type PCEStats struct {
+	// Part1 counts (x;e, y) pairs checked for the send/internal
+	// extension law.
+	Part1 int
+	// Part2 counts pairs checked for the receive/internal deletion law.
+	Part2 int
+	// Corollary counts receive-extension instances under x [P∪Q] y.
+	Corollary int
+}
+
+// CheckComputationExtension verifies the Principle of Computation
+// Extension (§3.4) exhaustively over a universe:
+//
+//	part 1: e internal/send on p, x [p] y, (x;e) a computation
+//	        ⇒ (y;e) is a computation (and (x;e) [p] (y;e));
+//	part 2: e internal/receive on p, (x;e) [p] y
+//	        ⇒ (y − e) is a computation (and x [p] (y − e));
+//	corollary: e a receive on p of a message sent by q,
+//	        x [{p,q}] y, (x;e) a computation ⇒ (y;e) is a computation.
+func CheckComputationExtension(u *universe.Universe) (PCEStats, error) {
+	var st PCEStats
+	for i := 0; i < u.Len(); i++ {
+		xe := u.At(i)
+		if xe.Len() == 0 {
+			continue
+		}
+		e := xe.At(xe.Len() - 1)
+		x := xe.Prefix(xe.Len() - 1)
+		p := trace.Singleton(e.Proc)
+
+		switch e.Kind {
+		case trace.KindInternal, trace.KindSend:
+			// Part 1 over the whole [p]-class of x.
+			for _, j := range u.Class(x, p) {
+				y := u.At(j)
+				ext, err := ExtendWith(y, e)
+				if err != nil {
+					return st, fmt.Errorf("iso: PCE part 1 fails at members %d/%d: %w", i, j, err)
+				}
+				if !xe.IsomorphicTo(ext, p) {
+					return st, fmt.Errorf("iso: PCE part 1 note fails: (x;e) [p] (y;e) at members %d/%d", i, j)
+				}
+				st.Part1++
+			}
+		}
+
+		switch e.Kind {
+		case trace.KindInternal, trace.KindReceive:
+			// Part 2 over the [p]-class of (x;e).
+			for _, j := range u.Class(xe, p) {
+				y := u.At(j)
+				shrunk, err := Shrink(y, e)
+				if err != nil {
+					return st, fmt.Errorf("iso: PCE part 2 fails at members %d/%d: %w", i, j, err)
+				}
+				if !x.IsomorphicTo(shrunk, p) {
+					return st, fmt.Errorf("iso: PCE part 2 note fails: x [p] (y−e) at members %d/%d", i, j)
+				}
+				st.Part2++
+			}
+		}
+
+		if e.Kind == trace.KindReceive {
+			// Corollary over the [{p,q}]-class of x, q the sender.
+			pq := trace.NewProcSet(e.Proc, e.Peer)
+			for _, j := range u.Class(x, pq) {
+				y := u.At(j)
+				if _, err := ExtendWithReceive(y, e); err != nil {
+					return st, fmt.Errorf("iso: PCE corollary fails at members %d/%d: %w", i, j, err)
+				}
+				st.Corollary++
+			}
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,293 @@
+package iso
+
+import (
+	"fmt"
+
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// This file provides checkers for properties 1–10 of isomorphism
+// relations (§3 of the paper). Each checker quantifies over the given
+// universe and returns an error describing the first counterexample, or
+// nil. They are used by unit tests, by the EXP-P experiment, and by
+// BenchmarkIsoProperties.
+
+// classID returns a canonical identifier of x's [P]-class.
+func classID(x *trace.Computation, p trace.ProcSet) string { return x.ProjectionKey(p) }
+
+// CheckEquivalence verifies property 1: [P] is an equivalence relation.
+func CheckEquivalence(u *universe.Universe, p trace.ProcSet) error {
+	for i := 0; i < u.Len(); i++ {
+		x := u.At(i)
+		if !x.IsomorphicTo(x, p) {
+			return fmt.Errorf("iso: [%v] not reflexive at member %d", p, i)
+		}
+		for j := 0; j < u.Len(); j++ {
+			y := u.At(j)
+			if x.IsomorphicTo(y, p) != y.IsomorphicTo(x, p) {
+				return fmt.Errorf("iso: [%v] not symmetric at (%d,%d)", p, i, j)
+			}
+		}
+	}
+	// Transitivity holds because the relation is equality of projection
+	// keys; verify through class structure: classes must partition U.
+	seen := make(map[int]string)
+	for i := 0; i < u.Len(); i++ {
+		for _, j := range u.Class(u.At(i), p) {
+			id := classID(u.At(i), p)
+			if prev, ok := seen[j]; ok && prev != id {
+				return fmt.Errorf("iso: [%v] classes overlap at member %d", p, j)
+			}
+			seen[j] = id
+		}
+	}
+	return nil
+}
+
+// relationOf computes, for every member x, the set of members reachable
+// via the composite relation [sets…], as canonical sorted key strings.
+func relationOf(u *universe.Universe, sets []trace.ProcSet) []map[int]struct{} {
+	out := make([]map[int]struct{}, u.Len())
+	for i := 0; i < u.Len(); i++ {
+		out[i] = toSet(Reachable(u, u.At(i), sets))
+	}
+	return out
+}
+
+func relationsEqual(a, b []map[int]struct{}) bool {
+	for i := range a {
+		if !subset(a[i], b[i]) || !subset(b[i], a[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func relationSubset(a, b []map[int]struct{}) bool {
+	for i := range a {
+		if !subset(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckSubstitution verifies property 2: if [beta] = [delta] as relations
+// over u, then [alpha beta gamma] = [alpha delta gamma].
+func CheckSubstitution(u *universe.Universe, alpha, beta, gamma, delta [][]trace.ProcSet) error {
+	// The parameters are given as slices of sequences to check in all
+	// combinations.
+	for _, a := range alpha {
+		for i, b := range beta {
+			d := delta[i%len(delta)]
+			if !relationsEqual(relationOf(u, b), relationOf(u, d)) {
+				continue // antecedent false; nothing to check
+			}
+			for _, g := range gamma {
+				left := relationOf(u, concatSets(a, b, g))
+				right := relationOf(u, concatSets(a, d, g))
+				if !relationsEqual(left, right) {
+					return fmt.Errorf("iso: substitution violated for α=%v β=%v δ=%v γ=%v", a, b, d, g)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func concatSets(parts ...[]trace.ProcSet) []trace.ProcSet {
+	var out []trace.ProcSet
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// CheckIdempotence verifies property 3: [P P] = [P].
+func CheckIdempotence(u *universe.Universe, p trace.ProcSet) error {
+	pp := relationOf(u, []trace.ProcSet{p, p})
+	single := relationOf(u, []trace.ProcSet{p})
+	if !relationsEqual(pp, single) {
+		return fmt.Errorf("iso: [%v %v] != [%v]", p, p, p)
+	}
+	return nil
+}
+
+// CheckReflexivity verifies property 4: x [P1 … Pn] x for every member x.
+func CheckReflexivity(u *universe.Universe, sets []trace.ProcSet) error {
+	for i := 0; i < u.Len(); i++ {
+		if !Related(u, u.At(i), sets, u.At(i)) {
+			return fmt.Errorf("iso: member %d not related to itself via %v", i, sets)
+		}
+	}
+	return nil
+}
+
+// CheckInversion verifies property 5: x [P1 … Pn] y = y [Pn … P1] x.
+func CheckInversion(u *universe.Universe, sets []trace.ProcSet) error {
+	rev := make([]trace.ProcSet, len(sets))
+	for i, s := range sets {
+		rev[len(sets)-1-i] = s
+	}
+	fwd := relationOf(u, sets)
+	bwd := relationOf(u, rev)
+	for i := 0; i < u.Len(); i++ {
+		for j := range fwd[i] {
+			if _, ok := bwd[j][i]; !ok {
+				return fmt.Errorf("iso: inversion violated between members %d and %d", i, j)
+			}
+		}
+		for j := range bwd[i] {
+			if _, ok := fwd[j][i]; !ok {
+				return fmt.Errorf("iso: inversion violated between members %d and %d", j, i)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckConcatenation verifies property 6: composing [P1…Pm] with
+// [Pm+1…Pn] step-by-step agrees with the full composite, for every split
+// point m.
+func CheckConcatenation(u *universe.Universe, sets []trace.ProcSet) error {
+	full := relationOf(u, sets)
+	for m := 0; m <= len(sets); m++ {
+		left, right := sets[:m], sets[m:]
+		for i := 0; i < u.Len(); i++ {
+			composed := make(map[int]struct{})
+			for _, mid := range Reachable(u, u.At(i), left) {
+				for _, j := range Reachable(u, u.At(mid), right) {
+					composed[j] = struct{}{}
+				}
+			}
+			if m == 0 {
+				// Left part is the identity on members.
+				composed = toSet(Reachable(u, u.At(i), right))
+			}
+			if !subset(composed, full[i]) || !subset(full[i], composed) {
+				return fmt.Errorf("iso: concatenation violated at split %d, member %d", m, i)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckUnion verifies property 7: [P∪Q] = [P] ∩ [Q].
+func CheckUnion(u *universe.Universe, p, q trace.ProcSet) error {
+	un := relationOf(u, []trace.ProcSet{p.Union(q)})
+	rp := relationOf(u, []trace.ProcSet{p})
+	rq := relationOf(u, []trace.ProcSet{q})
+	for i := 0; i < u.Len(); i++ {
+		inter := make(map[int]struct{})
+		for j := range rp[i] {
+			if _, ok := rq[i][j]; ok {
+				inter[j] = struct{}{}
+			}
+		}
+		if !subset(un[i], inter) || !subset(inter, un[i]) {
+			return fmt.Errorf("iso: [P∪Q] != [P]∩[Q] at member %d for P=%v Q=%v", i, p, q)
+		}
+	}
+	return nil
+}
+
+// CheckMonotone verifies property 8: (Q ⊇ P) = ([Q] ⊆ [P]). The reverse
+// implication relies on the model assumption that every process has an
+// event in some computation of the universe.
+func CheckMonotone(u *universe.Universe, p, q trace.ProcSet) error {
+	super := p.SubsetOf(q)
+	contained := relationSubset(relationOf(u, []trace.ProcSet{q}), relationOf(u, []trace.ProcSet{p}))
+	if super != contained {
+		return fmt.Errorf("iso: (Q⊇P)=%v but ([Q]⊆[P])=%v for P=%v Q=%v", super, contained, p, q)
+	}
+	return nil
+}
+
+// CheckSetEquality verifies property 9: (P = Q) = ([P] = [Q]), under the
+// same model assumption as CheckMonotone.
+func CheckSetEquality(u *universe.Universe, p, q trace.ProcSet) error {
+	same := p.Equal(q)
+	eq := relationsEqual(relationOf(u, []trace.ProcSet{p}), relationOf(u, []trace.ProcSet{q}))
+	if same != eq {
+		return fmt.Errorf("iso: (P=Q)=%v but ([P]=[Q])=%v for P=%v Q=%v", same, eq, p, q)
+	}
+	return nil
+}
+
+// CheckAbsorption verifies property 10: Q ⊇ P implies
+// [Q P] = [P] = [P Q]. (Q ⊇ P gives [Q] ⊆ [P] by property 8, and the
+// finer relation is absorbed by the coarser one via transitivity.)
+func CheckAbsorption(u *universe.Universe, p, q trace.ProcSet) error {
+	if !p.SubsetOf(q) {
+		return nil
+	}
+	single := relationOf(u, []trace.ProcSet{p})
+	qp := relationOf(u, []trace.ProcSet{q, p})
+	pq := relationOf(u, []trace.ProcSet{p, q})
+	if !relationsEqual(qp, single) {
+		return fmt.Errorf("iso: [Q P] != [P] for Q=%v P=%v", q, p)
+	}
+	if !relationsEqual(pq, single) {
+		return fmt.Errorf("iso: [P Q] != [P] for Q=%v P=%v", q, p)
+	}
+	return nil
+}
+
+// CheckAllProperties runs every property checker over the subsets of the
+// universe's process set, returning the first violation. The number of
+// composite-sequence checks is kept polynomial by drawing sequences from
+// the subsets of D of length ≤ 2.
+func CheckAllProperties(u *universe.Universe) error {
+	subsets := allSubsets(u.All())
+	for _, p := range subsets {
+		if err := CheckEquivalence(u, p); err != nil {
+			return err
+		}
+		if err := CheckIdempotence(u, p); err != nil {
+			return err
+		}
+		for _, q := range subsets {
+			if err := CheckUnion(u, p, q); err != nil {
+				return err
+			}
+			if err := CheckMonotone(u, p, q); err != nil {
+				return err
+			}
+			if err := CheckSetEquality(u, p, q); err != nil {
+				return err
+			}
+			if err := CheckAbsorption(u, p, q); err != nil {
+				return err
+			}
+			seq := []trace.ProcSet{p, q}
+			if err := CheckReflexivity(u, seq); err != nil {
+				return err
+			}
+			if err := CheckInversion(u, seq); err != nil {
+				return err
+			}
+			if err := CheckConcatenation(u, seq); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// allSubsets enumerates every subset of d (2^|d| sets).
+func allSubsets(d trace.ProcSet) []trace.ProcSet {
+	ids := d.IDs()
+	n := len(ids)
+	out := make([]trace.ProcSet, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		var members []trace.ProcID
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				members = append(members, ids[b])
+			}
+		}
+		out = append(out, trace.NewProcSet(members...))
+	}
+	return out
+}

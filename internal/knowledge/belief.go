@@ -1,0 +1,152 @@
+package knowledge
+
+import (
+	"fmt"
+
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// This file implements the paper's §6 generalization 3: "we can define
+// belief in terms of isomorphism"; the paper notes its results do not
+// carry over. Belief quantifies over the *plausible* members of an
+// isomorphism class rather than all of them:
+//
+//	(P believes b) at x  ≡  ∀y: x [P] y ∧ plausible(y) : b at y.
+//
+// The failure mode is precise and machine-checked here: when the actual
+// computation is itself implausible, belief loses veridicality (the
+// analogue of fact 4, "knowledge implies truth", fails), while the
+// introspective facts survive because plausibility filters uniformly
+// within each class.
+
+// BelieverEvaluator evaluates belief formulas over a universe with a
+// plausibility predicate. Knowledge formulas evaluated through it treat
+// every KnowsF node as belief; atoms and connectives are unchanged.
+type BelieverEvaluator struct {
+	u         *universe.Universe
+	plausible Predicate
+	memo      map[string][]uint8
+}
+
+// NewBelieverEvaluator builds a belief evaluator; plausible carves the
+// worlds the agents take seriously.
+func NewBelieverEvaluator(u *universe.Universe, plausible Predicate) *BelieverEvaluator {
+	return &BelieverEvaluator{
+		u:         u,
+		plausible: plausible,
+		memo:      make(map[string][]uint8),
+	}
+}
+
+// Universe returns the underlying universe.
+func (e *BelieverEvaluator) Universe() *universe.Universe { return e.u }
+
+// HoldsAt evaluates f at member i, reading KnowsF as belief.
+func (e *BelieverEvaluator) HoldsAt(f Formula, i int) bool {
+	key := "B:" + f.Key()
+	vec, ok := e.memo[key]
+	if !ok {
+		vec = make([]uint8, e.u.Len())
+		e.memo[key] = vec
+	}
+	switch vec[i] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	v := e.eval(f, i)
+	if v {
+		vec[i] = 1
+	} else {
+		vec[i] = 2
+	}
+	return v
+}
+
+func (e *BelieverEvaluator) eval(f Formula, i int) bool {
+	switch f := f.(type) {
+	case ConstF:
+		return f.Value
+	case Atom:
+		return f.Pred.Holds(e.u.At(i))
+	case NotF:
+		return !e.HoldsAt(f.F, i)
+	case AndF:
+		return e.HoldsAt(f.L, i) && e.HoldsAt(f.R, i)
+	case OrF:
+		return e.HoldsAt(f.L, i) || e.HoldsAt(f.R, i)
+	case ImpliesF:
+		return !e.HoldsAt(f.L, i) || e.HoldsAt(f.R, i)
+	case KnowsF:
+		for _, j := range e.u.Class(e.u.At(i), f.P) {
+			if !e.plausible.Holds(e.u.At(j)) {
+				continue
+			}
+			if !e.HoldsAt(f.F, j) {
+				return false
+			}
+		}
+		return true
+	case SureF:
+		return e.HoldsAt(Knows(f.P, f.F), i) || e.HoldsAt(Knows(f.P, Not(f.F)), i)
+	default:
+		panic(fmt.Sprintf("knowledge: belief evaluator does not support %T", f))
+	}
+}
+
+// Valid reports whether f holds at every member.
+func (e *BelieverEvaluator) Valid(f Formula) bool {
+	for i := 0; i < e.u.Len(); i++ {
+		if !e.HoldsAt(f, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// BeliefReport summarizes which knowledge facts survive the move to
+// belief over one universe.
+type BeliefReport struct {
+	// VeridicalityHolds: (P believes b) ⇒ b everywhere — generally FALSE
+	// for belief; a counterexample index is recorded when it fails.
+	VeridicalityHolds        bool
+	VeridicalityCounterIndex int
+	// IntrospectionHolds: B B b ≡ B b and B ¬B b ≡ ¬B b everywhere.
+	IntrospectionHolds bool
+	// ConsistencyHolds: ¬(B b ∧ B ¬b) everywhere; fails exactly where a
+	// class contains no plausible world (the agent believes everything).
+	ConsistencyHolds        bool
+	ConsistencyCounterIndex int
+}
+
+// AnalyzeBelief checks the S5 facts against belief for the process set P
+// and formula b.
+func AnalyzeBelief(e *BelieverEvaluator, p trace.ProcSet, b Formula) BeliefReport {
+	rep := BeliefReport{
+		VeridicalityHolds:        true,
+		IntrospectionHolds:       true,
+		ConsistencyHolds:         true,
+		VeridicalityCounterIndex: -1,
+		ConsistencyCounterIndex:  -1,
+	}
+	bb := Knows(p, b)
+	for i := 0; i < e.u.Len(); i++ {
+		if e.HoldsAt(bb, i) && !e.HoldsAt(b, i) && rep.VeridicalityHolds {
+			rep.VeridicalityHolds = false
+			rep.VeridicalityCounterIndex = i
+		}
+		if e.HoldsAt(Knows(p, bb), i) != e.HoldsAt(bb, i) {
+			rep.IntrospectionHolds = false
+		}
+		if e.HoldsAt(Knows(p, Not(bb)), i) != !e.HoldsAt(bb, i) {
+			rep.IntrospectionHolds = false
+		}
+		if e.HoldsAt(bb, i) && e.HoldsAt(Knows(p, Not(b)), i) && rep.ConsistencyHolds {
+			rep.ConsistencyHolds = false
+			rep.ConsistencyCounterIndex = i
+		}
+	}
+	return rep
+}

@@ -1,0 +1,109 @@
+package knowledge
+
+import (
+	"testing"
+
+	"hpl/internal/trace"
+)
+
+// optimisticPlausibility: agents consider plausible only worlds where no
+// message is lost in flight for long — modelled here as "no message in
+// flight", i.e. agents assume prompt delivery.
+func optimisticPlausibility() Predicate {
+	return NoMessagesInFlight()
+}
+
+func TestBeliefMatchesKnowledgeWhenAllPlausible(t *testing.T) {
+	u := pingPong(t)
+	ke := NewEvaluator(u)
+	be := NewBelieverEvaluator(u, Constant(true))
+	b := NewAtom(SentTag("p", "m"))
+	formulas := []Formula{
+		b,
+		Knows(ps("q"), b),
+		Knows(ps("p"), Knows(ps("q"), b)),
+		Sure(ps("q"), b),
+	}
+	for _, f := range formulas {
+		for i := 0; i < u.Len(); i++ {
+			if be.HoldsAt(f, i) != ke.HoldsAt(f, i) {
+				t.Fatalf("belief with total plausibility differs from knowledge on %v at %d", f, i)
+			}
+		}
+	}
+}
+
+func TestBeliefLosesVeridicality(t *testing.T) {
+	// With "prompt delivery" plausibility, q believes ¬sent(p) is
+	// impossible... concretely: at the computation where p has sent and
+	// the message is in flight, q's plausible class contains only
+	// members where either nothing was sent or delivery completed; q
+	// believes "no message is in flight" — which is false at the actual
+	// computation. Belief ⇒ truth fails.
+	u := pingPong(t)
+	be := NewBelieverEvaluator(u, optimisticPlausibility())
+	rep := AnalyzeBelief(be, ps("q"), NewAtom(NoMessagesInFlight()))
+	if rep.VeridicalityHolds {
+		t.Fatalf("veridicality must fail for optimistic belief")
+	}
+	if rep.VeridicalityCounterIndex < 0 {
+		t.Fatalf("no counterexample recorded")
+	}
+	// The counterexample is a computation with a message in flight.
+	cx := u.At(rep.VeridicalityCounterIndex)
+	if len(cx.InFlight()) == 0 {
+		t.Fatalf("counterexample has no message in flight: %v", cx)
+	}
+	// Introspection survives: plausibility filters uniformly per class.
+	if !rep.IntrospectionHolds {
+		t.Fatalf("introspection must survive the move to belief")
+	}
+}
+
+func TestBeliefConsistencyFailsWithEmptyPlausibleClass(t *testing.T) {
+	// A paranoid plausibility that rules out every world makes agents
+	// believe everything — including contradictions.
+	u := pingPong(t)
+	be := NewBelieverEvaluator(u, Constant(false))
+	b := NewAtom(SentTag("p", "m"))
+	rep := AnalyzeBelief(be, ps("q"), b)
+	if rep.ConsistencyHolds {
+		t.Fatalf("consistency must fail with an empty plausible set")
+	}
+	if !be.Valid(Knows(ps("q"), False)) {
+		t.Fatalf("the mad believer must believe false")
+	}
+}
+
+func TestBeliefConsistencyHoldsWithReflexivePlausibility(t *testing.T) {
+	u := pingPong(t)
+	be := NewBelieverEvaluator(u, Constant(true))
+	b := NewAtom(SentTag("p", "m"))
+	rep := AnalyzeBelief(be, ps("q"), b)
+	if !rep.ConsistencyHolds || !rep.VeridicalityHolds || !rep.IntrospectionHolds {
+		t.Fatalf("belief with total plausibility must behave like knowledge: %+v", rep)
+	}
+}
+
+func TestBelieverEvaluatorRejectsCommon(t *testing.T) {
+	u := pingPong(t)
+	be := NewBelieverEvaluator(u, Constant(true))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for unsupported Common")
+		}
+	}()
+	be.HoldsAt(Common(True), 0)
+}
+
+func TestBeliefSureOperator(t *testing.T) {
+	u := pingPong(t)
+	be := NewBelieverEvaluator(u, optimisticPlausibility())
+	// "Sure" under belief: q is belief-sure of quiescence everywhere,
+	// because all its plausible worlds are quiescent.
+	f := Sure(ps("q"), NewAtom(NoMessagesInFlight()))
+	if !be.Valid(f) {
+		t.Fatalf("optimistic q must always be belief-sure of quiescence")
+	}
+	_ = trace.Empty()
+}

@@ -1,0 +1,218 @@
+package knowledge
+
+import (
+	"fmt"
+
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// Evaluator evaluates epistemic formulas at members of a universe. It
+// memoizes per-formula truth vectors, so nested knowledge (which touches
+// whole isomorphism classes) costs each subformula at most one pass over
+// the universe. BenchmarkAblationKnowledgeMemo compares against the
+// unmemoized evaluator below.
+type Evaluator struct {
+	u *universe.Universe
+	// memo maps formula key to the truth vector over members; entries in
+	// a vector are lazily filled (0 unknown, 1 true, 2 false).
+	memo map[string][]uint8
+}
+
+// NewEvaluator builds an evaluator over the universe.
+func NewEvaluator(u *universe.Universe) *Evaluator {
+	return &Evaluator{u: u, memo: make(map[string][]uint8)}
+}
+
+// Universe returns the evaluator's universe.
+func (e *Evaluator) Universe() *universe.Universe { return e.u }
+
+// Holds evaluates f at computation x, which must be a member of the
+// universe (knowledge quantifies over the universe, so evaluating at a
+// non-member would silently use an incomplete class).
+func (e *Evaluator) Holds(f Formula, x *trace.Computation) (bool, error) {
+	i := e.u.IndexOf(x)
+	if i < 0 {
+		return false, fmt.Errorf("knowledge: computation %q is not in the universe", x.Key())
+	}
+	return e.HoldsAt(f, i), nil
+}
+
+// MustHolds is Holds for members; it panics when x is not a member.
+func (e *Evaluator) MustHolds(f Formula, x *trace.Computation) bool {
+	v, err := e.Holds(f, x)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// HoldsAt evaluates f at the i-th member.
+func (e *Evaluator) HoldsAt(f Formula, i int) bool {
+	key := f.Key()
+	vec, ok := e.memo[key]
+	if !ok {
+		vec = make([]uint8, e.u.Len())
+		e.memo[key] = vec
+	}
+	switch vec[i] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	v := e.eval(f, i)
+	// Re-fetch: common-knowledge evaluation may have replaced the vector
+	// wholesale while this frame was suspended.
+	vec = e.memo[key]
+	if v {
+		vec[i] = 1
+	} else {
+		vec[i] = 2
+	}
+	return v
+}
+
+func (e *Evaluator) eval(f Formula, i int) bool {
+	switch f := f.(type) {
+	case ConstF:
+		return f.Value
+	case Atom:
+		return f.Pred.Holds(e.u.At(i))
+	case NotF:
+		return !e.HoldsAt(f.F, i)
+	case AndF:
+		return e.HoldsAt(f.L, i) && e.HoldsAt(f.R, i)
+	case OrF:
+		return e.HoldsAt(f.L, i) || e.HoldsAt(f.R, i)
+	case ImpliesF:
+		return !e.HoldsAt(f.L, i) || e.HoldsAt(f.R, i)
+	case KnowsF:
+		for _, j := range e.u.Class(e.u.At(i), f.P) {
+			if !e.HoldsAt(f.F, j) {
+				return false
+			}
+		}
+		return true
+	case SureF:
+		return e.HoldsAt(Knows(f.P, f.F), i) || e.HoldsAt(Knows(f.P, Not(f.F)), i)
+	case CommonF:
+		return e.commonAt(f, i)
+	default:
+		panic(fmt.Sprintf("knowledge: unknown formula type %T", f))
+	}
+}
+
+// commonAt computes common knowledge as the greatest fixpoint of
+// S_{k+1} = {x ∈ S_k : F at x ∧ ∀p ∈ D: [p]-class of x ⊆ S_k}, and
+// caches the whole truth vector.
+func (e *Evaluator) commonAt(f CommonF, i int) bool {
+	key := f.Key()
+	n := e.u.Len()
+	in := make([]bool, n)
+	for j := 0; j < n; j++ {
+		in[j] = e.HoldsAt(f.F, j)
+	}
+	procs := e.u.All().IDs()
+	for changed := true; changed; {
+		changed = false
+		for j := 0; j < n; j++ {
+			if !in[j] {
+				continue
+			}
+			for _, p := range procs {
+				ok := true
+				for _, k := range e.u.Class(e.u.At(j), trace.Singleton(p)) {
+					if !in[k] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					in[j] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	vec := make([]uint8, n)
+	for j := 0; j < n; j++ {
+		if in[j] {
+			vec[j] = 1
+		} else {
+			vec[j] = 2
+		}
+	}
+	e.memo[key] = vec
+	return in[i]
+}
+
+// EvalNaive evaluates f at member i with no memoization; it exists for
+// the memoization ablation benchmark and for differential testing.
+func EvalNaive(u *universe.Universe, f Formula, i int) bool {
+	switch f := f.(type) {
+	case ConstF:
+		return f.Value
+	case Atom:
+		return f.Pred.Holds(u.At(i))
+	case NotF:
+		return !EvalNaive(u, f.F, i)
+	case AndF:
+		return EvalNaive(u, f.L, i) && EvalNaive(u, f.R, i)
+	case OrF:
+		return EvalNaive(u, f.L, i) || EvalNaive(u, f.R, i)
+	case ImpliesF:
+		return !EvalNaive(u, f.L, i) || EvalNaive(u, f.R, i)
+	case KnowsF:
+		for _, j := range u.Class(u.At(i), f.P) {
+			if !EvalNaive(u, f.F, j) {
+				return false
+			}
+		}
+		return true
+	case SureF:
+		return EvalNaive(u, Knows(f.P, f.F), i) || EvalNaive(u, Knows(f.P, Not(f.F)), i)
+	case CommonF:
+		// Delegate to an evaluator: the fixpoint is inherently global.
+		return NewEvaluator(u).HoldsAt(f, i)
+	default:
+		panic(fmt.Sprintf("knowledge: unknown formula type %T", f))
+	}
+}
+
+// LocalTo reports whether f is local to P over the universe: P is sure of
+// f at every member ("the value of b is always known to P", §4.2).
+func (e *Evaluator) LocalTo(f Formula, p trace.ProcSet) bool {
+	s := Sure(p, f)
+	for i := 0; i < e.u.Len(); i++ {
+		if !e.HoldsAt(s, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConstant reports whether f has the same value at every member.
+func (e *Evaluator) IsConstant(f Formula) bool {
+	if e.u.Len() == 0 {
+		return true
+	}
+	first := e.HoldsAt(f, 0)
+	for i := 1; i < e.u.Len(); i++ {
+		if e.HoldsAt(f, i) != first {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether f holds at every member of the universe.
+func (e *Evaluator) Valid(f Formula) bool {
+	for i := 0; i < e.u.Len(); i++ {
+		if !e.HoldsAt(f, i) {
+			return false
+		}
+	}
+	return true
+}

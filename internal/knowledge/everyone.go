@@ -1,0 +1,79 @@
+package knowledge
+
+import (
+	"fmt"
+
+	"hpl/internal/trace"
+)
+
+// This file adds the "everyone knows" operator E and its iterates E^k,
+// the ladder whose limit is common knowledge ("b is true, every process
+// knows b, every process knows that every process knows b, etc.", §4.2).
+// Halpern & Moses' separation — E^k attainable, C not — shows up here
+// concretely: on message-passing universes E^k b can hold for increasing
+// k after enough acknowledgement rounds, while C b stays constant false.
+
+// Everyone builds E b = ∧_{p ∈ procs} (p knows b): every process
+// individually knows b.
+func Everyone(procs trace.ProcSet, f Formula) Formula {
+	fs := make([]Formula, 0, procs.Len())
+	for _, p := range procs.IDs() {
+		fs = append(fs, Knows(trace.Singleton(p), f))
+	}
+	return And(fs...)
+}
+
+// EveryoneK builds E^k b: k nested applications of Everyone. E^0 b = b.
+func EveryoneK(procs trace.ProcSet, f Formula, k int) Formula {
+	out := f
+	for i := 0; i < k; i++ {
+		out = Everyone(procs, out)
+	}
+	return out
+}
+
+// CheckEveryoneHierarchy verifies the E-ladder laws over the evaluator's
+// universe, for 0 ≤ k < depth:
+//
+//  1. E^{k+1} b ⇒ E^k b (the ladder descends);
+//  2. C b ⇒ E^k b (common knowledge sits below every rung);
+//  3. C b ⇒ E (C b) (the fixpoint property).
+func CheckEveryoneHierarchy(e *Evaluator, b Formula, depth int) error {
+	procs := e.u.All()
+	ck := Common(b)
+	for k := 0; k < depth; k++ {
+		ladder := Implies(EveryoneK(procs, b, k+1), EveryoneK(procs, b, k))
+		if !e.Valid(ladder) {
+			return fmt.Errorf("knowledge: E^%d b does not imply E^%d b", k+1, k)
+		}
+		below := Implies(ck, EveryoneK(procs, b, k))
+		if !e.Valid(below) {
+			return fmt.Errorf("knowledge: C b does not imply E^%d b", k)
+		}
+	}
+	if !e.Valid(Implies(ck, Everyone(procs, ck))) {
+		return fmt.Errorf("knowledge: C b is not a fixpoint of E")
+	}
+	return nil
+}
+
+// EveryoneDepth returns, for each member of the universe, the largest
+// k ≤ maxK with E^k b holding there. It quantifies how far up the ladder
+// a protocol climbs (each acknowledgement round buys one rung) while
+// common knowledge stays out of reach.
+func EveryoneDepth(e *Evaluator, b Formula, maxK int) []int {
+	procs := e.u.All()
+	out := make([]int, e.u.Len())
+	for i := range out {
+		out[i] = -1 // not even E^0 (b false)
+	}
+	for k := 0; k <= maxK; k++ {
+		f := EveryoneK(procs, b, k)
+		for i := 0; i < e.u.Len(); i++ {
+			if out[i] == k-1 && e.HoldsAt(f, i) {
+				out[i] = k
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package knowledge
+
+import (
+	"testing"
+
+	"hpl/internal/trace"
+)
+
+func TestEveryoneConstruction(t *testing.T) {
+	b := True
+	f := Everyone(ps("p", "q"), b)
+	want := And(Knows(ps("p"), b), Knows(ps("q"), b))
+	if f.Key() != want.Key() {
+		t.Fatalf("Everyone = %s", f.Key())
+	}
+	if EveryoneK(ps("p"), b, 0).Key() != b.Key() {
+		t.Fatalf("E^0 must be identity")
+	}
+}
+
+func TestEveryoneHierarchyFree(t *testing.T) {
+	u := pingPong(t)
+	e := NewEvaluator(u)
+	for _, b := range []Formula{
+		NewAtom(SentTag("p", "m")),
+		NewAtom(ReceivedTag("q", "m")),
+		True,
+	} {
+		if err := CheckEveryoneHierarchy(e, b, 3); err != nil {
+			t.Errorf("b=%v: %v", b, err)
+		}
+	}
+}
+
+func TestEveryoneHierarchyAck(t *testing.T) {
+	u := ackUniverse(t)
+	e := NewEvaluator(u)
+	b := NewAtom(SentTag("p", "m"))
+	if err := CheckEveryoneHierarchy(e, b, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryoneDepthClimbsWithAcks(t *testing.T) {
+	// On the ack protocol: after p's send alone, depth 0 for b (p knows,
+	// q does not ⇒ E^1 fails but b holds); after q receives, E^1 holds;
+	// after p receives the ack, E^2 holds; E^3 never (q cannot know the
+	// ack arrived). Common knowledge never.
+	u := ackUniverse(t)
+	e := NewEvaluator(u)
+	b := NewAtom(SentTag("p", "m"))
+	depths := EveryoneDepth(e, b, 5)
+
+	stage := func(c *trace.Computation) int {
+		i := u.IndexOf(c)
+		if i < 0 {
+			t.Fatalf("stage computation missing")
+		}
+		return depths[i]
+	}
+
+	sent := trace.NewBuilder().Send("p", "q", "m").MustBuild()
+	recvd := trace.FromComputation(sent).Receive("q", "p").MustBuild()
+	acked := trace.FromComputation(recvd).Send("q", "p", "ack").MustBuild()
+	full := trace.FromComputation(acked).Receive("p", "q").MustBuild()
+
+	if got := stage(sent); got != 0 {
+		t.Errorf("after send: depth %d, want 0", got)
+	}
+	if got := stage(recvd); got != 1 {
+		t.Errorf("after receive: depth %d, want 1", got)
+	}
+	if got := stage(acked); got != 1 {
+		t.Errorf("after ack sent: depth %d, want 1", got)
+	}
+	if got := stage(full); got != 2 {
+		t.Errorf("after ack received: depth %d, want 2", got)
+	}
+	// Common knowledge stays false at every member.
+	if !e.Valid(Not(Common(b))) {
+		t.Errorf("CK(b) must be constant false")
+	}
+	// At null, b is false: depth -1.
+	if got := stage(trace.Empty()); got != -1 {
+		t.Errorf("at null: depth %d, want -1", got)
+	}
+}
+
+func TestEveryoneDepthMonotoneAlongPrefixes(t *testing.T) {
+	// The E-depth of a stable fact never decreases along this protocol's
+	// runs (no message retraction).
+	u := ackUniverse(t)
+	e := NewEvaluator(u)
+	b := NewAtom(SentTag("p", "m"))
+	depths := EveryoneDepth(e, b, 5)
+	for i := 0; i < u.Len(); i++ {
+		y := u.At(i)
+		for _, x := range y.Prefixes() {
+			xi := u.IndexOf(x)
+			if depths[xi] > depths[i] {
+				t.Fatalf("depth dropped from %d to %d between %q and %q",
+					depths[xi], depths[i], x.Key(), y.Key())
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package knowledge implements the paper's knowledge theory (§4):
+// predicates on system computations, the knowledge operator
+//
+//	(P knows b) at x  ≡  ∀y: x [P] y : b at y,
+//
+// derived operators sure/unsure, local predicates, common knowledge as a
+// greatest fixpoint, and machine-checkable statements of the paper's
+// knowledge facts (K1–K12), local-predicate facts (LP1–LP8), Lemma 3,
+// Lemma 4, Theorem 4 (knowledge along isomorphism paths), Theorem 5
+// (knowledge gain) and Theorem 6 (knowledge loss).
+//
+// Because knowledge quantifies over all computations of the system,
+// evaluation happens against a universe.Universe that enumerates them
+// exhaustively up to a bound (see that package's documentation).
+package knowledge
+
+import (
+	"strings"
+
+	"hpl/internal/trace"
+)
+
+// Formula is an epistemic formula over system computations. Formulas are
+// immutable trees built from the constructors in this file. Key is a
+// canonical encoding used for memoization: formulas with equal keys are
+// treated as identical, so predicate names must uniquely identify their
+// semantics within one evaluation.
+type Formula interface {
+	// Key returns the canonical encoding of the formula.
+	Key() string
+	// String renders the formula in the paper's notation.
+	String() string
+}
+
+// Atom lifts a predicate to a formula.
+type Atom struct{ Pred Predicate }
+
+// NotF is logical negation.
+type NotF struct{ F Formula }
+
+// AndF is logical conjunction.
+type AndF struct{ L, R Formula }
+
+// OrF is logical disjunction.
+type OrF struct{ L, R Formula }
+
+// ImpliesF is material implication.
+type ImpliesF struct{ L, R Formula }
+
+// KnowsF is the knowledge operator: (P knows F).
+type KnowsF struct {
+	P trace.ProcSet
+	F Formula
+}
+
+// SureF is the paper's sure operator: (P knows F) or (P knows ¬F).
+type SureF struct {
+	P trace.ProcSet
+	F Formula
+}
+
+// CommonF is common knowledge of F among all processes of the system,
+// the greatest fixpoint of  C ≡ F ∧ ∀p: (p knows C).
+type CommonF struct{ F Formula }
+
+// ConstF is a constant formula (true or false everywhere).
+type ConstF struct{ Value bool }
+
+// Constructors — preferred over struct literals for readability.
+
+// NewAtom wraps a predicate.
+func NewAtom(p Predicate) Formula { return Atom{Pred: p} }
+
+// Not negates f.
+func Not(f Formula) Formula { return NotF{F: f} }
+
+// And conjoins formulas left-associatively.
+func And(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return ConstF{Value: true}
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = AndF{L: out, R: f}
+	}
+	return out
+}
+
+// Or disjoins formulas left-associatively.
+func Or(fs ...Formula) Formula {
+	if len(fs) == 0 {
+		return ConstF{Value: false}
+	}
+	out := fs[0]
+	for _, f := range fs[1:] {
+		out = OrF{L: out, R: f}
+	}
+	return out
+}
+
+// Implies builds l → r.
+func Implies(l, r Formula) Formula { return ImpliesF{L: l, R: r} }
+
+// Knows builds (P knows f).
+func Knows(p trace.ProcSet, f Formula) Formula { return KnowsF{P: p, F: f} }
+
+// Sure builds (P sure f).
+func Sure(p trace.ProcSet, f Formula) Formula { return SureF{P: p, F: f} }
+
+// Common builds common knowledge of f.
+func Common(f Formula) Formula { return CommonF{F: f} }
+
+// True and False are the constant formulas.
+var (
+	True  Formula = ConstF{Value: true}
+	False Formula = ConstF{Value: false}
+)
+
+// NestKnows builds P1 knows P2 knows … Pn knows f, associating to the
+// right as in the paper's convention.
+func NestKnows(sets []trace.ProcSet, f Formula) Formula {
+	out := f
+	for i := len(sets) - 1; i >= 0; i-- {
+		out = Knows(sets[i], out)
+	}
+	return out
+}
+
+// Key implementations.
+
+func (a Atom) Key() string     { return "a(" + a.Pred.Name() + ")" }
+func (n NotF) Key() string     { return "!(" + n.F.Key() + ")" }
+func (c AndF) Key() string     { return "&(" + c.L.Key() + "," + c.R.Key() + ")" }
+func (d OrF) Key() string      { return "|(" + d.L.Key() + "," + d.R.Key() + ")" }
+func (i ImpliesF) Key() string { return ">(" + i.L.Key() + "," + i.R.Key() + ")" }
+func (k KnowsF) Key() string   { return "K{" + k.P.Key() + "}(" + k.F.Key() + ")" }
+func (s SureF) Key() string    { return "S{" + s.P.Key() + "}(" + s.F.Key() + ")" }
+func (c CommonF) Key() string  { return "C(" + c.F.Key() + ")" }
+func (c ConstF) Key() string {
+	if c.Value {
+		return "true"
+	}
+	return "false"
+}
+
+// String implementations render the paper's notation.
+
+func (a Atom) String() string     { return a.Pred.Name() }
+func (n NotF) String() string     { return "¬" + paren(n.F) }
+func (c AndF) String() string     { return paren(c.L) + " ∧ " + paren(c.R) }
+func (d OrF) String() string      { return paren(d.L) + " ∨ " + paren(d.R) }
+func (i ImpliesF) String() string { return paren(i.L) + " ⇒ " + paren(i.R) }
+func (k KnowsF) String() string   { return k.P.String() + " knows " + paren(k.F) }
+func (s SureF) String() string    { return s.P.String() + " sure " + paren(s.F) }
+func (c CommonF) String() string  { return "common " + paren(c.F) }
+func (c ConstF) String() string   { return c.Key() }
+
+func paren(f Formula) string {
+	s := f.String()
+	if strings.ContainsAny(s, " ") {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// Interface-compliance assertions.
+var (
+	_ Formula = Atom{}
+	_ Formula = NotF{}
+	_ Formula = AndF{}
+	_ Formula = OrF{}
+	_ Formula = ImpliesF{}
+	_ Formula = KnowsF{}
+	_ Formula = SureF{}
+	_ Formula = CommonF{}
+	_ Formula = ConstF{}
+)

@@ -1,0 +1,130 @@
+package knowledge
+
+import (
+	"fmt"
+	"strconv"
+
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// Predicate is a total predicate on system computations. The paper
+// requires x [D] y ⇒ (b at x = b at y): a predicate's value may depend
+// only on per-process projections, never on the interleaving of
+// independent events. CheckWellFormed verifies this over a universe.
+//
+// Names must uniquely identify semantics: the evaluator memoizes by name.
+type Predicate struct {
+	name string
+	fn   func(*trace.Computation) bool
+}
+
+// NewPredicate builds a predicate from a name and an evaluation function.
+func NewPredicate(name string, fn func(*trace.Computation) bool) Predicate {
+	return Predicate{name: name, fn: fn}
+}
+
+// Name returns the predicate's unique name.
+func (p Predicate) Name() string { return p.name }
+
+// Holds evaluates the predicate at the computation.
+func (p Predicate) Holds(c *trace.Computation) bool { return p.fn(c) }
+
+// CheckWellFormed verifies the model requirement that the predicate is
+// invariant under [D]-isomorphism across the universe's members.
+func CheckWellFormed(u *universe.Universe, b Predicate) error {
+	for i := 0; i < u.Len(); i++ {
+		x := u.At(i)
+		for _, j := range u.Class(x, u.All()) {
+			if b.Holds(x) != b.Holds(u.At(j)) {
+				return fmt.Errorf("knowledge: predicate %q distinguishes [D]-isomorphic members %d and %d", b.Name(), i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// --- Standard predicate library ---
+
+// SentTag holds when p has sent at least one message tagged tag.
+func SentTag(p trace.ProcID, tag string) Predicate {
+	return NewPredicate(fmt.Sprintf("sent(%s,%s)", p, tag), func(c *trace.Computation) bool {
+		for _, e := range c.Events() {
+			if e.Kind == trace.KindSend && e.Proc == p && e.Tag == tag {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// ReceivedTag holds when p has received at least one message tagged tag.
+func ReceivedTag(p trace.ProcID, tag string) Predicate {
+	return NewPredicate(fmt.Sprintf("received(%s,%s)", p, tag), func(c *trace.Computation) bool {
+		for _, e := range c.Events() {
+			if e.Kind == trace.KindReceive && e.Proc == p && e.Tag == tag {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// DidInternal holds when p has performed an internal event tagged tag.
+func DidInternal(p trace.ProcID, tag string) Predicate {
+	return NewPredicate(fmt.Sprintf("internal(%s,%s)", p, tag), func(c *trace.Computation) bool {
+		for _, e := range c.Events() {
+			if e.Kind == trace.KindInternal && e.Proc == p && e.Tag == tag {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// EventCountAtLeast holds when the members of P have performed at least n
+// events in total.
+func EventCountAtLeast(p trace.ProcSet, n int) Predicate {
+	return NewPredicate(fmt.Sprintf("count(%s)>=%s", p.Key(), strconv.Itoa(n)), func(c *trace.Computation) bool {
+		return len(c.Projection(p)) >= n
+	})
+}
+
+// TokenAt holds when p currently holds the token in a token-passing
+// system: p is the initial holder and has sent the token as many times as
+// it received it, or p has received it one more time than it sent it.
+// Token transfers are identified by the given tag.
+func TokenAt(p trace.ProcID, initialHolder trace.ProcID, tag string) Predicate {
+	return NewPredicate(fmt.Sprintf("token@%s", p), func(c *trace.Computation) bool {
+		recv, sent := 0, 0
+		for _, e := range c.Events() {
+			if e.Proc != p || e.Tag != tag {
+				continue
+			}
+			switch e.Kind {
+			case trace.KindReceive:
+				recv++
+			case trace.KindSend:
+				sent++
+			}
+		}
+		if p == initialHolder {
+			return recv == sent
+		}
+		return recv == sent+1
+	})
+}
+
+// NoMessagesInFlight holds when every sent message has been received.
+// Note: this predicate is a function of per-process projections (send and
+// receive multisets), so it is [D]-invariant.
+func NoMessagesInFlight() Predicate {
+	return NewPredicate("quiescent", func(c *trace.Computation) bool {
+		return len(c.InFlight()) == 0
+	})
+}
+
+// Constant returns the constant predicate with the given value.
+func Constant(v bool) Predicate {
+	return NewPredicate("const("+strconv.FormatBool(v)+")", func(*trace.Computation) bool { return v })
+}

@@ -1,0 +1,228 @@
+package knowledge
+
+import (
+	"fmt"
+
+	"hpl/internal/causality"
+	"hpl/internal/iso"
+	"hpl/internal/trace"
+)
+
+// The paper notes that "Theorems 4, 5, 6 and their corollaries hold with
+// knows replaced by sure". The substitution must be read at the
+// *innermost* level — knowledge OF b becomes sureness OF b, while the
+// outer operators remain knows:
+//
+//	P1 knows … Pn-1 knows (Pn sure b)
+//
+// Replacing every operator naively is unsound, because sure is not
+// veridical: (P sure X) can hold by P knowing ¬X, so "P1 sure P2 sure b"
+// does not imply "P2 sure b" — the model checker finds the x = y = null
+// counterexample to the naive Theorem 6 (see
+// TestNaiveSureSubstitutionIsUnsound). The innermost reading is sound
+// because (Pn sure b) is a predicate local to Pn (fact LP8), so the
+// original theorems apply to it directly.
+
+// NestSure builds P1 sure (P2 sure ( … Pn sure f)). Exposed for the
+// negative test and for callers exploring the unsound reading.
+func NestSure(sets []trace.ProcSet, f Formula) Formula {
+	out := f
+	for i := len(sets) - 1; i >= 0; i-- {
+		out = Sure(sets[i], out)
+	}
+	return out
+}
+
+// sureNested builds P1 knows … Pn-1 knows (Pn sure b).
+func sureNested(sets []trace.ProcSet, b Formula) Formula {
+	n := len(sets)
+	return NestKnows(sets[:n-1], Sure(sets[n-1], b))
+}
+
+// CheckTheorem4Sure verifies the sure variant of Theorem 4:
+// (P1 knows … Pn-1 knows (Pn sure b) at x) ∧ x [P1 … Pn] y ⇒
+// (Pn sure b at y).
+func CheckTheorem4Sure(e *Evaluator, sets []trace.ProcSet, b Formula) (Stats, error) {
+	if len(sets) == 0 {
+		return Stats{}, fmt.Errorf("knowledge: theorem 4 (sure) needs n ≥ 1 process sets")
+	}
+	var st Stats
+	nested := sureNested(sets, b)
+	last := Sure(sets[len(sets)-1], b)
+	for i := 0; i < e.u.Len(); i++ {
+		if !e.HoldsAt(nested, i) {
+			st.Vacuous++
+			continue
+		}
+		for _, j := range iso.Reachable(e.u, e.u.At(i), sets) {
+			st.Instances++
+			if !e.HoldsAt(last, j) {
+				return st, fmt.Errorf("knowledge: theorem 4 (sure) fails from member %d to %d via %v", i, j, sets)
+			}
+		}
+	}
+	return st, nil
+}
+
+// CheckTheorem5Sure verifies sureness gain: x ≤ y, ¬(Pn sure b) at x,
+// (P1 knows … Pn-1 knows (Pn sure b)) at y ⇒ chain <Pn … P1> in (x, y).
+func CheckTheorem5Sure(e *Evaluator, sets []trace.ProcSet, b Formula) (Stats, error) {
+	n := len(sets)
+	if n == 0 {
+		return Stats{}, fmt.Errorf("knowledge: theorem 5 (sure) needs n ≥ 1 process sets")
+	}
+	pn := sets[n-1]
+	nested := sureNested(sets, b)
+	notSure := Not(Sure(pn, b))
+	rev := make([]trace.ProcSet, n)
+	for i, s := range sets {
+		rev[n-1-i] = s
+	}
+	var st Stats
+	for yi := 0; yi < e.u.Len(); yi++ {
+		y := e.u.At(yi)
+		if !e.HoldsAt(nested, yi) {
+			st.Vacuous++
+			continue
+		}
+		for _, x := range y.Prefixes() {
+			xi := e.u.IndexOf(x)
+			if xi < 0 {
+				return st, fmt.Errorf("knowledge: universe not prefix closed")
+			}
+			if !e.HoldsAt(notSure, xi) {
+				st.Vacuous++
+				continue
+			}
+			st.Instances++
+			ok, err := causality.HasChainIn(x, y, rev)
+			if err != nil {
+				return st, err
+			}
+			if !ok {
+				return st, fmt.Errorf("knowledge: theorem 5 (sure) fails between %q and %q", x.Key(), y.Key())
+			}
+		}
+	}
+	return st, nil
+}
+
+// CheckTheorem6Sure verifies sureness loss: x ≤ y,
+// (P1 knows … Pn-1 knows (Pn sure b)) at x, ¬(Pn sure b) at y ⇒
+// chain <P1 … Pn> in (x, y).
+func CheckTheorem6Sure(e *Evaluator, sets []trace.ProcSet, b Formula) (Stats, error) {
+	n := len(sets)
+	if n == 0 {
+		return Stats{}, fmt.Errorf("knowledge: theorem 6 (sure) needs n ≥ 1 process sets")
+	}
+	pn := sets[n-1]
+	nested := sureNested(sets, b)
+	notSure := Not(Sure(pn, b))
+	var st Stats
+	for yi := 0; yi < e.u.Len(); yi++ {
+		y := e.u.At(yi)
+		if !e.HoldsAt(notSure, yi) {
+			st.Vacuous++
+			continue
+		}
+		for _, x := range y.Prefixes() {
+			xi := e.u.IndexOf(x)
+			if xi < 0 {
+				return st, fmt.Errorf("knowledge: universe not prefix closed")
+			}
+			if !e.HoldsAt(nested, xi) {
+				st.Vacuous++
+				continue
+			}
+			st.Instances++
+			ok, err := causality.HasChainIn(x, y, sets)
+			if err != nil {
+				return st, err
+			}
+			if !ok {
+				return st, fmt.Errorf("knowledge: theorem 6 (sure) fails between %q and %q", x.Key(), y.Key())
+			}
+		}
+	}
+	return st, nil
+}
+
+// NaiveTheorem6SureCounterexample searches the universe for a violation
+// of the *naive* sure substitution of Theorem 6 (every knows replaced by
+// sure). It returns a description of the counterexample, or an error if
+// none exists in the universe. The existence of counterexamples is why
+// the checkers above use the innermost reading.
+func NaiveTheorem6SureCounterexample(e *Evaluator, sets []trace.ProcSet, b Formula) (string, error) {
+	n := len(sets)
+	if n < 2 {
+		return "", fmt.Errorf("knowledge: need n ≥ 2 for the naive counterexample")
+	}
+	pn := sets[n-1]
+	nested := NestSure(sets, b)
+	notSure := Not(Sure(pn, b))
+	for yi := 0; yi < e.u.Len(); yi++ {
+		y := e.u.At(yi)
+		if !e.HoldsAt(notSure, yi) {
+			continue
+		}
+		for _, x := range y.Prefixes() {
+			xi := e.u.IndexOf(x)
+			if xi < 0 || !e.HoldsAt(nested, xi) {
+				continue
+			}
+			ok, err := causality.HasChainIn(x, y, sets)
+			if err != nil {
+				return "", err
+			}
+			if !ok {
+				return fmt.Sprintf("at x=%q, y=%q: %s holds at x, %s holds at y, but no chain exists",
+					x.Key(), y.Key(), nested, notSure), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("knowledge: no counterexample to the naive substitution in this universe")
+}
+
+// CheckLemma4Sure verifies Lemma 4 with sure: for b local to P̄ and
+// members (x;e) with e on P, a receive cannot destroy P's sureness of b,
+// a send cannot create it, and an internal event preserves it.
+func CheckLemma4Sure(e *Evaluator, p trace.ProcSet, b Formula) (Stats, error) {
+	pbar := p.Complement(e.u.All())
+	if !e.LocalTo(b, pbar) {
+		return Stats{}, fmt.Errorf("knowledge: lemma 4 (sure) precondition fails: %v is not local to %v", b, pbar)
+	}
+	var st Stats
+	sb := Sure(p, b)
+	for i := 0; i < e.u.Len(); i++ {
+		xe := e.u.At(i)
+		if xe.Len() == 0 {
+			continue
+		}
+		ev := xe.At(xe.Len() - 1)
+		if !ev.IsOn(p) {
+			continue
+		}
+		x := xe.Prefix(xe.Len() - 1)
+		xi := e.u.IndexOf(x)
+		if xi < 0 {
+			return st, fmt.Errorf("knowledge: universe not prefix closed at member %d", i)
+		}
+		before, after := e.HoldsAt(sb, xi), e.HoldsAt(sb, i)
+		st.Instances++
+		switch ev.Kind {
+		case trace.KindReceive:
+			if before && !after {
+				return st, fmt.Errorf("knowledge: lemma 4 (sure, receive) lost sureness at member %d", i)
+			}
+		case trace.KindSend:
+			if after && !before {
+				return st, fmt.Errorf("knowledge: lemma 4 (sure, send) gained sureness at member %d", i)
+			}
+		case trace.KindInternal:
+			if before != after {
+				return st, fmt.Errorf("knowledge: lemma 4 (sure, internal) changed sureness at member %d", i)
+			}
+		}
+	}
+	return st, nil
+}

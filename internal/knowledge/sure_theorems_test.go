@@ -1,0 +1,122 @@
+package knowledge
+
+import (
+	"testing"
+
+	"hpl/internal/trace"
+)
+
+func TestNestSure(t *testing.T) {
+	b := True
+	f := NestSure([]trace.ProcSet{ps("p"), ps("q")}, b)
+	want := Sure(ps("p"), Sure(ps("q"), b))
+	if f.Key() != want.Key() {
+		t.Fatalf("NestSure = %v", f)
+	}
+}
+
+func TestTheorem4SureOnPingPong(t *testing.T) {
+	u := pingPong(t)
+	e := NewEvaluator(u)
+	b := NewAtom(SentTag("p", "m"))
+	seqs := [][]trace.ProcSet{
+		{ps("p")}, {ps("q")}, {ps("p"), ps("q")}, {ps("q"), ps("p")},
+	}
+	anyInstances := 0
+	for _, sets := range seqs {
+		st, err := CheckTheorem4Sure(e, sets, b)
+		if err != nil {
+			t.Errorf("sets=%v: %v", sets, err)
+		}
+		anyInstances += st.Instances
+	}
+	if anyInstances == 0 {
+		t.Fatal("all sure-theorem-4 instances vacuous")
+	}
+}
+
+func TestTheorem5SureGain(t *testing.T) {
+	u := pingPong(t)
+	e := NewEvaluator(u)
+	// q is unsure of sent(p) at null and becomes sure after receiving;
+	// that gain requires a chain <q>.
+	b := NewAtom(SentTag("p", "m"))
+	st, err := CheckTheorem5Sure(e, []trace.ProcSet{ps("q")}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instances == 0 {
+		t.Fatal("vacuous")
+	}
+}
+
+func TestTheorem6SureLoss(t *testing.T) {
+	u := pingPong(t)
+	e := NewEvaluator(u)
+	for _, b := range []Formula{
+		NewAtom(SentTag("p", "m")),
+		Not(NewAtom(ReceivedTag("q", "m"))),
+	} {
+		for _, sets := range [][]trace.ProcSet{{ps("q")}, {ps("p"), ps("q")}} {
+			if _, err := CheckTheorem6Sure(e, sets, b); err != nil {
+				t.Errorf("b=%v sets=%v: %v", b, sets, err)
+			}
+		}
+	}
+}
+
+func TestNaiveSureSubstitutionIsUnsound(t *testing.T) {
+	// Replacing EVERY knows by sure in Theorem 6 is false: sure is not
+	// veridical — p can be sure of "q sure b" by knowing its negation.
+	// The model checker exhibits the counterexample (x = y = null works:
+	// p sure (q sure b) holds at null because p KNOWS q is unsure).
+	u := pingPong(t)
+	e := NewEvaluator(u)
+	b := NewAtom(SentTag("p", "m"))
+	desc, err := NaiveTheorem6SureCounterexample(e, []trace.ProcSet{ps("p"), ps("q")}, b)
+	if err != nil {
+		t.Fatalf("expected a counterexample: %v", err)
+	}
+	if desc == "" {
+		t.Fatal("empty counterexample description")
+	}
+}
+
+func TestLemma4Sure(t *testing.T) {
+	u := pingPong(t)
+	e := NewEvaluator(u)
+	b := NewAtom(SentTag("p", "m"))
+	st, err := CheckLemma4Sure(e, ps("q"), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instances == 0 {
+		t.Fatal("no instances")
+	}
+	if _, err := CheckLemma4Sure(e, ps("p"), b); err == nil {
+		t.Fatal("expected precondition failure")
+	}
+}
+
+func TestSureMonotoneUnderReceive(t *testing.T) {
+	// A concrete trajectory: q unsure at null, sure after receive,
+	// never unsure again in any extension present in the universe.
+	u := pingPong(t)
+	e := NewEvaluator(u)
+	b := NewAtom(SentTag("p", "m"))
+	sq := Sure(ps("q"), b)
+	for i := 0; i < u.Len(); i++ {
+		y := u.At(i)
+		for _, x := range y.Prefixes() {
+			xi := u.IndexOf(x)
+			if e.HoldsAt(sq, xi) {
+				// Sureness of a stable fact persists: if q received, it
+				// stays sure in every extension.
+				recvX := x.CountKind(ps("q"), trace.KindReceive)
+				if recvX > 0 && !e.HoldsAt(sq, i) {
+					t.Fatalf("sureness lost between %q and %q", x.Key(), y.Key())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package knowledge
+
+import (
+	"fmt"
+
+	"hpl/internal/causality"
+	"hpl/internal/iso"
+	"hpl/internal/trace"
+)
+
+// This file implements checkers for the knowledge-transfer results:
+// Theorem 4 (knowledge follows isomorphism paths), Lemma 4 (effect of
+// single events on knowledge), Theorem 5 (how knowledge is gained) and
+// Theorem 6 (how knowledge is lost). Each checker exhaustively
+// quantifies over the evaluator's universe and reports both the number
+// of non-vacuous instances checked and the first violation found.
+
+// Stats counts checked and vacuous instances of a theorem over a
+// universe; experiments report these so "0 violations" can be seen to be
+// non-vacuous.
+type Stats struct {
+	// Instances is the number of instances whose antecedent held.
+	Instances int
+	// Vacuous is the number of instances whose antecedent failed.
+	Vacuous int
+}
+
+// CheckTheorem4 verifies: (P1 knows … Pn knows b at x) ∧ x [P1 … Pn] y
+// ⇒ (Pn knows b at y), for every member x and every y reachable from x
+// via the composite relation.
+func CheckTheorem4(e *Evaluator, sets []trace.ProcSet, b Formula) (Stats, error) {
+	if len(sets) == 0 {
+		return Stats{}, fmt.Errorf("knowledge: theorem 4 needs n ≥ 1 process sets")
+	}
+	var st Stats
+	nested := NestKnows(sets, b)
+	last := Knows(sets[len(sets)-1], b)
+	for i := 0; i < e.u.Len(); i++ {
+		if !e.HoldsAt(nested, i) {
+			st.Vacuous++
+			continue
+		}
+		for _, j := range iso.Reachable(e.u, e.u.At(i), sets) {
+			st.Instances++
+			if !e.HoldsAt(last, j) {
+				return st, fmt.Errorf("knowledge: theorem 4 fails from member %d to %d via %v", i, j, sets)
+			}
+		}
+	}
+	return st, nil
+}
+
+// CheckTheorem4Negative verifies the corollary:
+// (P1 knows … Pn-1 knows ¬(Pn knows b) at x) ∧ x [P1 … Pn] y ⇒
+// ¬(Pn knows b) at y.
+func CheckTheorem4Negative(e *Evaluator, sets []trace.ProcSet, b Formula) (Stats, error) {
+	if len(sets) == 0 {
+		return Stats{}, fmt.Errorf("knowledge: corollary needs n ≥ 1 process sets")
+	}
+	var st Stats
+	inner := Not(Knows(sets[len(sets)-1], b))
+	nested := NestKnows(sets[:len(sets)-1], inner)
+	for i := 0; i < e.u.Len(); i++ {
+		if !e.HoldsAt(nested, i) {
+			st.Vacuous++
+			continue
+		}
+		for _, j := range iso.Reachable(e.u, e.u.At(i), sets) {
+			st.Instances++
+			if !e.HoldsAt(inner, j) {
+				return st, fmt.Errorf("knowledge: theorem 4 corollary fails from member %d to %d", i, j)
+			}
+		}
+	}
+	return st, nil
+}
+
+// CheckLemma4 verifies, for b local to P̄ (checked) and members (x;e)
+// with e on P:
+//
+//	receive:  (P knows b at x) ⇒ (P knows b at (x;e))
+//	send:     (P knows b at (x;e)) ⇒ (P knows b at x)
+//	internal: (P knows b at x) ≡ (P knows b at (x;e))
+func CheckLemma4(e *Evaluator, p trace.ProcSet, b Formula) (Stats, error) {
+	pbar := p.Complement(e.u.All())
+	if !e.LocalTo(b, pbar) {
+		return Stats{}, fmt.Errorf("knowledge: lemma 4 precondition fails: %v is not local to %v", b, pbar)
+	}
+	var st Stats
+	kb := Knows(p, b)
+	for i := 0; i < e.u.Len(); i++ {
+		xe := e.u.At(i)
+		if xe.Len() == 0 {
+			continue
+		}
+		ev := xe.At(xe.Len() - 1)
+		if !ev.IsOn(p) {
+			continue
+		}
+		x := xe.Prefix(xe.Len() - 1)
+		xi := e.u.IndexOf(x)
+		if xi < 0 {
+			return st, fmt.Errorf("knowledge: universe not prefix closed at member %d", i)
+		}
+		before, after := e.HoldsAt(kb, xi), e.HoldsAt(kb, i)
+		switch ev.Kind {
+		case trace.KindReceive:
+			st.Instances++
+			if before && !after {
+				return st, fmt.Errorf("knowledge: lemma 4 (receive) lost knowledge at member %d", i)
+			}
+		case trace.KindSend:
+			st.Instances++
+			if after && !before {
+				return st, fmt.Errorf("knowledge: lemma 4 (send) gained knowledge at member %d", i)
+			}
+		case trace.KindInternal:
+			st.Instances++
+			if before != after {
+				return st, fmt.Errorf("knowledge: lemma 4 (internal) changed knowledge at member %d", i)
+			}
+		}
+	}
+	return st, nil
+}
+
+// GainWitness describes one non-vacuous instance of Theorem 5.
+type GainWitness struct {
+	X, Y  *trace.Computation
+	Chain []trace.ProcSet
+}
+
+// CheckTheorem5 verifies knowledge gain: for members x ≤ y with
+// ¬(Pn knows b) at x and (P1 knows … Pn knows b) at y, the suffix (x,y)
+// must contain the process chain <Pn … P1>. When b is local to P̄n it
+// additionally checks that Pn has a receive event in (x, y).
+func CheckTheorem5(e *Evaluator, sets []trace.ProcSet, b Formula) (Stats, []GainWitness, error) {
+	n := len(sets)
+	if n == 0 {
+		return Stats{}, nil, fmt.Errorf("knowledge: theorem 5 needs n ≥ 1 process sets")
+	}
+	pn := sets[n-1]
+	nested := NestKnows(sets, b)
+	notKn := Not(Knows(pn, b))
+	rev := make([]trace.ProcSet, n)
+	for i, s := range sets {
+		rev[n-1-i] = s
+	}
+	localToComplement := e.LocalTo(b, pn.Complement(e.u.All()))
+
+	var st Stats
+	var wits []GainWitness
+	for yi := 0; yi < e.u.Len(); yi++ {
+		y := e.u.At(yi)
+		if !e.HoldsAt(nested, yi) {
+			st.Vacuous++
+			continue
+		}
+		for _, x := range y.Prefixes() {
+			xi := e.u.IndexOf(x)
+			if xi < 0 {
+				return st, wits, fmt.Errorf("knowledge: universe not prefix closed")
+			}
+			if !e.HoldsAt(notKn, xi) {
+				st.Vacuous++
+				continue
+			}
+			st.Instances++
+			ok, err := causality.HasChainIn(x, y, rev)
+			if err != nil {
+				return st, wits, err
+			}
+			if !ok {
+				return st, wits, fmt.Errorf("knowledge: theorem 5 fails: gain without chain <%v reversed> between %q and %q", sets, x.Key(), y.Key())
+			}
+			if localToComplement && x.CountKind(pn, trace.KindReceive) == y.CountKind(pn, trace.KindReceive) {
+				return st, wits, fmt.Errorf("knowledge: theorem 5 fails: no receive by Pn in (x,y)")
+			}
+			wits = append(wits, GainWitness{X: x, Y: y, Chain: rev})
+		}
+	}
+	return st, wits, nil
+}
+
+// CheckTheorem6 verifies knowledge loss: for members x ≤ y with
+// (P1 knows … Pn knows b) at x and ¬(Pn knows b) at y, the suffix (x,y)
+// must contain the process chain <P1 … Pn>. When b is local to P̄n it
+// additionally checks that Pn has a send event in (x, y).
+func CheckTheorem6(e *Evaluator, sets []trace.ProcSet, b Formula) (Stats, error) {
+	n := len(sets)
+	if n == 0 {
+		return Stats{}, fmt.Errorf("knowledge: theorem 6 needs n ≥ 1 process sets")
+	}
+	pn := sets[n-1]
+	nested := NestKnows(sets, b)
+	notKn := Not(Knows(pn, b))
+	localToComplement := e.LocalTo(b, pn.Complement(e.u.All()))
+
+	var st Stats
+	for yi := 0; yi < e.u.Len(); yi++ {
+		y := e.u.At(yi)
+		if !e.HoldsAt(notKn, yi) {
+			st.Vacuous++
+			continue
+		}
+		for _, x := range y.Prefixes() {
+			xi := e.u.IndexOf(x)
+			if xi < 0 {
+				return st, fmt.Errorf("knowledge: universe not prefix closed")
+			}
+			if !e.HoldsAt(nested, xi) {
+				st.Vacuous++
+				continue
+			}
+			st.Instances++
+			ok, err := causality.HasChainIn(x, y, sets)
+			if err != nil {
+				return st, err
+			}
+			if !ok {
+				return st, fmt.Errorf("knowledge: theorem 6 fails: loss without chain <%v> between %q and %q", sets, x.Key(), y.Key())
+			}
+			if localToComplement && x.CountKind(pn, trace.KindSend) == y.CountKind(pn, trace.KindSend) {
+				return st, fmt.Errorf("knowledge: theorem 6 fails: no send by Pn in (x,y)")
+			}
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,179 @@
+// Package logic provides a textual language for the epistemic formulas of
+// package knowledge, with a lexer, a recursive-descent parser, and a
+// printer. The grammar, in decreasing binding strength:
+//
+//	primary := 'true' | 'false' | IDENT | STRING | '(' formula ')'
+//	unary   := '!' unary
+//	         | 'K' '{' ident (',' ident)* '}' unary     -- P knows
+//	         | 'S' '{' ident (',' ident)* '}' unary     -- P sure
+//	         | 'C' unary                                -- common knowledge
+//	         | primary
+//	and     := unary ('&' unary)*
+//	or      := and ('|' and)*
+//	formula := or ('->' formula)?                        -- right associative
+//
+// IDENT atoms ([A-Za-z_][A-Za-z0-9_@]*) and quoted STRING atoms (for
+// names containing punctuation, e.g. "sent(p,m)") are resolved against a
+// caller-supplied vocabulary of named predicates. K, S, C, true and false
+// are reserved words.
+package logic
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokString
+	tokTrue
+	tokFalse
+	tokKnows   // K
+	tokSure    // S
+	tokCommon  // C
+	tokNot     // !
+	tokAnd     // &
+	tokOr      // |
+	tokImplies // ->
+	tokLParen  // (
+	tokRParen  // )
+	tokLBrace  // {
+	tokRBrace  // }
+	tokComma   // ,
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "quoted atom"
+	case tokTrue:
+		return "true"
+	case tokFalse:
+		return "false"
+	case tokKnows:
+		return "K"
+	case tokSure:
+		return "S"
+	case tokCommon:
+		return "C"
+	case tokNot:
+		return "!"
+	case tokAnd:
+		return "&"
+	case tokOr:
+		return "|"
+	case tokImplies:
+		return "->"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokLBrace:
+		return "{"
+	case tokRBrace:
+		return "}"
+	case tokComma:
+		return ","
+	default:
+		return "unknown token"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenizes the input, returning a descriptive error with byte
+// position on unexpected characters.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '!':
+			toks = append(toks, token{tokNot, "!", i})
+			i++
+		case c == '&':
+			toks = append(toks, token{tokAnd, "&", i})
+			i++
+		case c == '|':
+			toks = append(toks, token{tokOr, "|", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '-':
+			if i+1 < len(input) && input[i+1] == '>' {
+				toks = append(toks, token{tokImplies, "->", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("logic: position %d: '-' must begin '->'", i)
+			}
+		case c == '"':
+			end := strings.IndexByte(input[i+1:], '"')
+			if end < 0 {
+				return nil, fmt.Errorf("logic: position %d: unterminated quoted atom", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : i+1+end], i})
+			i += end + 2
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(input) && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			kind := tokIdent
+			switch word {
+			case "true":
+				kind = tokTrue
+			case "false":
+				kind = tokFalse
+			case "K":
+				kind = tokKnows
+			case "S":
+				kind = tokSure
+			case "C":
+				kind = tokCommon
+			}
+			toks = append(toks, token{kind, word, i})
+			i = j
+		default:
+			return nil, fmt.Errorf("logic: position %d: unexpected character %q", i, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '@'
+}

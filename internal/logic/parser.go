@@ -1,0 +1,286 @@
+package logic
+
+import (
+	"fmt"
+
+	"hpl/internal/knowledge"
+	"hpl/internal/trace"
+)
+
+// Vocabulary resolves atom names to predicates during parsing.
+type Vocabulary map[string]knowledge.Predicate
+
+// NewVocabulary builds a vocabulary from predicates, keyed by their names.
+func NewVocabulary(preds ...knowledge.Predicate) Vocabulary {
+	v := make(Vocabulary, len(preds))
+	for _, p := range preds {
+		v[p.Name()] = p
+	}
+	return v
+}
+
+// Parse parses the input into an epistemic formula, resolving atoms
+// against the vocabulary.
+func Parse(input string, vocab Vocabulary) (knowledge.Formula, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, vocab: vocab}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input starting with %s", p.peek().kind)
+	}
+	return f, nil
+}
+
+// MustParse is Parse for statically known-valid inputs; it panics on
+// error. Intended for tests and examples.
+func MustParse(input string, vocab Vocabulary) knowledge.Formula {
+	f, err := Parse(input, vocab)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	vocab Vocabulary
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, p.errorf("expected %s, found %s", k, t.kind)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("logic: position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// formula := or ('->' formula)?
+func (p *parser) formula() (knowledge.Formula, error) {
+	left, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokImplies {
+		p.next()
+		right, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		return knowledge.Implies(left, right), nil
+	}
+	return left, nil
+}
+
+// or := and ('|' and)*
+func (p *parser) or() (knowledge.Formula, error) {
+	left, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOr {
+		p.next()
+		right, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		left = knowledge.Or(left, right)
+	}
+	return left, nil
+}
+
+// and := unary ('&' unary)*
+func (p *parser) and() (knowledge.Formula, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAnd {
+		p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = knowledge.And(left, right)
+	}
+	return left, nil
+}
+
+// unary := '!' unary | 'K' procset unary | 'S' procset unary | 'C' unary
+// | primary
+func (p *parser) unary() (knowledge.Formula, error) {
+	switch p.peek().kind {
+	case tokNot:
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return knowledge.Not(f), nil
+	case tokKnows:
+		p.next()
+		set, err := p.procSet()
+		if err != nil {
+			return nil, err
+		}
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return knowledge.Knows(set, f), nil
+	case tokSure:
+		p.next()
+		set, err := p.procSet()
+		if err != nil {
+			return nil, err
+		}
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return knowledge.Sure(set, f), nil
+	case tokCommon:
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return knowledge.Common(f), nil
+	default:
+		return p.primary()
+	}
+}
+
+// procSet := '{' ident (',' ident)* '}'
+func (p *parser) procSet() (trace.ProcSet, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return trace.ProcSet{}, err
+	}
+	var ids []trace.ProcID
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return trace.ProcSet{}, p.errorf("expected process name, found %s", t.kind)
+		}
+		p.next()
+		ids = append(ids, trace.ProcID(t.text))
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return trace.ProcSet{}, err
+	}
+	return trace.NewProcSet(ids...), nil
+}
+
+// primary := 'true' | 'false' | IDENT | STRING | '(' formula ')'
+func (p *parser) primary() (knowledge.Formula, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokTrue:
+		p.next()
+		return knowledge.True, nil
+	case tokFalse:
+		p.next()
+		return knowledge.False, nil
+	case tokIdent, tokString:
+		p.next()
+		pred, ok := p.vocab[t.text]
+		if !ok {
+			return nil, fmt.Errorf("logic: position %d: unknown atom %q", t.pos, t.text)
+		}
+		return knowledge.NewAtom(pred), nil
+	case tokLParen:
+		p.next()
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return f, nil
+	default:
+		return nil, p.errorf("expected a formula, found %s", t.kind)
+	}
+}
+
+// Print renders a formula back into parseable syntax (ASCII operators;
+// atoms quoted whenever their names are not plain identifiers).
+func Print(f knowledge.Formula) string {
+	switch f := f.(type) {
+	case knowledge.ConstF:
+		if f.Value {
+			return "true"
+		}
+		return "false"
+	case knowledge.Atom:
+		name := f.Pred.Name()
+		if !plainIdent(name) {
+			return `"` + name + `"`
+		}
+		return name
+	case knowledge.NotF:
+		return "!" + printUnary(f.F)
+	case knowledge.AndF:
+		return printUnary(f.L) + " & " + printUnary(f.R)
+	case knowledge.OrF:
+		return printUnary(f.L) + " | " + printUnary(f.R)
+	case knowledge.ImpliesF:
+		return printUnary(f.L) + " -> " + printUnary(f.R)
+	case knowledge.KnowsF:
+		return "K{" + f.P.Key() + "} " + printUnary(f.F)
+	case knowledge.SureF:
+		return "S{" + f.P.Key() + "} " + printUnary(f.F)
+	case knowledge.CommonF:
+		return "C " + printUnary(f.F)
+	default:
+		return f.String()
+	}
+}
+
+func printUnary(f knowledge.Formula) string {
+	switch f.(type) {
+	case knowledge.AndF, knowledge.OrF, knowledge.ImpliesF:
+		return "(" + Print(f) + ")"
+	default:
+		return Print(f)
+	}
+}
+
+func plainIdent(s string) bool {
+	if s == "" || s == "true" || s == "false" || s == "K" || s == "S" || s == "C" {
+		return false
+	}
+	for i, c := range s {
+		if i == 0 && !isIdentStart(c) {
+			return false
+		}
+		if i > 0 && !isIdentPart(c) {
+			return false
+		}
+	}
+	return true
+}

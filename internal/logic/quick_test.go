@@ -1,0 +1,112 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hpl/internal/knowledge"
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// randomFormula draws a random formula over the given vocabulary names,
+// with depth-bounded recursion — a structural fuzzer for the
+// print/parse round trip.
+func randomFormula(r *rand.Rand, v Vocabulary, names []string, depth int) knowledge.Formula {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return knowledge.True
+		case 1:
+			return knowledge.False
+		default:
+			return knowledge.NewAtom(v[names[r.Intn(len(names))]])
+		}
+	}
+	procSets := []trace.ProcSet{
+		trace.Singleton("p"),
+		trace.Singleton("q"),
+		trace.NewProcSet("p", "q"),
+	}
+	switch r.Intn(7) {
+	case 0:
+		return knowledge.Not(randomFormula(r, v, names, depth-1))
+	case 1:
+		return knowledge.And(randomFormula(r, v, names, depth-1), randomFormula(r, v, names, depth-1))
+	case 2:
+		return knowledge.Or(randomFormula(r, v, names, depth-1), randomFormula(r, v, names, depth-1))
+	case 3:
+		return knowledge.Implies(randomFormula(r, v, names, depth-1), randomFormula(r, v, names, depth-1))
+	case 4:
+		return knowledge.Knows(procSets[r.Intn(len(procSets))], randomFormula(r, v, names, depth-1))
+	case 5:
+		return knowledge.Sure(procSets[r.Intn(len(procSets))], randomFormula(r, v, names, depth-1))
+	default:
+		return knowledge.Common(randomFormula(r, v, names, depth-1))
+	}
+}
+
+func fuzzVocab() (Vocabulary, []string) {
+	preds := []knowledge.Predicate{
+		knowledge.SentTag("p", "m"),
+		knowledge.ReceivedTag("q", "m"),
+		knowledge.NewPredicate("plain_name", func(c *trace.Computation) bool { return c.Len() > 0 }),
+		knowledge.NewPredicate("with@at", func(c *trace.Computation) bool { return c.Len() > 1 }),
+	}
+	v := NewVocabulary(preds...)
+	names := make([]string, 0, len(v))
+	for n := range v {
+		names = append(names, n)
+	}
+	return v, names
+}
+
+func TestPrintParseRoundTripRandomFormulas(t *testing.T) {
+	v, names := fuzzVocab()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		formula := randomFormula(r, v, names, 5)
+		printed := Print(formula)
+		back, err := Parse(printed, v)
+		if err != nil {
+			t.Logf("formula %q failed to reparse: %v", printed, err)
+			return false
+		}
+		return back.Key() == formula.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomFormulasEvaluateIdenticallyAfterRoundTrip(t *testing.T) {
+	// Semantic (not just structural) round trip: the reparsed formula
+	// evaluates identically at every member of a universe.
+	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+		Procs:    []trace.ProcID{"p", "q"},
+		MaxSends: 1,
+	}), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, names := fuzzVocab()
+	e := knowledge.NewEvaluator(u)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		formula := randomFormula(r, v, names, 4)
+		back, err := Parse(Print(formula), v)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < u.Len(); i++ {
+			if e.HoldsAt(formula, i) != e.HoldsAt(back, i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package ackchain implements an alternating acknowledgement chain
+// between two processes: p sends message 1, q acknowledges (message 2),
+// p acknowledges the acknowledgement (message 3), and so on, up to a
+// configured total. Each process sends its next message only after
+// receiving the previous one, so message k+1 is causally conditioned on
+// message k — the conditioning that converts message arrivals into
+// nested knowledge.
+//
+// This is the canonical ladder for "everyone knows" depth: with R
+// messages fully delivered, E^R(b) holds for b = "message 1 was sent",
+// yet common knowledge of b never holds (the corollary to Lemma 3) — the
+// coordinated-attack phenomenon, measured exactly by EXP-E.
+package ackchain
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hpl/internal/knowledge"
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// Tag is the tag carried by message k (1-based): "ack<k>".
+func Tag(k int) string { return "ack" + strconv.Itoa(k) }
+
+// System is an acknowledgement chain of Total messages between P and Q.
+type System struct {
+	P, Q  trace.ProcID
+	Total int
+}
+
+// New builds the system.
+func New(p, q trace.ProcID, total int) (*System, error) {
+	if p == q {
+		return nil, fmt.Errorf("ackchain: processes must differ")
+	}
+	if total < 1 {
+		return nil, fmt.Errorf("ackchain: need at least one message")
+	}
+	return &System{P: p, Q: q, Total: total}, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(p, q trace.ProcID, total int) *System {
+	s, err := New(p, q, total)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Base returns the ladder's base fact: message 1 was sent by P.
+func (s *System) Base() knowledge.Predicate {
+	return knowledge.SentTag(s.P, Tag(1))
+}
+
+// FullExchange returns the computation in which all Total messages are
+// sent and delivered in order.
+func (s *System) FullExchange() *trace.Computation {
+	b := trace.NewBuilder()
+	for k := 1; k <= s.Total; k++ {
+		from, to := s.P, s.Q
+		if k%2 == 0 {
+			from, to = s.Q, s.P
+		}
+		b.Send(from, to, Tag(k))
+		b.Receive(to, from)
+	}
+	return b.MustBuild()
+}
+
+// --- universe.Protocol ---
+
+var _ universe.Protocol = (*System)(nil)
+
+// Procs returns {P, Q}.
+func (s *System) Procs() []trace.ProcID { return []trace.ProcID{s.P, s.Q} }
+
+// State "s<sent>r<recv>" tracks messages sent and received by the
+// process.
+func (s *System) Init(trace.ProcID) string { return "s0r0" }
+
+func decode(state string) (sent, recv int) {
+	rIdx := strings.IndexByte(state, 'r')
+	if !strings.HasPrefix(state, "s") || rIdx < 0 {
+		return 0, 0
+	}
+	sent, _ = strconv.Atoi(state[1:rIdx])
+	recv, _ = strconv.Atoi(state[rIdx+1:])
+	return sent, recv
+}
+
+// Steps: P starts the chain and continues after each acknowledgement; Q
+// only ever replies.
+func (s *System) Steps(p trace.ProcID, state string) []universe.Action {
+	sent, recv := decode(state)
+	var k int // global index (1-based) of this process's next message
+	var to trace.ProcID
+	switch p {
+	case s.P:
+		// P's messages are the odd ones: its (sent+1)-th send is global
+		// message 2·sent+1, allowed after receiving sent replies.
+		if sent != recv {
+			return nil
+		}
+		k = 2*sent + 1
+		to = s.Q
+	case s.Q:
+		// Q's messages are the even ones: its next send is allowed when
+		// it has received more than it has sent.
+		if sent >= recv {
+			return nil
+		}
+		k = 2*sent + 2
+		to = s.P
+	default:
+		return nil
+	}
+	if k > s.Total {
+		return nil
+	}
+	return []universe.Action{{Kind: trace.KindSend, To: to, Tag: Tag(k)}}
+}
+
+// AfterStep increments the sent counter.
+func (s *System) AfterStep(_ trace.ProcID, state string, _ universe.Action) string {
+	sent, recv := decode(state)
+	return "s" + strconv.Itoa(sent+1) + "r" + strconv.Itoa(recv)
+}
+
+// Deliver increments the received counter.
+func (s *System) Deliver(_ trace.ProcID, state string, _ trace.ProcID, tag string) (string, bool) {
+	if !strings.HasPrefix(tag, "ack") {
+		return state, false
+	}
+	sent, recv := decode(state)
+	return "s" + strconv.Itoa(sent) + "r" + strconv.Itoa(recv+1), true
+}
+
+// Enumerate builds the universe of chain computations.
+func (s *System) Enumerate(capN int) (*universe.Universe, error) {
+	return universe.Enumerate(s, 2*s.Total, capN)
+}
+
+// LadderDepth measures the maximum E^k depth of the base fact attained
+// anywhere in the universe (which is at the fully delivered exchange),
+// probing up to maxK.
+func (s *System) LadderDepth(maxK int) (int, error) {
+	u, err := s.Enumerate(0)
+	if err != nil {
+		return 0, err
+	}
+	e := knowledge.NewEvaluator(u)
+	depths := knowledge.EveryoneDepth(e, knowledge.NewAtom(s.Base()), maxK)
+	best := -1
+	for _, d := range depths {
+		if d > best {
+			best = d
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,109 @@
+package ackchain
+
+import (
+	"testing"
+
+	"hpl/internal/knowledge"
+	"hpl/internal/trace"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("p", "p", 1); err == nil {
+		t.Errorf("same-process chain accepted")
+	}
+	if _, err := New("p", "q", 0); err == nil {
+		t.Errorf("empty chain accepted")
+	}
+}
+
+func TestFullExchangeShape(t *testing.T) {
+	s := MustNew("p", "q", 3)
+	c := s.FullExchange()
+	if c.Len() != 6 {
+		t.Fatalf("events = %d, want 6", c.Len())
+	}
+	// Senders alternate p, q, p.
+	wantSenders := []trace.ProcID{"p", "q", "p"}
+	i := 0
+	for _, e := range c.Events() {
+		if e.Kind == trace.KindSend {
+			if e.Proc != wantSenders[i] {
+				t.Fatalf("message %d sent by %s", i+1, e.Proc)
+			}
+			i++
+		}
+	}
+}
+
+func TestEnumerationRespectsAlternation(t *testing.T) {
+	s := MustNew("p", "q", 4)
+	u, err := s.Enumerate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Contains(s.FullExchange()) {
+		t.Fatalf("full exchange missing from universe")
+	}
+	for i := 0; i < u.Len(); i++ {
+		c := u.At(i)
+		// Message k+1 is sent only after message k was received: the
+		// total sends never exceed total receives + 1.
+		sends := c.CountKind(trace.NewProcSet("p", "q"), trace.KindSend)
+		recvs := c.CountKind(trace.NewProcSet("p", "q"), trace.KindReceive)
+		if sends > recvs+1 {
+			t.Fatalf("member %d: %d sends with only %d receives", i, sends, recvs)
+		}
+	}
+}
+
+func TestLadderDepthGrowsWithMessages(t *testing.T) {
+	// Each delivered acknowledgement buys exactly one rung of the
+	// everyone-knows ladder.
+	want := map[int]int{1: 1, 2: 2, 3: 3, 4: 4}
+	for total, expect := range want {
+		s := MustNew("p", "q", total)
+		got, err := s.LadderDepth(total + 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != expect {
+			t.Errorf("total=%d: ladder depth = %d, want %d", total, got, expect)
+		}
+	}
+}
+
+func TestCommonKnowledgeNeverOnChain(t *testing.T) {
+	s := MustNew("p", "q", 3)
+	u, err := s.Enumerate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := knowledge.NewEvaluator(u)
+	b := knowledge.NewAtom(s.Base())
+	if !e.Valid(knowledge.Not(knowledge.Common(b))) {
+		t.Fatalf("coordinated attack: CK must never be attained")
+	}
+	if err := knowledge.CheckCommonKnowledgeConstant(e, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthAtFullExchange(t *testing.T) {
+	s := MustNew("p", "q", 3)
+	u, err := s.Enumerate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := knowledge.NewEvaluator(u)
+	depths := knowledge.EveryoneDepth(e, knowledge.NewAtom(s.Base()), 6)
+	full := u.IndexOf(s.FullExchange())
+	if full < 0 {
+		t.Fatal("full exchange missing")
+	}
+	if depths[full] != 3 {
+		t.Fatalf("depth at full exchange = %d, want 3", depths[full])
+	}
+	if got := depths[u.IndexOf(trace.Empty())]; got != -1 {
+		t.Fatalf("depth at null = %d, want -1", got)
+	}
+}

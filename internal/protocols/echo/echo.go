@@ -1,0 +1,244 @@
+// Package echo implements the echo algorithm (propagation of information
+// with feedback) on an arbitrary connected undirected graph: an initiator
+// floods a wave; each process forwards the wave to its other neighbours
+// on first contact and echoes back once all its neighbours have answered;
+// the initiator decides when all of its neighbours have echoed.
+//
+// The algorithm is a canonical "process chain" generator: when the
+// initiator decides, there is a process chain <initiator, v, initiator>
+// through every vertex v (Theorem 1 territory), which is exactly why the
+// decision carries knowledge — the tests verify those chains on the
+// recorded computations.
+package echo
+
+import (
+	"errors"
+	"fmt"
+
+	"hpl/internal/sim"
+	"hpl/internal/trace"
+)
+
+// Message tags.
+const (
+	TagWave = "wave"
+	TagEcho = "echo"
+	// TagDecide marks the initiator's decision event.
+	TagDecide = "decide"
+)
+
+// Graph is an undirected graph given as adjacency lists; it must be
+// symmetric and connected for the algorithm to terminate correctly.
+type Graph struct {
+	Procs     []trace.ProcID
+	Neighbors map[trace.ProcID][]trace.ProcID
+}
+
+// Validate checks symmetry and connectivity.
+func (g Graph) Validate() error {
+	if len(g.Procs) == 0 {
+		return errors.New("echo: empty graph")
+	}
+	idx := make(map[trace.ProcID]bool, len(g.Procs))
+	for _, p := range g.Procs {
+		idx[p] = true
+	}
+	for p, nbrs := range g.Neighbors {
+		if !idx[p] {
+			return fmt.Errorf("echo: adjacency for unknown process %s", p)
+		}
+		for _, q := range nbrs {
+			if !idx[q] {
+				return fmt.Errorf("echo: %s adjacent to unknown %s", p, q)
+			}
+			if !contains(g.Neighbors[q], p) {
+				return fmt.Errorf("echo: edge %s-%s not symmetric", p, q)
+			}
+		}
+	}
+	// Connectivity by BFS from the first process.
+	seen := map[trace.ProcID]bool{g.Procs[0]: true}
+	queue := []trace.ProcID{g.Procs[0]}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, q := range g.Neighbors[p] {
+			if !seen[q] {
+				seen[q] = true
+				queue = append(queue, q)
+			}
+		}
+	}
+	if len(seen) != len(g.Procs) {
+		return errors.New("echo: graph not connected")
+	}
+	return nil
+}
+
+func contains(xs []trace.ProcID, x trace.ProcID) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// node implements one echo process.
+type node struct {
+	self      trace.ProcID
+	initiator bool
+	nbrs      []trace.ProcID
+	parent    trace.ProcID
+	seen      bool
+	answers   int
+	decided   bool
+	started   bool
+}
+
+var _ sim.Node = (*node)(nil)
+
+func (n *node) Init(api sim.API) {
+	if !n.initiator {
+		return
+	}
+	n.seen = true
+	n.started = true
+	for _, q := range n.nbrs {
+		_ = api.Send(q, TagWave)
+	}
+	// A neighbourless initiator decides immediately.
+	n.maybeEcho(api)
+}
+
+func (n *node) OnReceive(api sim.API, from trace.ProcID, tag string) {
+	switch tag {
+	case TagWave:
+		if !n.seen {
+			n.seen = true
+			n.parent = from
+			for _, q := range n.nbrs {
+				if q != from {
+					_ = api.Send(q, TagWave)
+				}
+			}
+			n.maybeEcho(api)
+			return
+		}
+		n.answers++
+		n.maybeEcho(api)
+	case TagEcho:
+		n.answers++
+		n.maybeEcho(api)
+	}
+}
+
+// maybeEcho fires when every neighbour other than the parent has
+// answered (wave or echo); the initiator instead decides when all of its
+// neighbours have answered.
+func (n *node) maybeEcho(api sim.API) {
+	if n.initiator {
+		if !n.decided && n.answers == len(n.nbrs) {
+			n.decided = true
+			api.Internal(TagDecide)
+		}
+		return
+	}
+	if n.seen && !n.decided && n.answers == len(n.nbrs)-1 {
+		n.decided = true // echo sent exactly once
+		_ = api.Send(n.parent, TagEcho)
+	}
+}
+
+func (n *node) OnStep(sim.API) bool { return false }
+
+// Result reports one echo run.
+type Result struct {
+	// Messages is the total number of wave+echo messages (2·|E| on a
+	// correct run).
+	Messages int
+	// Decided reports whether the initiator decided.
+	Decided bool
+	// Comp is the recorded computation.
+	Comp *trace.Computation
+}
+
+// Run executes the echo algorithm from the given initiator.
+func Run(g Graph, initiator trace.ProcID, seed int64) (Result, error) {
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !contains(g.Procs, initiator) {
+		return Result{}, fmt.Errorf("echo: initiator %s not in graph", initiator)
+	}
+	nodes := make(map[trace.ProcID]sim.Node, len(g.Procs))
+	for _, p := range g.Procs {
+		nodes[p] = &node{self: p, initiator: p == initiator, nbrs: g.Neighbors[p]}
+	}
+	comp, err := sim.NewRunner(nodes, sim.Config{Seed: seed}).Run()
+	if err != nil {
+		return Result{}, fmt.Errorf("echo: %w", err)
+	}
+	res := Result{Comp: comp}
+	for _, e := range comp.Events() {
+		switch {
+		case e.Kind == trace.KindSend && (e.Tag == TagWave || e.Tag == TagEcho):
+			res.Messages++
+		case e.Kind == trace.KindInternal && e.Tag == TagDecide:
+			res.Decided = true
+		}
+	}
+	return res, nil
+}
+
+// Edges counts the undirected edges of the graph.
+func (g Graph) Edges() int {
+	n := 0
+	for _, nbrs := range g.Neighbors {
+		n += len(nbrs)
+	}
+	return n / 2
+}
+
+// GridGraph builds an r×c grid graph (4-neighbourhood).
+func GridGraph(r, c int) Graph {
+	g := Graph{Neighbors: make(map[trace.ProcID][]trace.ProcID, r*c)}
+	name := func(i, j int) trace.ProcID { return trace.ProcID(fmt.Sprintf("g%d_%d", i, j)) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			g.Procs = append(g.Procs, name(i, j))
+		}
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			p := name(i, j)
+			if i > 0 {
+				g.Neighbors[p] = append(g.Neighbors[p], name(i-1, j))
+			}
+			if i < r-1 {
+				g.Neighbors[p] = append(g.Neighbors[p], name(i+1, j))
+			}
+			if j > 0 {
+				g.Neighbors[p] = append(g.Neighbors[p], name(i, j-1))
+			}
+			if j < c-1 {
+				g.Neighbors[p] = append(g.Neighbors[p], name(i, j+1))
+			}
+		}
+	}
+	return g
+}
+
+// StarGraph builds a star with the given hub and n leaves.
+func StarGraph(n int) Graph {
+	g := Graph{Neighbors: make(map[trace.ProcID][]trace.ProcID, n+1)}
+	hub := trace.ProcID("hub")
+	g.Procs = append(g.Procs, hub)
+	for i := 0; i < n; i++ {
+		leaf := trace.ProcID(fmt.Sprintf("leaf%d", i))
+		g.Procs = append(g.Procs, leaf)
+		g.Neighbors[hub] = append(g.Neighbors[hub], leaf)
+		g.Neighbors[leaf] = []trace.ProcID{hub}
+	}
+	return g
+}

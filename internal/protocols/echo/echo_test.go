@@ -1,0 +1,148 @@
+package echo
+
+import (
+	"testing"
+
+	"hpl/internal/causality"
+	"hpl/internal/trace"
+)
+
+func TestValidate(t *testing.T) {
+	// Asymmetric edge.
+	bad := Graph{
+		Procs:     []trace.ProcID{"a", "b"},
+		Neighbors: map[trace.ProcID][]trace.ProcID{"a": {"b"}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("asymmetric graph accepted")
+	}
+	// Disconnected.
+	disc := Graph{
+		Procs:     []trace.ProcID{"a", "b", "c"},
+		Neighbors: map[trace.ProcID][]trace.ProcID{"a": {"b"}, "b": {"a"}},
+	}
+	if err := disc.Validate(); err == nil {
+		t.Errorf("disconnected graph accepted")
+	}
+	if err := (Graph{}).Validate(); err == nil {
+		t.Errorf("empty graph accepted")
+	}
+	if err := GridGraph(2, 3).Validate(); err != nil {
+		t.Errorf("grid invalid: %v", err)
+	}
+	if err := StarGraph(4).Validate(); err != nil {
+		t.Errorf("star invalid: %v", err)
+	}
+}
+
+func TestEdgesCount(t *testing.T) {
+	if got := GridGraph(2, 2).Edges(); got != 4 {
+		t.Errorf("2x2 grid edges = %d, want 4", got)
+	}
+	if got := StarGraph(5).Edges(); got != 5 {
+		t.Errorf("star edges = %d, want 5", got)
+	}
+}
+
+func TestEchoDecidesWithExactMessageCount(t *testing.T) {
+	graphs := []Graph{GridGraph(2, 3), StarGraph(6), GridGraph(3, 3)}
+	for gi, g := range graphs {
+		for seed := int64(0); seed < 6; seed++ {
+			res, err := Run(g, g.Procs[0], seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Decided {
+				t.Fatalf("graph %d seed %d: initiator never decided", gi, seed)
+			}
+			if want := 2 * g.Edges(); res.Messages != want {
+				t.Fatalf("graph %d seed %d: messages = %d, want %d", gi, seed, res.Messages, want)
+			}
+			if got := len(res.Comp.InFlight()); got != 0 {
+				t.Fatalf("graph %d seed %d: %d messages still in flight", gi, seed, got)
+			}
+		}
+	}
+}
+
+func TestEchoDecisionAfterFullWave(t *testing.T) {
+	// Every process must have participated before the decision.
+	g := GridGraph(2, 3)
+	res, err := Run(g, g.Procs[0], 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the decide event; in its prefix every process has >= 1 event.
+	decideIdx := -1
+	for i := 0; i < res.Comp.Len(); i++ {
+		if res.Comp.At(i).Tag == TagDecide {
+			decideIdx = i
+		}
+	}
+	if decideIdx < 0 {
+		t.Fatal("no decide event")
+	}
+	prefix := res.Comp.Prefix(decideIdx + 1)
+	for _, p := range g.Procs {
+		if len(prefix.Projection(trace.Singleton(p))) == 0 {
+			t.Fatalf("process %s had no event before the decision", p)
+		}
+	}
+}
+
+func TestEchoProducesRoundTripChains(t *testing.T) {
+	// The theory connection: the decision is knowledge gain, so there
+	// must be a process chain <initiator, v, initiator> for every vertex
+	// v (Theorem 5 with the initiator learning about v's participation).
+	g := StarGraph(4)
+	init := g.Procs[0]
+	res, err := Run(g, init, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph := causality.NewGraph(res.Comp.Events())
+	for _, v := range g.Procs {
+		if v == init {
+			continue
+		}
+		sets := []trace.ProcSet{
+			trace.Singleton(init),
+			trace.Singleton(v),
+			trace.Singleton(init),
+		}
+		if !graph.HasChain(sets) {
+			t.Fatalf("no chain <%s %s %s> in the echo computation", init, v, init)
+		}
+	}
+}
+
+func TestEchoFromDifferentInitiators(t *testing.T) {
+	g := GridGraph(2, 2)
+	for _, init := range g.Procs {
+		res, err := Run(g, init, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Decided {
+			t.Fatalf("initiator %s never decided", init)
+		}
+	}
+}
+
+func TestRunValidatesInitiator(t *testing.T) {
+	g := StarGraph(2)
+	if _, err := Run(g, "nope", 1); err == nil {
+		t.Fatalf("foreign initiator accepted")
+	}
+}
+
+func TestSingleVertexGraph(t *testing.T) {
+	g := Graph{Procs: []trace.ProcID{"solo"}, Neighbors: map[trace.ProcID][]trace.ProcID{}}
+	res, err := Run(g, "solo", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided || res.Messages != 0 {
+		t.Fatalf("solo echo: %+v", res)
+	}
+}

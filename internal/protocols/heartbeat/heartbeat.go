@@ -1,0 +1,129 @@
+// Package heartbeat models a worker/monitor pair for the paper's §5
+// failure-detection impossibility: the worker sends heartbeats and may
+// crash at any moment; crashing is an internal event of the worker (the
+// predicate "the worker has failed" is local to the worker) after which
+// it takes no further events. The monitor only receives.
+//
+// The package provides the system as a universe.Protocol so the failure
+// experiment can model-check the paper's claim exactly: at every
+// computation of the system, the monitor is unsure whether the worker
+// has failed.
+package heartbeat
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hpl/internal/knowledge"
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// Tags and process names.
+const (
+	TagHeartbeat = "hb"
+	TagCrash     = "crash"
+)
+
+// System is a worker/monitor heartbeat system with a bounded number of
+// heartbeats.
+type System struct {
+	Worker  trace.ProcID
+	Monitor trace.ProcID
+	// MaxHeartbeats bounds the worker's sends so the universe is finite.
+	MaxHeartbeats int
+}
+
+// New builds the system.
+func New(worker, monitor trace.ProcID, maxHeartbeats int) (*System, error) {
+	if worker == monitor {
+		return nil, fmt.Errorf("heartbeat: worker and monitor must differ")
+	}
+	if maxHeartbeats < 0 {
+		return nil, fmt.Errorf("heartbeat: negative heartbeat bound")
+	}
+	return &System{Worker: worker, Monitor: monitor, MaxHeartbeats: maxHeartbeats}, nil
+}
+
+// Failed returns the predicate "the worker has failed", which is local to
+// the worker: its value is determined by the worker's own projection.
+func (s *System) Failed() knowledge.Predicate {
+	return knowledge.DidInternal(s.Worker, TagCrash)
+}
+
+var _ universe.Protocol = (*System)(nil)
+
+// Procs returns the two processes.
+func (s *System) Procs() []trace.ProcID { return []trace.ProcID{s.Worker, s.Monitor} }
+
+const (
+	stateCrashed = "crashed"
+	stateMonitor = "mon"
+)
+
+// Init starts the worker alive with zero heartbeats sent.
+func (s *System) Init(p trace.ProcID) string {
+	if p == s.Worker {
+		return "alive:0"
+	}
+	return stateMonitor
+}
+
+func aliveCount(state string) (int, bool) {
+	if !strings.HasPrefix(state, "alive:") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(state, "alive:"))
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Steps lets a live worker send a heartbeat or crash; the monitor and a
+// crashed worker take no spontaneous steps.
+func (s *System) Steps(p trace.ProcID, state string) []universe.Action {
+	if p != s.Worker {
+		return nil
+	}
+	k, alive := aliveCount(state)
+	if !alive {
+		return nil
+	}
+	var out []universe.Action
+	if k < s.MaxHeartbeats {
+		out = append(out, universe.Action{Kind: trace.KindSend, To: s.Monitor, Tag: TagHeartbeat})
+	}
+	out = append(out, universe.Action{Kind: trace.KindInternal, Tag: TagCrash})
+	return out
+}
+
+// AfterStep advances the worker's state.
+func (s *System) AfterStep(_ trace.ProcID, state string, a universe.Action) string {
+	k, _ := aliveCount(state)
+	if a.Tag == TagCrash {
+		return stateCrashed
+	}
+	return "alive:" + strconv.Itoa(k+1)
+}
+
+// Deliver lets the monitor accept heartbeats.
+func (s *System) Deliver(p trace.ProcID, state string, _ trace.ProcID, tag string) (string, bool) {
+	if p == s.Monitor && tag == TagHeartbeat {
+		return state, true
+	}
+	return state, false
+}
+
+// Enumerate builds the universe of system computations. The bound
+// 2·MaxHeartbeats+1 events suffices for every send, every receive, and a
+// crash; larger bounds are accepted.
+func (s *System) Enumerate(maxEvents, capN int) (*universe.Universe, error) {
+	return universe.Enumerate(s, maxEvents, capN)
+}
+
+// SuggestedMaxEvents is the smallest event bound under which the
+// forever-unsure theorem check is exact (every computation's crash- and
+// no-crash-variants fit in the universe).
+func (s *System) SuggestedMaxEvents() int { return 2*s.MaxHeartbeats + 1 }

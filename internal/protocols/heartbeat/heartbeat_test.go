@@ -1,0 +1,113 @@
+package heartbeat
+
+import (
+	"testing"
+
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("a", "a", 1); err == nil {
+		t.Errorf("worker == monitor accepted")
+	}
+	if _, err := New("w", "m", -2); err == nil {
+		t.Errorf("negative bound accepted")
+	}
+	if _, err := New("w", "m", 0); err != nil {
+		t.Errorf("zero heartbeats rejected: %v", err)
+	}
+}
+
+func TestEnumerationShape(t *testing.T) {
+	sys, err := New("w", "m", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := sys.Enumerate(sys.SuggestedMaxEvents(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Computations with maxHeartbeats=1, maxEvents=3:
+	// null; hb; crash; hb,recv; hb,crash; crash... enumerate and verify
+	// structural invariants rather than an exact count.
+	failed := sys.Failed()
+	for i := 0; i < u.Len(); i++ {
+		c := u.At(i)
+		// The worker sends at most MaxHeartbeats heartbeats.
+		if got := c.CountKind(trace.Singleton("w"), trace.KindSend); got > 1 {
+			t.Fatalf("member %d: %d heartbeats sent", i, got)
+		}
+		// After a crash the worker has no events.
+		if failed.Holds(c) {
+			proj := c.Projection(trace.Singleton("w"))
+			if proj[len(proj)-1].Tag != TagCrash {
+				t.Fatalf("member %d: event after crash", i)
+			}
+		}
+		// The monitor never sends.
+		if got := c.CountKind(trace.Singleton("m"), trace.KindSend); got != 0 {
+			t.Fatalf("member %d: monitor sent a message", i)
+		}
+	}
+}
+
+func TestCrashAlwaysAvailable(t *testing.T) {
+	// From every alive state the crash action is enabled — the adversary
+	// can kill the worker at any point.
+	sys, err := New("w", "m", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := sys.Steps("w", sys.Init("w"))
+	foundCrash := false
+	for _, a := range steps {
+		if a.Tag == TagCrash {
+			foundCrash = true
+		}
+	}
+	if !foundCrash {
+		t.Fatalf("crash not enabled initially")
+	}
+	if got := sys.Steps("w", "crashed"); len(got) != 0 {
+		t.Fatalf("crashed worker still has steps: %v", got)
+	}
+	if got := sys.Steps("m", stateMonitor); len(got) != 0 {
+		t.Fatalf("monitor has spontaneous steps: %v", got)
+	}
+}
+
+func TestHeartbeatBudgetExhausts(t *testing.T) {
+	sys, err := New("w", "m", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := universe.Action{Kind: trace.KindSend, To: "m", Tag: TagHeartbeat}
+	after := sys.AfterStep("w", "alive:0", send)
+	if after != "alive:1" {
+		t.Fatalf("AfterStep = %q", after)
+	}
+	steps := sys.Steps("w", "alive:1")
+	for _, a := range steps {
+		if a.Tag == TagHeartbeat {
+			t.Fatalf("heartbeat enabled beyond budget")
+		}
+	}
+	crash := universe.Action{Kind: trace.KindInternal, Tag: TagCrash}
+	if got := sys.AfterStep("w", "alive:1", crash); got != "crashed" {
+		t.Fatalf("crash AfterStep = %q", got)
+	}
+}
+
+func TestDeliverRules(t *testing.T) {
+	sys, err := New("w", "m", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.Deliver("m", stateMonitor, "w", TagHeartbeat); !ok {
+		t.Errorf("monitor must accept heartbeats")
+	}
+	if _, ok := sys.Deliver("w", "alive:0", "m", TagHeartbeat); ok {
+		t.Errorf("worker must not receive")
+	}
+}

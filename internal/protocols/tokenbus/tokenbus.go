@@ -1,0 +1,202 @@
+// Package tokenbus implements the paper's §4.1 example: a token bus — a
+// linear sequence of processes passing a single token back and forth.
+// Boundary processes have one neighbour, interior processes two; there is
+// exactly one token, initially at the leftmost process.
+//
+// The package provides the system both as a universe.Protocol (for
+// exhaustive enumeration and knowledge checking — the paper's claim is
+// that when r holds the token,
+//
+//	r knows ((q knows ¬token@p) ∧ (s knows ¬token@t))
+//
+// for the five-process bus p,q,r,s,t) and as sim.Node state machines for
+// long randomized runs.
+package tokenbus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hpl/internal/knowledge"
+	"hpl/internal/sim"
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// TokenTag tags every token-transfer message.
+const TokenTag = "token"
+
+// Bus describes a token bus over the given processes, left to right.
+type Bus struct {
+	procs []trace.ProcID
+}
+
+// New builds a bus; it requires at least two processes.
+func New(procs ...trace.ProcID) (*Bus, error) {
+	if len(procs) < 2 {
+		return nil, fmt.Errorf("tokenbus: need at least 2 processes, got %d", len(procs))
+	}
+	seen := make(map[trace.ProcID]bool, len(procs))
+	for _, p := range procs {
+		if seen[p] {
+			return nil, fmt.Errorf("tokenbus: duplicate process %s", p)
+		}
+		seen[p] = true
+	}
+	return &Bus{procs: append([]trace.ProcID(nil), procs...)}, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(procs ...trace.ProcID) *Bus {
+	b, err := New(procs...)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Procs returns the bus processes, left to right.
+func (b *Bus) Procs() []trace.ProcID { return append([]trace.ProcID(nil), b.procs...) }
+
+// Leftmost returns the initial token holder.
+func (b *Bus) Leftmost() trace.ProcID { return b.procs[0] }
+
+// Neighbors returns the processes adjacent to p on the bus.
+func (b *Bus) Neighbors(p trace.ProcID) []trace.ProcID {
+	var out []trace.ProcID
+	for i, q := range b.procs {
+		if q != p {
+			continue
+		}
+		if i > 0 {
+			out = append(out, b.procs[i-1])
+		}
+		if i+1 < len(b.procs) {
+			out = append(out, b.procs[i+1])
+		}
+	}
+	return out
+}
+
+// TokenAt returns the predicate "p holds the token".
+func (b *Bus) TokenAt(p trace.ProcID) knowledge.Predicate {
+	return knowledge.TokenAt(p, b.Leftmost(), TokenTag)
+}
+
+// --- universe.Protocol implementation ---
+
+const (
+	stateHolding = "H"
+	stateEmpty   = "N"
+)
+
+var _ universe.Protocol = (*Bus)(nil)
+
+// Init gives the leftmost process the token.
+func (b *Bus) Init(p trace.ProcID) string {
+	if p == b.Leftmost() {
+		return stateHolding
+	}
+	return stateEmpty
+}
+
+// Steps lets a holder pass the token to either neighbour.
+func (b *Bus) Steps(p trace.ProcID, state string) []universe.Action {
+	if state != stateHolding {
+		return nil
+	}
+	var out []universe.Action
+	for _, q := range b.Neighbors(p) {
+		out = append(out, universe.Action{Kind: trace.KindSend, To: q, Tag: TokenTag})
+	}
+	return out
+}
+
+// AfterStep releases the token on send.
+func (b *Bus) AfterStep(_ trace.ProcID, _ string, _ universe.Action) string {
+	return stateEmpty
+}
+
+// Deliver accepts the token.
+func (b *Bus) Deliver(_ trace.ProcID, _ string, _ trace.ProcID, tag string) (string, bool) {
+	if tag != TokenTag {
+		return "", false
+	}
+	return stateHolding, true
+}
+
+// Enumerate builds the universe of bus computations with at most
+// maxEvents events.
+func (b *Bus) Enumerate(maxEvents, capN int) (*universe.Universe, error) {
+	return universe.Enumerate(b, maxEvents, capN)
+}
+
+// --- sim.Node implementation ---
+
+// Node simulates one bus process: on holding the token it passes it to a
+// uniformly random neighbour after one internal "work" event, up to a
+// per-node hop budget shared via the Stats sink.
+type Node struct {
+	Bus   *Bus
+	Self  trace.ProcID
+	Rng   *rand.Rand
+	Stats *Stats
+
+	holding bool
+}
+
+// Stats accumulates transfer counts across the bus.
+type Stats struct {
+	// Hops counts token transfers completed (receives).
+	Hops int
+	// MaxHops stops the token after this many transfers; 0 = no limit
+	// (the run then ends only by the simulator's event budget).
+	MaxHops int
+}
+
+var _ sim.Node = (*Node)(nil)
+
+// Init marks the leftmost process as the holder.
+func (n *Node) Init(sim.API) { n.holding = n.Self == n.Bus.Leftmost() }
+
+// OnReceive accepts the token.
+func (n *Node) OnReceive(_ sim.API, _ trace.ProcID, tag string) {
+	if tag == TokenTag {
+		n.holding = true
+		n.Stats.Hops++
+	}
+}
+
+// OnStep passes the token to a random neighbour while budget remains.
+func (n *Node) OnStep(api sim.API) bool {
+	if !n.holding {
+		return false
+	}
+	if n.Stats.MaxHops > 0 && n.Stats.Hops >= n.Stats.MaxHops {
+		return false
+	}
+	api.Internal("work")
+	nbrs := n.Bus.Neighbors(n.Self)
+	target := nbrs[n.Rng.Intn(len(nbrs))]
+	if err := api.Send(target, TokenTag); err != nil {
+		return false
+	}
+	n.holding = false
+	return true
+}
+
+// Simulate runs the bus for maxHops token transfers with the given seed
+// and returns the recorded computation.
+func (b *Bus) Simulate(seed int64, maxHops int) (*trace.Computation, error) {
+	rng := rand.New(rand.NewSource(seed))
+	stats := &Stats{MaxHops: maxHops}
+	nodes := make(map[trace.ProcID]sim.Node, len(b.procs))
+	for _, p := range b.procs {
+		nodes[p] = &Node{Bus: b, Self: p, Rng: rand.New(rand.NewSource(rng.Int63())), Stats: stats}
+	}
+	c, err := sim.NewRunner(nodes, sim.Config{Seed: seed, FIFO: true}).Run()
+	if err != nil {
+		return nil, fmt.Errorf("tokenbus: %w", err)
+	}
+	return c, nil
+}

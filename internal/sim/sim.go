@@ -1,0 +1,244 @@
+// Package sim is a deterministic discrete-event simulator for
+// message-passing systems in the paper's model. Nodes are state machines
+// driven by a seeded scheduler that interleaves spontaneous steps and
+// message deliveries; every run records a trace.Computation, so simulated
+// protocols plug directly into the isomorphism and knowledge machinery.
+//
+// Crashed processes simply stop taking events — exactly the paper's §5
+// failure model ("the process does not send messages after its failure").
+// Messages addressed to a crashed process stay in flight forever.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hpl/internal/trace"
+)
+
+// API is the surface a node uses to act during Init, OnReceive, or
+// OnStep. Each Send/Internal call appends exactly one event to the run's
+// computation.
+type API interface {
+	// Self returns the process running the node.
+	Self() trace.ProcID
+	// Send sends a message with the given tag; it reports an error only
+	// for self-sends.
+	Send(to trace.ProcID, tag string) error
+	// Internal records an internal event with the given tag.
+	Internal(tag string)
+	// Crash marks the node crashed: it takes no further events.
+	Crash()
+	// Clock returns the number of events in the run so far (a global
+	// logical clock usable for timeout modelling; real distributed
+	// processes cannot read it, so nodes modelling asynchronous
+	// processes must not base decisions on it).
+	Clock() int
+}
+
+// Node is a simulated process.
+type Node interface {
+	// Init runs before the schedule starts; the node may send.
+	Init(api API)
+	// OnReceive handles a delivered message.
+	OnReceive(api API, from trace.ProcID, tag string)
+	// OnStep gives the node a spontaneous turn; it returns false when it
+	// has nothing to do (used for quiescence detection).
+	OnStep(api API) bool
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Seed drives the scheduler; equal seeds give equal runs.
+	Seed int64
+	// MaxEvents bounds the run length; 0 means DefaultMaxEvents.
+	MaxEvents int
+	// FIFO restricts delivery to the oldest in-flight message per
+	// ordered (sender, receiver) channel; otherwise any in-flight
+	// message may arrive.
+	FIFO bool
+}
+
+// DefaultMaxEvents bounds runs whose Config leaves MaxEvents zero.
+const DefaultMaxEvents = 10000
+
+// ErrEventBudget reports a run stopped by MaxEvents rather than
+// quiescence.
+var ErrEventBudget = errors.New("sim: event budget exhausted before quiescence")
+
+// Runner executes one simulation.
+type Runner struct {
+	nodes   map[trace.ProcID]Node
+	order   []trace.ProcID // deterministic iteration order
+	cfg     Config
+	rng     *rand.Rand
+	builder *trace.Builder
+	crashed map[trace.ProcID]bool
+	events  int
+	// inflight tracks sent-but-undelivered messages incrementally, in
+	// send order, so the scheduler never re-scans the whole trace.
+	inflight []inflightMsg
+}
+
+type inflightMsg struct {
+	msg      trace.MsgID
+	from, to trace.ProcID
+	tag      string
+}
+
+// NewRunner builds a runner over the given nodes.
+func NewRunner(nodes map[trace.ProcID]Node, cfg Config) *Runner {
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = DefaultMaxEvents
+	}
+	order := make([]trace.ProcID, 0, len(nodes))
+	for p := range nodes {
+		order = append(order, p)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	return &Runner{
+		nodes:   nodes,
+		order:   order,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		builder: trace.NewBuilder(),
+		crashed: make(map[trace.ProcID]bool),
+	}
+}
+
+type nodeAPI struct {
+	r    *Runner
+	self trace.ProcID
+}
+
+var _ API = (*nodeAPI)(nil)
+
+func (a *nodeAPI) Self() trace.ProcID { return a.self }
+
+func (a *nodeAPI) Send(to trace.ProcID, tag string) error {
+	if to == a.self {
+		return fmt.Errorf("sim: %s attempted self-send", a.self)
+	}
+	msg, _ := a.r.builder.SendMsg(a.self, to, tag)
+	a.r.inflight = append(a.r.inflight, inflightMsg{msg: msg, from: a.self, to: to, tag: tag})
+	a.r.events++
+	return nil
+}
+
+func (a *nodeAPI) Internal(tag string) {
+	a.r.builder.Internal(a.self, tag)
+	a.r.events++
+}
+
+func (a *nodeAPI) Crash() { a.r.crashed[a.self] = true }
+
+func (a *nodeAPI) Clock() int { return a.r.events }
+
+// Run executes the simulation until quiescence (no deliverable messages
+// and every live node declines a step) or the event budget. It returns
+// the recorded computation; on budget exhaustion the computation so far
+// is returned along with ErrEventBudget.
+func (r *Runner) Run() (*trace.Computation, error) {
+	for _, p := range r.order {
+		if !r.crashed[p] {
+			r.nodes[p].Init(&nodeAPI{r: r, self: p})
+		}
+		if r.events > r.cfg.MaxEvents {
+			return r.snapshot(), ErrEventBudget
+		}
+	}
+	for r.events < r.cfg.MaxEvents {
+		if !r.step() {
+			return r.snapshot(), nil // quiescent
+		}
+	}
+	// One more attempt to observe quiescence exactly at the budget.
+	if !r.step() {
+		return r.snapshot(), nil
+	}
+	return r.snapshot(), ErrEventBudget
+}
+
+// step performs one scheduling decision; it reports whether any work was
+// done.
+func (r *Runner) step() bool {
+	type candidate struct {
+		msg  *inflightMsg // non-nil: delivery
+		node trace.ProcID // otherwise: spontaneous turn
+	}
+	deliverable := r.deliverable()
+	cands := make([]candidate, 0, len(deliverable)+len(r.order))
+	for i := range deliverable {
+		cands = append(cands, candidate{msg: &deliverable[i]})
+	}
+	for _, p := range r.order {
+		if !r.crashed[p] {
+			cands = append(cands, candidate{node: p})
+		}
+	}
+	r.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	for _, c := range cands {
+		if c.msg != nil {
+			dst := c.msg.to
+			if r.crashed[dst] {
+				continue
+			}
+			r.builder.ReceiveMsg(c.msg.msg)
+			r.removeInflight(c.msg.msg)
+			r.events++
+			r.nodes[dst].OnReceive(&nodeAPI{r: r, self: dst}, c.msg.from, c.msg.tag)
+			return true
+		}
+		before := r.events
+		if r.nodes[c.node].OnStep(&nodeAPI{r: r, self: c.node}) || r.events > before {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Runner) removeInflight(m trace.MsgID) {
+	for i := range r.inflight {
+		if r.inflight[i].msg == m {
+			r.inflight = append(r.inflight[:i], r.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// deliverable lists the messages the scheduler may deliver now.
+func (r *Runner) deliverable() []inflightMsg {
+	if !r.cfg.FIFO {
+		out := make([]inflightMsg, 0, len(r.inflight))
+		for _, e := range r.inflight {
+			if !r.crashed[e.to] {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	seen := make(map[string]bool, len(r.inflight))
+	var out []inflightMsg
+	for _, e := range r.inflight {
+		if r.crashed[e.to] {
+			continue
+		}
+		ch := string(e.from) + "→" + string(e.to)
+		if seen[ch] {
+			continue
+		}
+		seen[ch] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+func (r *Runner) snapshot() *trace.Computation { return r.builder.MustSnapshot() }
+
+// Crashed reports whether p has crashed during the run.
+func (r *Runner) Crashed(p trace.ProcID) bool { return r.crashed[p] }
+
+// Events reports the number of events recorded so far.
+func (r *Runner) Events() int { return r.events }

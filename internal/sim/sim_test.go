@@ -1,0 +1,338 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"hpl/internal/trace"
+)
+
+// pinger sends n pings to a target on Init; ponger replies to each.
+type pinger struct {
+	target trace.ProcID
+	n      int
+	got    int
+}
+
+func (p *pinger) Init(api API) {
+	for i := 0; i < p.n; i++ {
+		if err := api.Send(p.target, "ping"); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (p *pinger) OnReceive(_ API, _ trace.ProcID, tag string) {
+	if tag == "pong" {
+		p.got++
+	}
+}
+
+func (p *pinger) OnStep(API) bool { return false }
+
+type ponger struct{}
+
+func (ponger) Init(API) {}
+
+func (ponger) OnReceive(api API, from trace.ProcID, tag string) {
+	if tag == "ping" {
+		if err := api.Send(from, "pong"); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (ponger) OnStep(API) bool { return false }
+
+func TestPingPongQuiesces(t *testing.T) {
+	p := &pinger{target: "q", n: 3}
+	r := NewRunner(map[trace.ProcID]Node{"p": p, "q": ponger{}}, Config{Seed: 1})
+	c, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.got != 3 {
+		t.Fatalf("pings answered = %d, want 3", p.got)
+	}
+	// 3 pings + 3 pongs, each sent and received: 12 events.
+	if c.Len() != 12 {
+		t.Fatalf("events = %d, want 12", c.Len())
+	}
+	if len(c.InFlight()) != 0 {
+		t.Fatalf("messages still in flight at quiescence")
+	}
+	if _, err := trace.NewComputation(c.Events()); err != nil {
+		t.Fatalf("recorded computation invalid: %v", err)
+	}
+}
+
+func TestDeterminismBySeed(t *testing.T) {
+	run := func(seed int64) string {
+		p := &pinger{target: "q", n: 4}
+		r := NewRunner(map[trace.ProcID]Node{"p": p, "q": ponger{}}, Config{Seed: seed})
+		c, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Key()
+	}
+	if run(7) != run(7) {
+		t.Fatalf("same seed must give same run")
+	}
+	// Different seeds should (for this workload) give different
+	// interleavings; if not, the schedule space is degenerate.
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 8; seed++ {
+		distinct[run(seed)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("scheduler never varied the interleaving across seeds")
+	}
+}
+
+// floodNode sends forever; used to exercise the event budget.
+type floodNode struct{ peer trace.ProcID }
+
+func (f *floodNode) Init(API) {}
+
+func (f *floodNode) OnReceive(API, trace.ProcID, string) {}
+
+func (f *floodNode) OnStep(api API) bool {
+	_ = api.Send(f.peer, "flood")
+	return true
+}
+
+func TestEventBudget(t *testing.T) {
+	r := NewRunner(map[trace.ProcID]Node{
+		"a": &floodNode{peer: "b"},
+		"b": &floodNode{peer: "a"},
+	}, Config{Seed: 1, MaxEvents: 50})
+	c, err := r.Run()
+	if !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("err = %v, want ErrEventBudget", err)
+	}
+	if c.Len() < 50 {
+		t.Fatalf("events = %d, want >= 50", c.Len())
+	}
+}
+
+// crasher crashes after sending one message.
+type crasher struct{ peer trace.ProcID }
+
+func (cr *crasher) Init(api API) {
+	_ = api.Send(cr.peer, "last-words")
+	api.Crash()
+}
+
+func (cr *crasher) OnReceive(API, trace.ProcID, string) {}
+
+func (cr *crasher) OnStep(API) bool { return false }
+
+// chatty keeps sending to its peer a fixed number of times.
+type chatty struct {
+	peer trace.ProcID
+	left int
+}
+
+func (ch *chatty) Init(API) {}
+
+func (ch *chatty) OnReceive(API, trace.ProcID, string) {}
+
+func (ch *chatty) OnStep(api API) bool {
+	if ch.left == 0 {
+		return false
+	}
+	ch.left--
+	_ = api.Send(ch.peer, "chat")
+	return true
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	// c crashes immediately; messages sent to it stay in flight.
+	r := NewRunner(map[trace.ProcID]Node{
+		"c": &crasher{peer: "o"},
+		"o": &chatty{peer: "c", left: 3},
+	}, Config{Seed: 42})
+	comp, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Crashed("c") {
+		t.Fatalf("c must be crashed")
+	}
+	// o's 3 messages to the crashed process are never received.
+	inflight := comp.InFlight()
+	toC := 0
+	for _, e := range inflight {
+		if e.Peer == "c" {
+			toC++
+		}
+	}
+	if toC != 3 {
+		t.Fatalf("in-flight to crashed = %d, want 3", toC)
+	}
+	// The crashed process has no receive events (paper's failure model).
+	if got := comp.CountKind(trace.Singleton("c"), trace.KindReceive); got != 0 {
+		t.Fatalf("crashed process received %d messages", got)
+	}
+}
+
+// reorderProbe records the order in which tagged messages arrive.
+type reorderProbe struct{ order []string }
+
+func (rp *reorderProbe) Init(API) {}
+
+func (rp *reorderProbe) OnReceive(_ API, _ trace.ProcID, tag string) {
+	rp.order = append(rp.order, tag)
+}
+
+func (rp *reorderProbe) OnStep(API) bool { return false }
+
+// burst sends tagged messages m0..m(n-1) on Init.
+type burst struct {
+	peer trace.ProcID
+	tags []string
+}
+
+func (b *burst) Init(api API) {
+	for _, tag := range b.tags {
+		_ = api.Send(b.peer, tag)
+	}
+}
+
+func (b *burst) OnReceive(API, trace.ProcID, string) {}
+
+func (b *burst) OnStep(API) bool { return false }
+
+func TestFIFOPreservesChannelOrder(t *testing.T) {
+	tags := []string{"m0", "m1", "m2", "m3", "m4"}
+	for seed := int64(0); seed < 10; seed++ {
+		probe := &reorderProbe{}
+		r := NewRunner(map[trace.ProcID]Node{
+			"s": &burst{peer: "d", tags: tags},
+			"d": probe,
+		}, Config{Seed: seed, FIFO: true})
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i, tag := range probe.order {
+			if tag != tags[i] {
+				t.Fatalf("seed %d: FIFO violated: %v", seed, probe.order)
+			}
+		}
+	}
+}
+
+func TestNonFIFOReordersSomewhere(t *testing.T) {
+	tags := []string{"m0", "m1", "m2", "m3", "m4"}
+	reordered := false
+	for seed := int64(0); seed < 20 && !reordered; seed++ {
+		probe := &reorderProbe{}
+		r := NewRunner(map[trace.ProcID]Node{
+			"s": &burst{peer: "d", tags: tags},
+			"d": probe,
+		}, Config{Seed: seed})
+		if _, err := r.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i, tag := range probe.order {
+			if tag != tags[i] {
+				reordered = true
+			}
+		}
+	}
+	if !reordered {
+		t.Fatalf("arbitrary-order delivery never reordered across 20 seeds")
+	}
+}
+
+func TestSelfSendRejected(t *testing.T) {
+	s := &selfSender{}
+	r := NewRunner(map[trace.ProcID]Node{"a": s}, Config{Seed: 1})
+	c, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.sawError {
+		t.Fatalf("self-send must return an error to the node")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("rejected self-send must record no event, got %d", c.Len())
+	}
+}
+
+type selfSender struct{ sawError bool }
+
+func (s *selfSender) Init(api API) {
+	s.sawError = api.Send(api.Self(), "oops") != nil
+}
+
+func (s *selfSender) OnReceive(API, trace.ProcID, string) {}
+
+func (s *selfSender) OnStep(API) bool { return false }
+
+func TestClockAndEvents(t *testing.T) {
+	p := &pinger{target: "q", n: 2}
+	r := NewRunner(map[trace.ProcID]Node{"p": p, "q": ponger{}}, Config{Seed: 3})
+	c, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Events() != c.Len() {
+		t.Fatalf("Events() = %d, len = %d", r.Events(), c.Len())
+	}
+}
+
+// receiveCrasher crashes upon its first received message — fault
+// injection mid-run rather than at Init.
+type receiveCrasher struct{ received int }
+
+func (rc *receiveCrasher) Init(API) {}
+
+func (rc *receiveCrasher) OnReceive(api API, _ trace.ProcID, _ string) {
+	rc.received++
+	api.Crash()
+}
+
+func (rc *receiveCrasher) OnStep(API) bool { return false }
+
+func TestCrashMidRunOnReceive(t *testing.T) {
+	rc := &receiveCrasher{}
+	r := NewRunner(map[trace.ProcID]Node{
+		"victim": rc,
+		"talker": &chatty{peer: "victim", left: 5},
+	}, Config{Seed: 8})
+	comp, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.received != 1 {
+		t.Fatalf("victim received %d messages, want exactly 1", rc.received)
+	}
+	if !r.Crashed("victim") {
+		t.Fatalf("victim must be crashed")
+	}
+	// The victim's only event is the single receive.
+	proj := comp.Projection(trace.Singleton("victim"))
+	if len(proj) != 1 || proj[0].Kind != trace.KindReceive {
+		t.Fatalf("victim projection = %v", proj)
+	}
+	// 4 of the 5 messages stay in flight forever.
+	if got := len(comp.InFlight()); got != 4 {
+		t.Fatalf("in flight = %d, want 4", got)
+	}
+}
+
+func TestRunnerInflightMatchesComputation(t *testing.T) {
+	// The incrementally tracked in-flight set must agree with the
+	// computation-derived one at quiescence.
+	p := &pinger{target: "q", n: 3}
+	r := NewRunner(map[trace.ProcID]Node{"p": p, "q": ponger{}}, Config{Seed: 2})
+	comp, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.inflight) != len(comp.InFlight()) {
+		t.Fatalf("tracked in-flight %d != derived %d", len(r.inflight), len(comp.InFlight()))
+	}
+}

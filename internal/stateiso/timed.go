@@ -1,0 +1,113 @@
+package stateiso
+
+import (
+	"fmt"
+	"strconv"
+
+	"hpl/internal/knowledge"
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// This file implements the paper's §6 generalization 2: "we can
+// introduce the notion of time into computations"; the paper notes its
+// results do NOT survive this change. A timed evaluator makes global
+// time observable: two computations are timed-isomorphic with respect to
+// P when P's projections agree AND the computations have equal length
+// (every process reads a global clock).
+//
+// The headline consequence, checked by the lockstep experiment: with
+// time, common knowledge CAN be gained — the corollary to Lemma 3 fails
+// — because simultaneity became observable. This is exactly the boundary
+// Halpern & Moses draw and the reason the paper's CK corollary is
+// specific to asynchronous systems.
+
+// NewTimedEvaluator builds an evaluator whose isomorphism classes also
+// require equal computation length (global time), composed with the
+// given per-process abstraction.
+func NewTimedEvaluator(u *universe.Universe, abs Abstraction) *Evaluator {
+	timed := NewAbstraction("timed("+abs.Name()+")", abs.fn)
+	e := NewEvaluator(u, timed)
+	// Refine every state key with the global clock by rebuilding the
+	// per-member keys: the length is appended to each process's state,
+	// which makes equal-length a prerequisite for any class membership.
+	for i := 0; i < u.Len(); i++ {
+		clock := strconv.Itoa(u.At(i).Len())
+		for p, s := range e.stateKeys[i] {
+			e.stateKeys[i][p] = s + "@t" + clock
+		}
+	}
+	return e
+}
+
+// Lockstep builds the universe of n processes executing rounds
+// internal events in lockstep: every process performs its round-k event
+// (tagged "r<k>") before any process starts round k+1, but events within
+// a round interleave arbitrarily.
+func Lockstep(procs []trace.ProcID, rounds int) (*universe.Universe, error) {
+	if len(procs) == 0 || rounds < 1 {
+		return nil, fmt.Errorf("stateiso: lockstep needs processes and rounds")
+	}
+	var comps []*trace.Computation
+	seen := make(map[string]bool)
+
+	var extend func(b *trace.Builder, round int, remaining []trace.ProcID)
+	extend = func(b *trace.Builder, round int, remaining []trace.ProcID) {
+		c := b.MustSnapshot()
+		if !seen[c.Key()] {
+			seen[c.Key()] = true
+			comps = append(comps, c)
+		}
+		if len(remaining) == 0 {
+			if round == rounds {
+				return
+			}
+			extend(b, round+1, procs)
+			return
+		}
+		for i, p := range remaining {
+			nb := trace.FromComputation(c)
+			nb.Internal(p, "r"+strconv.Itoa(round))
+			rest := make([]trace.ProcID, 0, len(remaining)-1)
+			rest = append(rest, remaining[:i]...)
+			rest = append(rest, remaining[i+1:]...)
+			extend(nb, round, rest)
+		}
+	}
+	b := trace.NewBuilder()
+	extend(b, 1, procs)
+	return universe.New(comps, trace.NewProcSet(procs...)), nil
+}
+
+// RoundDone returns the predicate "every process has completed round k"
+// in a lockstep system.
+func RoundDone(procs []trace.ProcID, k int) knowledge.Predicate {
+	return knowledge.NewPredicate(fmt.Sprintf("roundDone(%d)", k), func(c *trace.Computation) bool {
+		for _, p := range procs {
+			found := false
+			for _, e := range c.Projection(trace.Singleton(p)) {
+				if e.Kind == trace.KindInternal && e.Tag == "r"+strconv.Itoa(k) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// CommonKnowledgeGained reports the members (indexes) at which common
+// knowledge of f holds under the evaluator — used to contrast the timed
+// and untimed relations on the same universe.
+func CommonKnowledgeGained(e *Evaluator, f knowledge.Formula) []int {
+	ck := knowledge.Common(f)
+	var out []int
+	for i := 0; i < e.u.Len(); i++ {
+		if e.HoldsAt(ck, i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package termination
+
+import (
+	"testing"
+
+	"hpl/internal/protocols/diffusing"
+)
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep(SweepConfig{Procs: 4}); err == nil {
+		t.Errorf("empty sweep accepted")
+	}
+	if _, err := Sweep(SweepConfig{Sizes: []int{5}, Procs: 1}); err == nil {
+		t.Errorf("single-process sweep accepted")
+	}
+}
+
+func TestSweepBenign(t *testing.T) {
+	rows, err := Sweep(SweepConfig{
+		Sizes: []int{5, 15, 30},
+		Procs: 5,
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// DS always meets the bound with equality.
+		if r.DSControl != r.Messages || r.DSRatio != 1.0 {
+			t.Errorf("m=%d: DS control=%d ratio=%v", r.Messages, r.DSControl, r.DSRatio)
+		}
+		// Credit never exceeds one control per basic message.
+		if r.CreditRatio > 1.0 {
+			t.Errorf("m=%d: credit ratio %v > 1", r.Messages, r.CreditRatio)
+		}
+		if r.CreditControl <= 0 {
+			t.Errorf("m=%d: credit sent no control messages", r.Messages)
+		}
+	}
+}
+
+func TestSweepAdversarialDrivesCreditToBound(t *testing.T) {
+	rows, err := Sweep(SweepConfig{
+		Sizes:       []int{4, 8},
+		Procs:       10,
+		Adversarial: true,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// On the chain workload with fan-out 1, every basic message
+		// engages a fresh passive period: credit hits ratio 1 — the
+		// "in general" of the paper's lower bound.
+		if r.CreditRatio < 0.99 {
+			t.Errorf("m=%d: adversarial credit ratio = %v, want ≈1", r.Messages, r.CreditRatio)
+		}
+		if r.DSRatio != 1.0 {
+			t.Errorf("m=%d: DS ratio = %v", r.Messages, r.DSRatio)
+		}
+	}
+}
+
+func TestQuietCounterexampleExists(t *testing.T) {
+	seed, res, err := FindQuietCounterexample(6, 30, 2, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct || !res.Detected {
+		t.Fatalf("seed %d: not a counterexample: %+v", seed, res)
+	}
+	if res.Control != 0 {
+		t.Fatalf("quiet detector sent control messages: %d", res.Control)
+	}
+}
+
+func TestQuietCounterexampleValidation(t *testing.T) {
+	if _, _, err := FindQuietCounterexample(1, 5, 2, 10); err == nil {
+		t.Errorf("degenerate workload accepted")
+	}
+	// A huge threshold on a tiny workload should find no counterexample.
+	if _, _, err := FindQuietCounterexample(3, 2, 50, 3); err == nil {
+		t.Errorf("expected no counterexample with a huge threshold")
+	}
+}
+
+func TestDetectionChainsDS(t *testing.T) {
+	w := diffusing.Workload{
+		Topo:          diffusing.Complete(5),
+		TotalMessages: 25,
+		FanOut:        2,
+		Seed:          9,
+	}
+	res, err := diffusing.RunDS(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDetectionChains(res, w.Topo.Procs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectionChainsCredit(t *testing.T) {
+	w := diffusing.Workload{
+		Topo:          diffusing.Ring(6),
+		TotalMessages: 20,
+		FanOut:        2,
+		Seed:          4,
+	}
+	res, err := diffusing.RunCredit(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDetectionChains(res, w.Topo.Procs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectionChainsRejectsNonDetection(t *testing.T) {
+	if err := CheckDetectionChains(diffusing.Result{}, "n00"); err == nil {
+		t.Fatalf("non-detecting run accepted")
+	}
+}

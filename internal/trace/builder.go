@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"fmt"
+)
+
+// Builder incrementally constructs a system computation, assigning
+// canonical event and message identifiers (per-process and per-sender
+// sequence numbers). The zero value is ready to use.
+//
+// Builder methods return the builder for chaining and record the first
+// error encountered; Build reports it. This keeps protocol-construction
+// code linear while still surfacing invalid constructions.
+type Builder struct {
+	events    []Event
+	nextEvent map[ProcID]int
+	nextMsg   map[ProcID]int
+	inFlight  map[MsgID]Event // sends not yet received
+	err       error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		nextEvent: make(map[ProcID]int),
+		nextMsg:   make(map[ProcID]int),
+		inFlight:  make(map[MsgID]Event),
+	}
+}
+
+// FromComputation returns a builder whose state continues the given
+// computation, so that appended events receive correct sequence numbers.
+func FromComputation(c *Computation) *Builder {
+	b := NewBuilder()
+	for _, e := range c.Events() {
+		b.append(e)
+	}
+	return b
+}
+
+func (b *Builder) fail(format string, args ...any) *Builder {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+	return b
+}
+
+func (b *Builder) append(e Event) {
+	b.events = append(b.events, e)
+	b.nextEvent[e.Proc]++
+	switch e.Kind {
+	case KindSend:
+		seq := int(0)
+		// Recover per-sender message counter from the id when replaying.
+		if _, err := fmt.Sscanf(string(e.Msg), string(e.Proc)+":%d", &seq); err == nil && seq >= b.nextMsg[e.Proc] {
+			b.nextMsg[e.Proc] = seq + 1
+		}
+		b.inFlight[e.Msg] = e
+	case KindReceive:
+		delete(b.inFlight, e.Msg)
+	}
+}
+
+// Internal appends an internal event on p with the given tag.
+func (b *Builder) Internal(p ProcID, tag string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.append(Event{
+		ID:   NewEventID(p, b.nextEvent[p]),
+		Proc: p,
+		Kind: KindInternal,
+		Tag:  tag,
+	})
+	return b
+}
+
+// Send appends a send event on p of a fresh message to q and returns the
+// builder. The message identifier is p's next per-sender sequence number.
+func (b *Builder) Send(p, q ProcID, tag string) *Builder {
+	_, _ = b.SendMsg(p, q, tag)
+	return b
+}
+
+// SendMsg is Send but also returns the identifier of the message sent.
+func (b *Builder) SendMsg(p, q ProcID, tag string) (MsgID, *Builder) {
+	if b.err != nil {
+		return "", b
+	}
+	if p == q {
+		return "", b.fail("trace: Builder.Send: self-send %s→%s", p, q)
+	}
+	m := NewMsgID(p, b.nextMsg[p])
+	b.nextMsg[p]++
+	b.append(Event{
+		ID:   NewEventID(p, b.nextEvent[p]),
+		Proc: p,
+		Kind: KindSend,
+		Msg:  m,
+		Peer: q,
+		Tag:  tag,
+	})
+	return m, b
+}
+
+// ReceiveMsg appends a receive event on the destination of message m,
+// which must be in flight.
+func (b *Builder) ReceiveMsg(m MsgID) *Builder {
+	if b.err != nil {
+		return b
+	}
+	s, ok := b.inFlight[m]
+	if !ok {
+		return b.fail("trace: Builder.ReceiveMsg: message %s not in flight", m)
+	}
+	p := s.Peer
+	b.append(Event{
+		ID:   NewEventID(p, b.nextEvent[p]),
+		Proc: p,
+		Kind: KindReceive,
+		Msg:  m,
+		Peer: s.Proc,
+		Tag:  s.Tag,
+	})
+	return b
+}
+
+// Receive appends a receive on p of the oldest in-flight message from q to
+// p (FIFO delivery). Use ReceiveMsg for out-of-order delivery.
+func (b *Builder) Receive(p, q ProcID) *Builder {
+	if b.err != nil {
+		return b
+	}
+	var oldest MsgID
+	oldestIdx := -1
+	for i, e := range b.events {
+		if e.Kind != KindSend || e.Proc != q || e.Peer != p {
+			continue
+		}
+		if _, still := b.inFlight[e.Msg]; still && oldestIdx < 0 {
+			oldest, oldestIdx = e.Msg, i
+		}
+	}
+	if oldestIdx < 0 {
+		return b.fail("trace: Builder.Receive: no in-flight message %s→%s", q, p)
+	}
+	return b.ReceiveMsg(oldest)
+}
+
+// Err returns the first construction error, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Snapshot returns the computation built so far without finalizing the
+// builder; further events may still be appended.
+func (b *Builder) Snapshot() (*Computation, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return NewComputation(b.events)
+}
+
+// MustSnapshot is Snapshot for known-valid states; it panics on error.
+func (b *Builder) MustSnapshot() *Computation {
+	c, err := b.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Build validates and returns the computation.
+func (b *Builder) Build() (*Computation, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return NewComputation(b.events)
+}
+
+// MustBuild is Build for known-valid constructions; it panics on error.
+func (b *Builder) MustBuild() *Computation {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderAssignsSequentialIDs(t *testing.T) {
+	c := NewBuilder().
+		Internal("p", "a").
+		Internal("p", "b").
+		Internal("q", "c").
+		MustBuild()
+	wantIDs := []EventID{"p#0", "p#1", "q#0"}
+	for i, want := range wantIDs {
+		if got := c.At(i).ID; got != want {
+			t.Errorf("event %d id = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestBuilderAssignsPerSenderMsgIDs(t *testing.T) {
+	c := NewBuilder().
+		Send("p", "q", "a").
+		Send("r", "q", "b").
+		Send("p", "q", "c").
+		MustBuild()
+	want := []MsgID{"p:0", "r:0", "p:1"}
+	for i, w := range want {
+		if got := c.At(i).Msg; got != w {
+			t.Errorf("msg %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestBuilderSelfSendRejected(t *testing.T) {
+	b := NewBuilder().Send("p", "p", "oops")
+	if b.Err() == nil {
+		t.Fatalf("expected self-send error")
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("Build must surface error")
+	}
+}
+
+func TestBuilderReceiveNoMessage(t *testing.T) {
+	b := NewBuilder().Receive("q", "p")
+	if b.Err() == nil || !strings.Contains(b.Err().Error(), "no in-flight") {
+		t.Fatalf("err = %v", b.Err())
+	}
+}
+
+func TestBuilderReceiveMsgUnknown(t *testing.T) {
+	b := NewBuilder().ReceiveMsg(NewMsgID("p", 7))
+	if b.Err() == nil {
+		t.Fatalf("expected error for unknown message")
+	}
+}
+
+func TestBuilderErrorSticky(t *testing.T) {
+	b := NewBuilder().Receive("q", "p") // fails
+	first := b.Err()
+	b.Internal("p", "later").Send("p", "q", "later")
+	if b.Err() != first {
+		t.Fatalf("first error must stick")
+	}
+}
+
+func TestBuilderFIFOReceive(t *testing.T) {
+	c := NewBuilder().
+		Send("p", "q", "first").
+		Send("p", "q", "second").
+		Receive("q", "p").
+		Receive("q", "p").
+		MustBuild()
+	if got := c.At(2).Tag; got != "first" {
+		t.Errorf("first delivery tag = %q", got)
+	}
+	if got := c.At(3).Tag; got != "second" {
+		t.Errorf("second delivery tag = %q", got)
+	}
+}
+
+func TestBuilderReceiveCopiesTag(t *testing.T) {
+	c := NewBuilder().
+		Send("p", "q", "payload").
+		Receive("q", "p").
+		MustBuild()
+	if got := c.At(1).Tag; got != "payload" {
+		t.Fatalf("receive tag = %q, want payload", got)
+	}
+}
+
+func TestFromComputationContinuesCounters(t *testing.T) {
+	c := NewBuilder().
+		Send("p", "q", "a").
+		Receive("q", "p").
+		MustBuild()
+	d := FromComputation(c).
+		Send("p", "q", "b").
+		Internal("q", "x").
+		MustBuild()
+	if got := d.At(2).Msg; got != NewMsgID("p", 1) {
+		t.Errorf("continued msg id = %s, want p:1", got)
+	}
+	if got := d.At(2).ID; got != NewEventID("p", 1) {
+		t.Errorf("continued event id = %s, want p#1", got)
+	}
+	if got := d.At(3).ID; got != NewEventID("q", 1) {
+		t.Errorf("continued event id = %s, want q#1", got)
+	}
+	if !c.IsPrefixOf(d) {
+		t.Errorf("original must be prefix of extension")
+	}
+}
+
+// randomComputation builds a random valid computation over the given
+// processes with at most n events. Exported to sibling tests via
+// testhelpers.go pattern is avoided; each package keeps its own generator.
+func randomComputation(r *rand.Rand, procs []ProcID, n int) *Computation {
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		p := procs[r.Intn(len(procs))]
+		switch r.Intn(3) {
+		case 0:
+			b.Internal(p, "t")
+		case 1:
+			q := procs[r.Intn(len(procs))]
+			if q != p {
+				b.Send(p, q, "m")
+			}
+		case 2:
+			fl := b.MustSnapshot().InFlight()
+			var mine []Event
+			for _, e := range fl {
+				if e.Peer == p {
+					mine = append(mine, e)
+				}
+			}
+			if len(mine) > 0 {
+				b.ReceiveMsg(mine[r.Intn(len(mine))].Msg)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestRandomComputationsAlwaysValidProperty(t *testing.T) {
+	procs := []ProcID{"p", "q", "r"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomComputation(r, procs, 12)
+		_, err := NewComputation(c.Events())
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectionKeyCharacterizesIsomorphismProperty(t *testing.T) {
+	procs := []ProcID{"p", "q", "r"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randomComputation(r, procs, 10)
+		y := randomComputation(r, procs, 10)
+		for _, p := range procs {
+			s := Singleton(p)
+			byKey := x.ProjectionKey(s) == y.ProjectionKey(s)
+			byIso := x.IsomorphicTo(y, s)
+			if byKey != byIso {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixIsomorphismMonotoneProperty(t *testing.T) {
+	// If x ≤ y then projections of x are prefixes of projections of y.
+	procs := []ProcID{"p", "q"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		y := randomComputation(r, procs, 10)
+		x := y.Prefix(r.Intn(y.Len() + 1))
+		for _, p := range procs {
+			xp := x.Projection(Singleton(p))
+			yp := y.Projection(Singleton(p))
+			if len(xp) > len(yp) {
+				return false
+			}
+			for i := range xp {
+				if xp[i] != yp[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,326 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Validation errors returned by NewComputation and related constructors.
+var (
+	// ErrDuplicateEvent reports two events with the same identifier.
+	ErrDuplicateEvent = errors.New("trace: duplicate event id")
+	// ErrBadEventID reports an event whose identifier does not match its
+	// position in its process's projection.
+	ErrBadEventID = errors.New("trace: event id inconsistent with per-process position")
+	// ErrReceiveBeforeSend reports a receive with no earlier matching send.
+	ErrReceiveBeforeSend = errors.New("trace: receive not preceded by corresponding send")
+	// ErrDuplicateMessage reports a message sent or received twice.
+	ErrDuplicateMessage = errors.New("trace: message sent or received more than once")
+	// ErrBadMessage reports a malformed send/receive event.
+	ErrBadMessage = errors.New("trace: malformed message event")
+)
+
+// Computation is a system computation: a validated finite sequence of
+// events. Computations are immutable; all mutating operations return a new
+// Computation. The zero value is not valid — use Empty or NewComputation.
+type Computation struct {
+	events []Event
+	// key is the canonical encoding of the full sequence, computed once.
+	key string
+}
+
+// Empty returns the empty computation (the paper's "null").
+func Empty() *Computation { return &Computation{} }
+
+// NewComputation validates the event sequence as a system computation:
+// event identifiers must be the canonical per-process identifiers, every
+// receive must be preceded by its corresponding send (same MsgID, matching
+// peers), and no message may be sent or received twice.
+func NewComputation(events []Event) (*Computation, error) {
+	seen := make(map[EventID]struct{}, len(events))
+	perProc := make(map[ProcID]int)
+	sent := make(map[MsgID]Event)
+	received := make(map[MsgID]struct{})
+	for i, e := range events {
+		if _, dup := seen[e.ID]; dup {
+			return nil, fmt.Errorf("%w: %s at index %d", ErrDuplicateEvent, e.ID, i)
+		}
+		seen[e.ID] = struct{}{}
+		want := NewEventID(e.Proc, perProc[e.Proc])
+		if e.ID != want {
+			return nil, fmt.Errorf("%w: got %s, want %s", ErrBadEventID, e.ID, want)
+		}
+		perProc[e.Proc]++
+		switch e.Kind {
+		case KindSend:
+			if e.Msg == "" || e.Peer == "" {
+				return nil, fmt.Errorf("%w: send %s", ErrBadMessage, e.ID)
+			}
+			if _, dup := sent[e.Msg]; dup {
+				return nil, fmt.Errorf("%w: message %s sent twice", ErrDuplicateMessage, e.Msg)
+			}
+			sent[e.Msg] = e
+		case KindReceive:
+			if e.Msg == "" || e.Peer == "" {
+				return nil, fmt.Errorf("%w: receive %s", ErrBadMessage, e.ID)
+			}
+			s, ok := sent[e.Msg]
+			if !ok {
+				return nil, fmt.Errorf("%w: message %s received by %s", ErrReceiveBeforeSend, e.Msg, e.Proc)
+			}
+			if s.Peer != e.Proc || s.Proc != e.Peer {
+				return nil, fmt.Errorf("%w: message %s sent %s→%s but received by %s from %s",
+					ErrBadMessage, e.Msg, s.Proc, s.Peer, e.Proc, e.Peer)
+			}
+			if _, dup := received[e.Msg]; dup {
+				return nil, fmt.Errorf("%w: message %s received twice", ErrDuplicateMessage, e.Msg)
+			}
+			received[e.Msg] = struct{}{}
+		case KindInternal:
+			if e.Msg != "" || e.Peer != "" {
+				return nil, fmt.Errorf("%w: internal %s carries message fields", ErrBadMessage, e.ID)
+			}
+		default:
+			return nil, fmt.Errorf("%w: event %s has kind %v", ErrBadMessage, e.ID, e.Kind)
+		}
+	}
+	cp := make([]Event, len(events))
+	copy(cp, events)
+	return &Computation{events: cp, key: sequenceKey(cp)}, nil
+}
+
+// MustNew is NewComputation for statically known-valid inputs (tests,
+// examples); it panics on validation failure.
+func MustNew(events []Event) *Computation {
+	c, err := NewComputation(events)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func sequenceKey(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(string(e.Proc))
+		b.WriteByte('/')
+		b.WriteString(e.LocalKey())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Len reports the number of events.
+func (c *Computation) Len() int { return len(c.events) }
+
+// At returns the i-th event.
+func (c *Computation) At(i int) Event { return c.events[i] }
+
+// Events returns a copy of the event sequence.
+func (c *Computation) Events() []Event {
+	cp := make([]Event, len(c.events))
+	copy(cp, c.events)
+	return cp
+}
+
+// Key returns a canonical encoding of the whole sequence: two computations
+// are the same sequence of events exactly when their keys are equal.
+func (c *Computation) Key() string { return c.key }
+
+// SameAs reports sequence equality (identical events in identical order).
+func (c *Computation) SameAs(d *Computation) bool { return c.key == d.key }
+
+// Procs returns the set of processes that have at least one event in c.
+func (c *Computation) Procs() ProcSet {
+	var ids []ProcID
+	seen := make(map[ProcID]struct{})
+	for _, e := range c.events {
+		if _, ok := seen[e.Proc]; !ok {
+			seen[e.Proc] = struct{}{}
+			ids = append(ids, e.Proc)
+		}
+	}
+	return NewProcSet(ids...)
+}
+
+// Projection returns the subsequence of events on processes in P — the
+// paper's z_P. The result preserves order.
+func (c *Computation) Projection(p ProcSet) []Event {
+	var out []Event
+	for _, e := range c.events {
+		if p.Contains(e.Proc) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ProjectionKey returns a canonical encoding of the per-process
+// projections of c on P. x [P] y holds exactly when
+// x.ProjectionKey(P) == y.ProjectionKey(P): the relation is defined
+// process-by-process (x [P] y ≡ ∀p∈P: x [p] y), so the key concatenates
+// each process's projection separately rather than the interleaved
+// subsequence — two interleavings of independent events on distinct
+// members of P are [P]-isomorphic.
+func (c *Computation) ProjectionKey(p ProcSet) string {
+	var b strings.Builder
+	for _, id := range p.ids {
+		b.WriteString(string(id))
+		b.WriteByte('/')
+		for _, e := range c.events {
+			if e.Proc == id {
+				b.WriteString(e.LocalKey())
+				b.WriteByte(';')
+			}
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// IsomorphicTo reports x [P] y: the projections of c and d on every process
+// in P coincide. This is the paper's central relation (§3).
+func (c *Computation) IsomorphicTo(d *Computation, p ProcSet) bool {
+	return c.ProjectionKey(p) == d.ProjectionKey(p)
+}
+
+// PermutationOf reports whether d consists of exactly the events of c,
+// possibly reordered; equivalently x [D] y for D ⊇ procs of both. The paper
+// notes x [D] y ∧ x ≠ y implies y is a permutation of x.
+func (c *Computation) PermutationOf(d *Computation) bool {
+	all := c.Procs().Union(d.Procs())
+	return c.ProjectionKey(all) == d.ProjectionKey(all)
+}
+
+// IsPrefixOf reports c ≤ d: the events of c are the first Len(c) events of
+// d in the same order.
+func (c *Computation) IsPrefixOf(d *Computation) bool {
+	if len(c.events) > len(d.events) {
+		return false
+	}
+	for i, e := range c.events {
+		if d.events[i].ID != e.ID || d.events[i].LocalKey() != e.LocalKey() {
+			return false
+		}
+	}
+	return true
+}
+
+// Prefix returns the prefix of c with n events. It panics if n is out of
+// range, matching slice semantics.
+func (c *Computation) Prefix(n int) *Computation {
+	pre := c.events[:n]
+	return &Computation{events: pre, key: sequenceKey(pre)}
+}
+
+// Prefixes returns all prefixes of c, from Empty up to c itself. System
+// computations are prefix closed, so all of these are valid computations.
+func (c *Computation) Prefixes() []*Computation {
+	out := make([]*Computation, 0, len(c.events)+1)
+	for n := 0; n <= len(c.events); n++ {
+		out = append(out, c.Prefix(n))
+	}
+	return out
+}
+
+// Suffix returns (x, z), the suffix of c obtained by removing the prefix x.
+// It returns an error if x is not a prefix of c.
+func (c *Computation) Suffix(x *Computation) ([]Event, error) {
+	if !x.IsPrefixOf(c) {
+		return nil, fmt.Errorf("trace: Suffix: %w", ErrNotPrefix)
+	}
+	suf := c.events[x.Len():]
+	cp := make([]Event, len(suf))
+	copy(cp, suf)
+	return cp, nil
+}
+
+// ErrNotPrefix reports a Suffix or Concat argument that is not a prefix.
+var ErrNotPrefix = errors.New("trace: not a prefix")
+
+// Append returns (c;e) validated as a system computation.
+func (c *Computation) Append(e Event) (*Computation, error) {
+	events := make([]Event, 0, len(c.events)+1)
+	events = append(events, c.events...)
+	events = append(events, e)
+	return NewComputation(events)
+}
+
+// Concat returns (c;suffix) validated as a system computation.
+func (c *Computation) Concat(suffix []Event) (*Computation, error) {
+	events := make([]Event, 0, len(c.events)+len(suffix))
+	events = append(events, c.events...)
+	events = append(events, suffix...)
+	return NewComputation(events)
+}
+
+// DeleteLastOn returns (c − e) where e must be the last event on its own
+// process in c (the situation of the Principle of Computation Extension,
+// part 2). Deleting any other event would invalidate per-process event
+// identifiers, and the principle never requires it.
+func (c *Computation) DeleteLastOn(id EventID) (*Computation, error) {
+	idx := -1
+	for i, e := range c.events {
+		if e.ID == id {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("trace: DeleteLastOn: event %s not found", id)
+	}
+	victim := c.events[idx]
+	for _, e := range c.events[idx+1:] {
+		if e.Proc == victim.Proc {
+			return nil, fmt.Errorf("trace: DeleteLastOn: %s is not the last event on %s", id, victim.Proc)
+		}
+	}
+	events := make([]Event, 0, len(c.events)-1)
+	events = append(events, c.events[:idx]...)
+	events = append(events, c.events[idx+1:]...)
+	return NewComputation(events)
+}
+
+// InFlight returns the messages sent but not yet received in c, in send
+// order. These are exactly the messages a process may still receive in an
+// extension of c.
+func (c *Computation) InFlight() []Event {
+	received := make(map[MsgID]struct{})
+	for _, e := range c.events {
+		if e.Kind == KindReceive {
+			received[e.Msg] = struct{}{}
+		}
+	}
+	var out []Event
+	for _, e := range c.events {
+		if e.Kind == KindSend {
+			if _, ok := received[e.Msg]; !ok {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// CountKind returns the number of events of the given kind on P.
+func (c *Computation) CountKind(p ProcSet, k Kind) int {
+	n := 0
+	for _, e := range c.events {
+		if e.Kind == k && p.Contains(e.Proc) {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the computation one event per line.
+func (c *Computation) String() string {
+	if len(c.events) == 0 {
+		return "⟨null⟩"
+	}
+	parts := make([]string, len(c.events))
+	for i, e := range c.events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "\n")
+}

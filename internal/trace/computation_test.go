@@ -1,0 +1,318 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// twoProcChain builds: p sends m to q; q receives; q internal.
+func twoProcChain(t *testing.T) *Computation {
+	t.Helper()
+	return NewBuilder().
+		Send("p", "q", "hello").
+		Receive("q", "p").
+		Internal("q", "think").
+		MustBuild()
+}
+
+func TestNewComputationValid(t *testing.T) {
+	c := twoProcChain(t)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if got := c.At(0).Kind; got != KindSend {
+		t.Errorf("event 0 kind = %v", got)
+	}
+	if got := c.At(1).Kind; got != KindReceive {
+		t.Errorf("event 1 kind = %v", got)
+	}
+	if got := c.At(1).Msg; got != NewMsgID("p", 0) {
+		t.Errorf("received msg = %v", got)
+	}
+}
+
+func TestReceiveBeforeSendRejected(t *testing.T) {
+	events := []Event{
+		{ID: NewEventID("q", 0), Proc: "q", Kind: KindReceive, Msg: NewMsgID("p", 0), Peer: "p"},
+	}
+	_, err := NewComputation(events)
+	if !errors.Is(err, ErrReceiveBeforeSend) {
+		t.Fatalf("err = %v, want ErrReceiveBeforeSend", err)
+	}
+}
+
+func TestDuplicateEventIDRejected(t *testing.T) {
+	events := []Event{
+		{ID: NewEventID("p", 0), Proc: "p", Kind: KindInternal},
+		{ID: NewEventID("p", 0), Proc: "p", Kind: KindInternal},
+	}
+	_, err := NewComputation(events)
+	if !errors.Is(err, ErrDuplicateEvent) {
+		t.Fatalf("err = %v, want ErrDuplicateEvent", err)
+	}
+}
+
+func TestMismatchedEventIDRejected(t *testing.T) {
+	events := []Event{
+		{ID: NewEventID("p", 5), Proc: "p", Kind: KindInternal},
+	}
+	_, err := NewComputation(events)
+	if !errors.Is(err, ErrBadEventID) {
+		t.Fatalf("err = %v, want ErrBadEventID", err)
+	}
+}
+
+func TestDuplicateMessageRejected(t *testing.T) {
+	m := NewMsgID("p", 0)
+	events := []Event{
+		{ID: NewEventID("p", 0), Proc: "p", Kind: KindSend, Msg: m, Peer: "q"},
+		{ID: NewEventID("p", 1), Proc: "p", Kind: KindSend, Msg: m, Peer: "q"},
+	}
+	_, err := NewComputation(events)
+	if !errors.Is(err, ErrDuplicateMessage) {
+		t.Fatalf("err = %v, want ErrDuplicateMessage", err)
+	}
+}
+
+func TestMisdirectedReceiveRejected(t *testing.T) {
+	m := NewMsgID("p", 0)
+	events := []Event{
+		{ID: NewEventID("p", 0), Proc: "p", Kind: KindSend, Msg: m, Peer: "q"},
+		{ID: NewEventID("r", 0), Proc: "r", Kind: KindReceive, Msg: m, Peer: "p"},
+	}
+	_, err := NewComputation(events)
+	if !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestInternalWithMessageRejected(t *testing.T) {
+	events := []Event{
+		{ID: NewEventID("p", 0), Proc: "p", Kind: KindInternal, Msg: NewMsgID("p", 0)},
+	}
+	_, err := NewComputation(events)
+	if !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("err = %v, want ErrBadMessage", err)
+	}
+}
+
+func TestProjection(t *testing.T) {
+	c := twoProcChain(t)
+	pOnly := c.Projection(Singleton("p"))
+	if len(pOnly) != 1 || pOnly[0].Kind != KindSend {
+		t.Fatalf("projection on p = %v", pOnly)
+	}
+	qOnly := c.Projection(Singleton("q"))
+	if len(qOnly) != 2 {
+		t.Fatalf("projection on q = %v", qOnly)
+	}
+	both := c.Projection(NewProcSet("p", "q"))
+	if len(both) != 3 {
+		t.Fatalf("projection on {p,q} = %v", both)
+	}
+	none := c.Projection(NewProcSet())
+	if len(none) != 0 {
+		t.Fatalf("projection on {} = %v", none)
+	}
+}
+
+func TestIsomorphicTo(t *testing.T) {
+	// x: p sends m0 and m1 to q; q receives both in order.
+	x := NewBuilder().
+		Send("p", "q", "a").
+		Send("p", "q", "b").
+		ReceiveMsg(NewMsgID("p", 0)).
+		ReceiveMsg(NewMsgID("p", 1)).
+		MustBuild()
+	// y: same sends, but the second send happens after the first receive.
+	y := NewBuilder().
+		Send("p", "q", "a").
+		ReceiveMsg(NewMsgID("p", 0)).
+		Send("p", "q", "b").
+		ReceiveMsg(NewMsgID("p", 1)).
+		MustBuild()
+	p, q := Singleton("p"), Singleton("q")
+	if !x.IsomorphicTo(y, p) {
+		t.Errorf("want x [p] y")
+	}
+	if !x.IsomorphicTo(y, q) {
+		t.Errorf("want x [q] y")
+	}
+	if !x.PermutationOf(y) {
+		t.Errorf("want y permutation of x")
+	}
+	// z: q receives out of order — q's projection differs.
+	z := NewBuilder().
+		Send("p", "q", "a").
+		Send("p", "q", "b").
+		ReceiveMsg(NewMsgID("p", 1)).
+		ReceiveMsg(NewMsgID("p", 0)).
+		MustBuild()
+	if !x.IsomorphicTo(z, p) {
+		t.Errorf("want x [p] z")
+	}
+	if x.IsomorphicTo(z, q) {
+		t.Errorf("want not x [q] z")
+	}
+}
+
+func TestEmptySetIsomorphism(t *testing.T) {
+	// x [{}] y for all computations x, y (paper, §3).
+	x := twoProcChain(t)
+	y := Empty()
+	if !x.IsomorphicTo(y, NewProcSet()) {
+		t.Fatalf("x [{}] y must hold for all x, y")
+	}
+}
+
+func TestPrefixOperations(t *testing.T) {
+	c := twoProcChain(t)
+	for n := 0; n <= c.Len(); n++ {
+		pre := c.Prefix(n)
+		if pre.Len() != n {
+			t.Fatalf("Prefix(%d).Len = %d", n, pre.Len())
+		}
+		if !pre.IsPrefixOf(c) {
+			t.Fatalf("Prefix(%d) not a prefix", n)
+		}
+	}
+	if got := len(c.Prefixes()); got != c.Len()+1 {
+		t.Fatalf("Prefixes count = %d", got)
+	}
+	if !Empty().IsPrefixOf(c) {
+		t.Errorf("null must be a prefix of everything")
+	}
+	if c.IsPrefixOf(c.Prefix(1)) {
+		t.Errorf("longer sequence cannot be a prefix of shorter")
+	}
+}
+
+func TestPrefixClosureValidity(t *testing.T) {
+	// System computations are prefix closed: every prefix must re-validate.
+	c := twoProcChain(t)
+	for n := 0; n <= c.Len(); n++ {
+		if _, err := NewComputation(c.Prefix(n).Events()); err != nil {
+			t.Fatalf("prefix %d invalid: %v", n, err)
+		}
+	}
+}
+
+func TestSuffix(t *testing.T) {
+	c := twoProcChain(t)
+	x := c.Prefix(1)
+	suf, err := c.Suffix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suf) != 2 || suf[0].Kind != KindReceive {
+		t.Fatalf("suffix = %v", suf)
+	}
+	other := NewBuilder().Internal("r", "noop").MustBuild()
+	if _, err := c.Suffix(other); !errors.Is(err, ErrNotPrefix) {
+		t.Fatalf("err = %v, want ErrNotPrefix", err)
+	}
+}
+
+func TestConcatRoundTrip(t *testing.T) {
+	c := twoProcChain(t)
+	x := c.Prefix(1)
+	suf, err := c.Suffix(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := x.Concat(suf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.SameAs(c) {
+		t.Fatalf("x;(x,z) != z")
+	}
+}
+
+func TestDeleteLastOn(t *testing.T) {
+	c := twoProcChain(t)
+	// q's last event is the internal one.
+	d, err := c.DeleteLastOn(NewEventID("q", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len after delete = %d", d.Len())
+	}
+	// Deleting q#0 (not last on q) must fail.
+	if _, err := c.DeleteLastOn(NewEventID("q", 0)); err == nil {
+		t.Fatalf("expected error deleting non-last event")
+	}
+	if _, err := c.DeleteLastOn(NewEventID("x", 9)); err == nil {
+		t.Fatalf("expected error deleting missing event")
+	}
+}
+
+func TestInFlight(t *testing.T) {
+	b := NewBuilder().
+		Send("p", "q", "a").
+		Send("p", "q", "b").
+		ReceiveMsg(NewMsgID("p", 0))
+	c := b.MustBuild()
+	fl := c.InFlight()
+	if len(fl) != 1 || fl[0].Msg != NewMsgID("p", 1) {
+		t.Fatalf("InFlight = %v", fl)
+	}
+}
+
+func TestCountKind(t *testing.T) {
+	c := twoProcChain(t)
+	all := NewProcSet("p", "q")
+	if got := c.CountKind(all, KindSend); got != 1 {
+		t.Errorf("sends = %d", got)
+	}
+	if got := c.CountKind(Singleton("q"), KindReceive); got != 1 {
+		t.Errorf("q receives = %d", got)
+	}
+	if got := c.CountKind(Singleton("p"), KindInternal); got != 0 {
+		t.Errorf("p internals = %d", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if Empty().String() != "⟨null⟩" {
+		t.Errorf("empty String = %q", Empty().String())
+	}
+	c := twoProcChain(t)
+	s := c.String()
+	for _, frag := range []string{"send", "recv", "internal", "p#0", "q#0", "q#1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q in:\n%s", frag, s)
+		}
+	}
+}
+
+func TestEventsIsCopy(t *testing.T) {
+	c := twoProcChain(t)
+	ev := c.Events()
+	ev[0].Tag = "mutated"
+	if c.At(0).Tag == "mutated" {
+		t.Fatalf("Events() exposed internal storage")
+	}
+}
+
+func TestKeyDistinguishesOrder(t *testing.T) {
+	x := NewBuilder().Internal("p", "a").Internal("q", "b").MustBuild()
+	y := NewBuilder().Internal("q", "b").Internal("p", "a").MustBuild()
+	if x.Key() == y.Key() {
+		t.Fatalf("Key must distinguish interleavings")
+	}
+	if !x.PermutationOf(y) {
+		t.Fatalf("permutations must still be [D]-isomorphic")
+	}
+}
+
+func TestMsgIDSender(t *testing.T) {
+	if got := NewMsgID("proc:with:colons", 3).Sender(); got != "proc:with:colons" {
+		t.Fatalf("Sender = %q", got)
+	}
+	if got := NewMsgID("p", 0).Sender(); got != "p" {
+		t.Fatalf("Sender = %q", got)
+	}
+}

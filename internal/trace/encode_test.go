@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := NewBuilder().
+		Send("p", "q", "hello").
+		Receive("q", "p").
+		Internal("q", "work").
+		MustBuild()
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Computation
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameAs(c) {
+		t.Fatalf("round trip changed the computation")
+	}
+}
+
+func TestJSONSchemaStable(t *testing.T) {
+	c := NewBuilder().Send("p", "q", "m").MustBuild()
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"id":"p#0"`, `"proc":"p"`, `"kind":"send"`, `"msg":"p:0"`, `"peer":"q"`, `"tag":"m"`} {
+		if !strings.Contains(string(data), frag) {
+			t.Errorf("JSON missing %s: %s", frag, data)
+		}
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"events":[{"id":"q#0","proc":"q","kind":"recv","msg":"p:0","peer":"p"}]}`, // receive without send
+		`{"events":[{"id":"p#3","proc":"p","kind":"internal"}]}`,                    // bad position
+		`{"events":[{"id":"p#0","proc":"p","kind":"warp"}]}`,                        // bad kind
+		`{"events":`, // syntax
+	}
+	for _, in := range cases {
+		var c Computation
+		if err := json.Unmarshal([]byte(in), &c); err == nil {
+			t.Errorf("accepted invalid input %q", in)
+		}
+	}
+}
+
+func TestJSONEmpty(t *testing.T) {
+	data, err := json.Marshal(Empty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Computation
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("empty round trip has %d events", back.Len())
+	}
+}
+
+func TestParseText(t *testing.T) {
+	input := `
+# a simple exchange
+send p q hello
+recv q p
+internal q work
+
+send p q again
+recv q p msg=p:1
+`
+	c, err := ParseText(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 5 {
+		t.Fatalf("events = %d, want 5", c.Len())
+	}
+	if c.At(1).Tag != "hello" {
+		t.Errorf("receive inherits tag; got %q", c.At(1).Tag)
+	}
+	if c.At(4).Msg != "p:1" {
+		t.Errorf("explicit msg= ignored")
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []string{
+		"send p",               // too few args
+		"send p q tag extra",   // too many
+		"recv q p badarg",      // not msg=
+		"recv q p",             // nothing in flight
+		"internal",             // too few
+		"internal p a b",       // too many
+		"teleport p q",         // unknown directive
+		"send p q m\nrecv r p", // no in-flight to r
+		"recv q p msg=zz:9",    // unknown message
+	}
+	for _, in := range cases {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestFormatTextRoundTripProperty(t *testing.T) {
+	procs := []ProcID{"p", "q", "r"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomComputation(r, procs, 10)
+		back, err := ParseText(strings.NewReader(c.FormatText()))
+		if err != nil {
+			return false
+		}
+		return back.SameAs(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONRoundTripProperty(t *testing.T) {
+	procs := []ProcID{"p", "q"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomComputation(r, procs, 8)
+		data, err := json.Marshal(c)
+		if err != nil {
+			return false
+		}
+		var back Computation
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back.SameAs(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatTextTagless(t *testing.T) {
+	c := NewBuilder().Internal("p", "").Send("p", "q", "").MustBuild()
+	out := c.FormatText()
+	if !strings.Contains(out, "internal p\n") || !strings.Contains(out, "send p q\n") {
+		t.Fatalf("tagless rendering wrong:\n%s", out)
+	}
+	back, err := ParseText(strings.NewReader(out))
+	if err != nil || !back.SameAs(c) {
+		t.Fatalf("tagless round trip failed: %v", err)
+	}
+}

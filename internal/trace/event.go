@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies an event as internal, send, or receive, the three event
+// types of the paper's model (§2).
+type Kind int
+
+const (
+	// KindInternal is an event with no external communication.
+	KindInternal Kind = iota + 1
+	// KindSend is the sending of a message to another process.
+	KindSend
+	// KindReceive is the reception of a message by a process.
+	KindReceive
+)
+
+// String renders the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindInternal:
+		return "internal"
+	case KindSend:
+		return "send"
+	case KindReceive:
+		return "receive"
+	default:
+		return "kind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// MsgID identifies a message. Message identifiers embed the sender and a
+// per-sender sequence number ("p:3"), so all messages are distinguished as
+// the paper requires, yet identifiers are stable under reordering of
+// independent events.
+type MsgID string
+
+// NewMsgID builds the canonical message identifier for the n-th (0-based)
+// message sent by process p.
+func NewMsgID(p ProcID, n int) MsgID {
+	return MsgID(string(p) + ":" + strconv.Itoa(n))
+}
+
+// Sender extracts the sending process encoded in the message identifier.
+func (m MsgID) Sender() ProcID {
+	s := string(m)
+	if i := strings.LastIndexByte(s, ':'); i >= 0 {
+		return ProcID(s[:i])
+	}
+	return ProcID(s)
+}
+
+// EventID identifies an event within a computation. Event identifiers
+// embed the process and a per-process sequence number ("p#2"): the i-th
+// event on a process always has the same identifier regardless of how
+// independent events are interleaved, which is what makes per-process
+// projections meaningful across computations.
+type EventID string
+
+// NewEventID builds the canonical identifier for the n-th (0-based) event
+// on process p.
+func NewEventID(p ProcID, n int) EventID {
+	return EventID(string(p) + "#" + strconv.Itoa(n))
+}
+
+// Event is a single event on a single process. Events are immutable values.
+type Event struct {
+	// ID is the canonical per-process identifier, assigned by Builder.
+	ID EventID
+	// Proc is the process the event is on.
+	Proc ProcID
+	// Kind says whether this is an internal, send, or receive event.
+	Kind Kind
+	// Msg is the message transferred; empty for internal events.
+	Msg MsgID
+	// Peer is the destination (for sends) or the sender (for receives);
+	// empty for internal events.
+	Peer ProcID
+	// Tag is an application payload / annotation. Predicates over
+	// computations typically inspect tags.
+	Tag string
+}
+
+// IsOn reports whether the event is on some process in P (the paper's
+// "e is on P").
+func (e Event) IsOn(p ProcSet) bool { return p.Contains(e.Proc) }
+
+// LocalKey is the canonical encoding of the event *excluding* its global
+// position: two computations have equal projections on a process exactly
+// when the LocalKey sequences of that process's events coincide.
+func (e Event) LocalKey() string {
+	return string(e.ID) + "|" + e.Kind.String() + "|" + string(e.Msg) + "|" + string(e.Peer) + "|" + e.Tag
+}
+
+// String renders the event in a compact human-readable form.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindSend:
+		return fmt.Sprintf("%s: send(%s→%s, %q)", e.ID, e.Msg, e.Peer, e.Tag)
+	case KindReceive:
+		return fmt.Sprintf("%s: recv(%s←%s, %q)", e.ID, e.Msg, e.Peer, e.Tag)
+	default:
+		return fmt.Sprintf("%s: internal(%q)", e.ID, e.Tag)
+	}
+}

@@ -1,0 +1,141 @@
+// Package trace implements the model of distributed computation from
+// Chandy & Misra, "How Processes Learn" (PODC 1985): processes, events
+// (send, receive, internal), process computations, and system computations.
+//
+// A system computation is a finite sequence of events such that
+//
+//  1. the projection of the sequence on every process is a process
+//     computation of that process, and
+//  2. every receive event is preceded in the sequence by the corresponding
+//     send event.
+//
+// All events and all messages are distinguished: message identifiers carry
+// per-sender sequence numbers and event identifiers carry per-process
+// sequence numbers, so per-process projections are stable under reordering
+// of independent events (permutations), exactly as the paper requires.
+package trace
+
+import (
+	"sort"
+	"strings"
+)
+
+// ProcID identifies a process of the distributed system.
+type ProcID string
+
+// ProcSet is an immutable, canonically ordered set of processes. The zero
+// value is the empty set. ProcSets are the "P" of the paper's isomorphism
+// relation x [P] y and of knowledge predicates "P knows b".
+type ProcSet struct {
+	ids []ProcID // sorted, unique
+}
+
+// NewProcSet builds a set from the given process identifiers, removing
+// duplicates.
+func NewProcSet(ids ...ProcID) ProcSet {
+	if len(ids) == 0 {
+		return ProcSet{}
+	}
+	cp := make([]ProcID, len(ids))
+	copy(cp, ids)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	out := cp[:0]
+	for i, id := range cp {
+		if i == 0 || cp[i-1] != id {
+			out = append(out, id)
+		}
+	}
+	return ProcSet{ids: out}
+}
+
+// Singleton returns the one-element set {p}.
+func Singleton(p ProcID) ProcSet { return ProcSet{ids: []ProcID{p}} }
+
+// Len reports the number of processes in the set.
+func (s ProcSet) Len() int { return len(s.ids) }
+
+// IsEmpty reports whether the set has no members.
+func (s ProcSet) IsEmpty() bool { return len(s.ids) == 0 }
+
+// Contains reports whether p is a member of the set.
+func (s ProcSet) Contains(p ProcID) bool {
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= p })
+	return i < len(s.ids) && s.ids[i] == p
+}
+
+// IDs returns a copy of the members in canonical (sorted) order.
+func (s ProcSet) IDs() []ProcID {
+	cp := make([]ProcID, len(s.ids))
+	copy(cp, s.ids)
+	return cp
+}
+
+// Union returns s ∪ t.
+func (s ProcSet) Union(t ProcSet) ProcSet {
+	merged := make([]ProcID, 0, len(s.ids)+len(t.ids))
+	merged = append(merged, s.ids...)
+	merged = append(merged, t.ids...)
+	return NewProcSet(merged...)
+}
+
+// Intersect returns s ∩ t.
+func (s ProcSet) Intersect(t ProcSet) ProcSet {
+	var out []ProcID
+	for _, id := range s.ids {
+		if t.Contains(id) {
+			out = append(out, id)
+		}
+	}
+	return ProcSet{ids: out}
+}
+
+// Diff returns s − t.
+func (s ProcSet) Diff(t ProcSet) ProcSet {
+	var out []ProcID
+	for _, id := range s.ids {
+		if !t.Contains(id) {
+			out = append(out, id)
+		}
+	}
+	return ProcSet{ids: out}
+}
+
+// Complement returns all − s, the paper's P̄ where "all" plays the role of
+// D, the set of all processes in the system.
+func (s ProcSet) Complement(all ProcSet) ProcSet { return all.Diff(s) }
+
+// SubsetOf reports whether every member of s is in t.
+func (s ProcSet) SubsetOf(t ProcSet) bool {
+	for _, id := range s.ids {
+		if !t.Contains(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t have the same members.
+func (s ProcSet) Equal(t ProcSet) bool {
+	if len(s.ids) != len(t.ids) {
+		return false
+	}
+	for i := range s.ids {
+		if s.ids[i] != t.ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string for use as a map key. Distinct sets have
+// distinct keys.
+func (s ProcSet) Key() string {
+	parts := make([]string, len(s.ids))
+	for i, id := range s.ids {
+		parts[i] = string(id)
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders the set in the paper's {p,q} notation.
+func (s ProcSet) String() string { return "{" + s.Key() + "}" }

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewProcSetDedupAndOrder(t *testing.T) {
+	s := NewProcSet("q", "p", "q", "r", "p")
+	if got, want := s.Key(), "p,q,r"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+}
+
+func TestProcSetContains(t *testing.T) {
+	s := NewProcSet("p", "r")
+	cases := []struct {
+		id   ProcID
+		want bool
+	}{
+		{"p", true}, {"q", false}, {"r", true}, {"", false},
+	}
+	for _, c := range cases {
+		if got := s.Contains(c.id); got != c.want {
+			t.Errorf("Contains(%q) = %v, want %v", c.id, got, c.want)
+		}
+	}
+}
+
+func TestProcSetAlgebra(t *testing.T) {
+	p := NewProcSet("a", "b", "c")
+	q := NewProcSet("b", "d")
+	all := NewProcSet("a", "b", "c", "d", "e")
+
+	if got := p.Union(q); !got.Equal(NewProcSet("a", "b", "c", "d")) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := p.Intersect(q); !got.Equal(NewProcSet("b")) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := p.Diff(q); !got.Equal(NewProcSet("a", "c")) {
+		t.Errorf("Diff = %v", got)
+	}
+	if got := q.Complement(all); !got.Equal(NewProcSet("a", "c", "e")) {
+		t.Errorf("Complement = %v", got)
+	}
+	if !NewProcSet("b").SubsetOf(p) || p.SubsetOf(q) {
+		t.Errorf("SubsetOf misbehaves")
+	}
+}
+
+func TestProcSetEmpty(t *testing.T) {
+	e := NewProcSet()
+	if !e.IsEmpty() || e.Len() != 0 {
+		t.Fatalf("empty set not empty")
+	}
+	p := NewProcSet("x")
+	if !e.SubsetOf(p) {
+		t.Errorf("empty not subset")
+	}
+	if got := e.Union(p); !got.Equal(p) {
+		t.Errorf("∅ ∪ p = %v", got)
+	}
+	if got := e.Intersect(p); !got.IsEmpty() {
+		t.Errorf("∅ ∩ p = %v", got)
+	}
+	if e.String() != "{}" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	s := Singleton("p")
+	if !s.Equal(NewProcSet("p")) {
+		t.Fatalf("Singleton != NewProcSet")
+	}
+}
+
+func TestProcSetIDsIsCopy(t *testing.T) {
+	s := NewProcSet("p", "q")
+	ids := s.IDs()
+	ids[0] = "zzz"
+	if !s.Equal(NewProcSet("p", "q")) {
+		t.Fatalf("IDs() exposed internal storage")
+	}
+}
+
+// randomSet draws a small process set for property tests.
+func randomSet(r *rand.Rand) ProcSet {
+	pool := []ProcID{"a", "b", "c", "d", "e"}
+	var ids []ProcID
+	for _, id := range pool {
+		if r.Intn(2) == 0 {
+			ids = append(ids, id)
+		}
+	}
+	return NewProcSet(ids...)
+}
+
+type quickSet struct{ S ProcSet }
+
+// Generate implements quick.Generator so ProcSet can appear in properties.
+func (quickSet) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickSet{S: randomSet(r)})
+}
+
+func TestProcSetUnionCommutesProperty(t *testing.T) {
+	f := func(a, b quickSet) bool { return a.S.Union(b.S).Equal(b.S.Union(a.S)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSetIntersectDistributesProperty(t *testing.T) {
+	f := func(a, b, c quickSet) bool {
+		left := a.S.Intersect(b.S.Union(c.S))
+		right := a.S.Intersect(b.S).Union(a.S.Intersect(c.S))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSetDeMorganProperty(t *testing.T) {
+	all := NewProcSet("a", "b", "c", "d", "e")
+	f := func(a, b quickSet) bool {
+		left := a.S.Union(b.S).Complement(all)
+		right := a.S.Complement(all).Intersect(b.S.Complement(all))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSetKeyInjectiveProperty(t *testing.T) {
+	f := func(a, b quickSet) bool {
+		return (a.S.Key() == b.S.Key()) == a.S.Equal(b.S)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

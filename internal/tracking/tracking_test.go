@@ -1,0 +1,107 @@
+package tracking
+
+import (
+	"testing"
+
+	"hpl/internal/protocols/tracker"
+	"hpl/internal/trace"
+)
+
+func TestUnsureDuringChange(t *testing.T) {
+	for _, flips := range []int{1, 2, 3} {
+		rep, err := CheckUnsureDuringChange(flips)
+		if err != nil {
+			t.Fatalf("flips=%d: %v", flips, err)
+		}
+		if rep.ChangePoints == 0 || rep.UniverseSize == 0 {
+			t.Fatalf("flips=%d: vacuous %+v", flips, rep)
+		}
+	}
+}
+
+func TestChangeRequiresKnowledge(t *testing.T) {
+	for _, flips := range []int{1, 2, 3} {
+		rep, err := CheckChangeRequiresKnowledge(flips)
+		if err != nil {
+			t.Fatalf("flips=%d: %v", flips, err)
+		}
+		if rep.ChangePoints == 0 {
+			t.Fatalf("flips=%d: vacuous %+v", flips, rep)
+		}
+	}
+}
+
+func TestMeasureWindows(t *testing.T) {
+	w, err := MeasureWindows(5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Flips != 6 {
+		t.Fatalf("flips = %d, want 6", w.Flips)
+	}
+	// Every flip leaves the belief wrong until the notification arrives;
+	// there is at least one wrong-belief event per flip (the flip event
+	// itself).
+	if w.WrongBeliefEvents < w.Flips {
+		t.Fatalf("wrong-belief events %d < flips %d", w.WrongBeliefEvents, w.Flips)
+	}
+	if w.MaxWindow < 1 {
+		t.Fatalf("max window = %d", w.MaxWindow)
+	}
+	if w.WrongFraction() <= 0 || w.WrongFraction() > 1 {
+		t.Fatalf("wrong fraction = %v", w.WrongFraction())
+	}
+}
+
+func TestMeasureWindowsDeterministic(t *testing.T) {
+	a, err := MeasureWindows(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureWindows(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestTrackerSystemValidation(t *testing.T) {
+	if _, err := tracker.New("a", "a", 1); err == nil {
+		t.Errorf("same owner/tracker accepted")
+	}
+	if _, err := tracker.New("q", "p", 0); err == nil {
+		t.Errorf("zero flips accepted")
+	}
+}
+
+func TestBitPredicate(t *testing.T) {
+	sys, err := tracker.New("q", "p", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit := sys.Bit()
+	c0 := trace.Empty()
+	if bit.Holds(c0) {
+		t.Errorf("bit must start false")
+	}
+	c1 := trace.NewBuilder().Internal("q", tracker.TagFlip).MustBuild()
+	if !bit.Holds(c1) {
+		t.Errorf("bit must be true after one flip")
+	}
+	c2 := trace.FromComputation(c1).
+		Send("q", "p", "note:true").
+		Internal("q", tracker.TagFlip).
+		MustBuild()
+	if bit.Holds(c2) {
+		t.Errorf("bit must be false after two flips")
+	}
+}
+
+func TestWindowsZeroEvents(t *testing.T) {
+	var w Windows
+	if w.WrongFraction() != 0 {
+		t.Fatalf("zero-event fraction must be 0")
+	}
+}

@@ -1,0 +1,103 @@
+package universe
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hpl/internal/trace"
+)
+
+// FreeConfig parameterizes a "free" system in which every process may send
+// bounded numbers of messages to every other process, perform bounded
+// internal events, and receive whatever is in flight. Free systems are the
+// least-constrained systems expressible in the model and are the default
+// substrate for checking the paper's theorems, which hold for arbitrary
+// systems.
+type FreeConfig struct {
+	// Procs are the processes of the system.
+	Procs []trace.ProcID
+	// MaxSends bounds the number of send events per process.
+	MaxSends int
+	// MaxInternal bounds the number of internal events per process.
+	MaxInternal int
+	// SendTags are the tags a send may carry; default {"m"}.
+	SendTags []string
+	// InternalTags are the tags an internal event may carry; default {"i"}.
+	InternalTags []string
+}
+
+func (c FreeConfig) withDefaults() FreeConfig {
+	if len(c.SendTags) == 0 {
+		c.SendTags = []string{"m"}
+	}
+	if len(c.InternalTags) == 0 {
+		c.InternalTags = []string{"i"}
+	}
+	return c
+}
+
+// freeProtocol implements Protocol for FreeConfig. Local state encodes the
+// per-process counts of sends and internals performed so far.
+type freeProtocol struct {
+	cfg FreeConfig
+}
+
+// NewFree returns the Protocol of the free system described by cfg.
+func NewFree(cfg FreeConfig) Protocol { return freeProtocol{cfg: cfg.withDefaults()} }
+
+var _ Protocol = freeProtocol{}
+
+func (f freeProtocol) Procs() []trace.ProcID { return f.cfg.Procs }
+
+func (f freeProtocol) Init(trace.ProcID) string { return "s0,i0" }
+
+func decodeFree(state string) (sends, internals int) {
+	parts := strings.SplitN(state, ",", 2)
+	if len(parts) != 2 {
+		return 0, 0
+	}
+	sends, _ = strconv.Atoi(strings.TrimPrefix(parts[0], "s"))
+	internals, _ = strconv.Atoi(strings.TrimPrefix(parts[1], "i"))
+	return sends, internals
+}
+
+func encodeFree(sends, internals int) string {
+	return fmt.Sprintf("s%d,i%d", sends, internals)
+}
+
+func (f freeProtocol) Steps(p trace.ProcID, state string) []Action {
+	sends, internals := decodeFree(state)
+	var out []Action
+	if sends < f.cfg.MaxSends {
+		for _, q := range f.cfg.Procs {
+			if q == p {
+				continue
+			}
+			for _, tag := range f.cfg.SendTags {
+				out = append(out, Action{Kind: trace.KindSend, To: q, Tag: tag})
+			}
+		}
+	}
+	if internals < f.cfg.MaxInternal {
+		for _, tag := range f.cfg.InternalTags {
+			out = append(out, Action{Kind: trace.KindInternal, Tag: tag})
+		}
+	}
+	return out
+}
+
+func (f freeProtocol) AfterStep(_ trace.ProcID, state string, a Action) string {
+	sends, internals := decodeFree(state)
+	switch a.Kind {
+	case trace.KindSend:
+		sends++
+	case trace.KindInternal:
+		internals++
+	}
+	return encodeFree(sends, internals)
+}
+
+func (f freeProtocol) Deliver(_ trace.ProcID, state string, _ trace.ProcID, _ string) (string, bool) {
+	return state, true
+}

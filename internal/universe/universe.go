@@ -1,0 +1,228 @@
+// Package universe provides finite, exhaustively enumerated sets of system
+// computations. Knowledge in the paper quantifies over *all* computations
+// of a system ("(P knows b) at x ≡ ∀y: x [P] y : b at y"); on the small
+// finite-state systems enumerated here the quantifier is exact rather than
+// sampled, which is what makes the theorem checks in this repository
+// meaningful model checks instead of statistical tests.
+//
+// A Universe indexes computations by per-process projection keys, so the
+// isomorphism class of x with respect to P is a hash lookup rather than a
+// scan; the ablation benchmark BenchmarkAblationProjectionIndex measures
+// what that buys.
+package universe
+
+import (
+	"errors"
+	"fmt"
+
+	"hpl/internal/trace"
+)
+
+// ErrTooLarge reports an enumeration that exceeded its computation cap.
+var ErrTooLarge = errors.New("universe: enumeration exceeds cap")
+
+// Universe is an immutable set of distinct computations of one system,
+// together with the set D of all processes of that system.
+type Universe struct {
+	comps []*trace.Computation
+	byKey map[string]int
+	all   trace.ProcSet
+	// classes[P.Key()][projKey] lists indexes of computations whose
+	// projection on P has that key. Built lazily per process set.
+	classes map[string]map[string][]int
+}
+
+// New builds a universe from the given computations (duplicates by
+// sequence identity are dropped) with D = all.
+func New(comps []*trace.Computation, all trace.ProcSet) *Universe {
+	u := &Universe{
+		byKey:   make(map[string]int, len(comps)),
+		all:     all,
+		classes: make(map[string]map[string][]int),
+	}
+	for _, c := range comps {
+		if _, dup := u.byKey[c.Key()]; dup {
+			continue
+		}
+		u.byKey[c.Key()] = len(u.comps)
+		u.comps = append(u.comps, c)
+	}
+	return u
+}
+
+// Len reports the number of distinct computations.
+func (u *Universe) Len() int { return len(u.comps) }
+
+// At returns the i-th computation.
+func (u *Universe) At(i int) *trace.Computation { return u.comps[i] }
+
+// All returns D, the set of all processes of the system.
+func (u *Universe) All() trace.ProcSet { return u.all }
+
+// IndexOf returns the index of the computation (by sequence identity), or
+// -1 when it is not a member.
+func (u *Universe) IndexOf(c *trace.Computation) int {
+	if i, ok := u.byKey[c.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+// Contains reports membership by sequence identity.
+func (u *Universe) Contains(c *trace.Computation) bool { return u.IndexOf(c) >= 0 }
+
+// index returns the projection-key index for P, building it on first use.
+func (u *Universe) index(p trace.ProcSet) map[string][]int {
+	k := p.Key()
+	if idx, ok := u.classes[k]; ok {
+		return idx
+	}
+	idx := make(map[string][]int)
+	for i, c := range u.comps {
+		pk := c.ProjectionKey(p)
+		idx[pk] = append(idx[pk], i)
+	}
+	u.classes[k] = idx
+	return idx
+}
+
+// Class returns the indexes of every member y with x [P] y. The
+// computation x itself need not be a member; if it is, its index is
+// included (the relation is reflexive).
+func (u *Universe) Class(x *trace.Computation, p trace.ProcSet) []int {
+	return u.index(p)[x.ProjectionKey(p)]
+}
+
+// ClassScan is Class computed by pairwise comparison without the index;
+// it exists for the projection-index ablation benchmark and for
+// cross-checking the index in tests.
+func (u *Universe) ClassScan(x *trace.Computation, p trace.ProcSet) []int {
+	var out []int
+	for i, c := range u.comps {
+		if x.IsomorphicTo(c, p) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Computations returns a copy of the member slice.
+func (u *Universe) Computations() []*trace.Computation {
+	cp := make([]*trace.Computation, len(u.comps))
+	copy(cp, u.comps)
+	return cp
+}
+
+// Action is a spontaneous protocol step: a send or an internal event.
+type Action struct {
+	Kind trace.Kind   // trace.KindSend or trace.KindInternal
+	To   trace.ProcID // destination, for sends
+	Tag  string
+}
+
+// Protocol describes a system as one finite state machine per process.
+// Local states are strings so they can key maps; encode richer state by
+// formatting. Enumeration explores every interleaving of enabled steps
+// and every admissible message delivery, so the resulting universe is the
+// complete set of computations of the protocol up to the event bound.
+type Protocol interface {
+	// Procs lists the processes of the system (the paper's D).
+	Procs() []trace.ProcID
+	// Init gives the initial local state of p.
+	Init(p trace.ProcID) string
+	// Steps lists the spontaneous actions enabled for p in the state.
+	Steps(p trace.ProcID, state string) []Action
+	// AfterStep gives p's state after performing an enabled action.
+	AfterStep(p trace.ProcID, state string, a Action) string
+	// Deliver gives p's state after receiving the message, and whether
+	// the delivery is admissible in the current state.
+	Deliver(p trace.ProcID, state string, from trace.ProcID, tag string) (string, bool)
+}
+
+// Enumerate exhaustively generates every computation of the protocol with
+// at most maxEvents events (including the empty computation and every
+// prefix, since the search tree is rooted at null). It fails with
+// ErrTooLarge when more than cap computations would be produced; cap <= 0
+// means no cap.
+func Enumerate(p Protocol, maxEvents, capN int) (*Universe, error) {
+	procs := p.Procs()
+	all := trace.NewProcSet(procs...)
+	var comps []*trace.Computation
+
+	states := make(map[trace.ProcID]string, len(procs))
+	for _, id := range procs {
+		states[id] = p.Init(id)
+	}
+
+	var dfs func(c *trace.Computation, st map[trace.ProcID]string) error
+	dfs = func(c *trace.Computation, st map[trace.ProcID]string) error {
+		comps = append(comps, c)
+		if capN > 0 && len(comps) > capN {
+			return fmt.Errorf("%w: more than %d computations", ErrTooLarge, capN)
+		}
+		if c.Len() >= maxEvents {
+			return nil
+		}
+		// Deliveries of in-flight messages.
+		for _, send := range c.InFlight() {
+			dst := send.Peer
+			next, ok := p.Deliver(dst, st[dst], send.Proc, send.Tag)
+			if !ok {
+				continue
+			}
+			child := trace.FromComputation(c).ReceiveMsg(send.Msg).MustBuild()
+			st2 := copyStates(st)
+			st2[dst] = next
+			if err := dfs(child, st2); err != nil {
+				return err
+			}
+		}
+		// Spontaneous steps.
+		for _, id := range procs {
+			for _, a := range p.Steps(id, st[id]) {
+				b := trace.FromComputation(c)
+				switch a.Kind {
+				case trace.KindSend:
+					b.Send(id, a.To, a.Tag)
+				case trace.KindInternal:
+					b.Internal(id, a.Tag)
+				default:
+					return fmt.Errorf("universe: protocol %T emitted action of kind %v", p, a.Kind)
+				}
+				child, err := b.Build()
+				if err != nil {
+					return fmt.Errorf("universe: invalid step by %s: %w", id, err)
+				}
+				st2 := copyStates(st)
+				st2[id] = p.AfterStep(id, st[id], a)
+				if err := dfs(child, st2); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	if err := dfs(trace.Empty(), states); err != nil {
+		return nil, err
+	}
+	return New(comps, all), nil
+}
+
+func copyStates(st map[trace.ProcID]string) map[trace.ProcID]string {
+	cp := make(map[trace.ProcID]string, len(st))
+	for k, v := range st {
+		cp[k] = v
+	}
+	return cp
+}
+
+// MustEnumerate is Enumerate for configurations known to fit the cap; it
+// panics on error. Intended for tests, examples, and benchmarks.
+func MustEnumerate(p Protocol, maxEvents, capN int) *Universe {
+	u, err := Enumerate(p, maxEvents, capN)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
