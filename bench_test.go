@@ -6,6 +6,7 @@
 package hpl_test
 
 import (
+	"fmt"
 	"testing"
 
 	"hpl/internal/causality"
@@ -76,6 +77,34 @@ func BenchmarkUniverseEnumeration(b *testing.B) {
 		if _, err := universe.Enumerate(universe.NewFree(cfg), 5, 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEnumerateParallel tracks the worker-pool engine's scaling on
+// a mid-size universe (≥10k computations): the same enumeration on 1, 2,
+// and 4 workers. The engine guarantees identical results at every width;
+// this benchmark tracks what the width buys (expect ≈1× on a single
+// core, ≥1.5× at 4 workers on multi-core hardware).
+func BenchmarkEnumerateParallel(b *testing.B) {
+	cfg := universe.FreeConfig{Procs: []trace.ProcID{"p", "q", "r"}, MaxSends: 2}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var size int
+			for i := 0; i < b.N; i++ {
+				u, err := universe.EnumerateWith(universe.NewFree(cfg),
+					universe.WithMaxEvents(5),
+					universe.WithParallelism(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = u.Len()
+			}
+			if size < 10000 {
+				b.Fatalf("universe too small for a meaningful scaling benchmark: %d", size)
+			}
+			b.ReportMetric(float64(size), "computations")
+		})
 	}
 }
 

@@ -1,0 +1,156 @@
+package hpl
+
+import (
+	"sort"
+
+	"hpl/internal/knowledge"
+	"hpl/internal/logic"
+	"hpl/internal/universe"
+)
+
+// Checker is a model-checking session: a Universe, a memoizing
+// Evaluator over it, and a Vocabulary for the textual formula language,
+// bundled behind one entrypoint. It replaces the by-hand wiring of
+// universe + evaluator + vocabulary that each tool and example used to
+// repeat.
+//
+//	ck, err := hpl.CheckProtocol(p, hpl.WithMaxEvents(8), hpl.WithParallelism(4))
+//	...
+//	rep, err := ck.ParseAndCheck(`K{q} "sent(p,m)" -> "sent(p,m)"`)
+//	fmt.Println(rep.Valid())
+//
+// A Checker is safe for sequential use; the evaluator memoizes, so
+// reusing one session across many queries is much cheaper than
+// re-creating it.
+type Checker struct {
+	u     *Universe
+	ev    *Evaluator
+	vocab Vocabulary
+}
+
+// NewChecker builds a session over an already-enumerated universe. The
+// predicates seed the vocabulary for Parse and ParseAndCheck; more can
+// be added later with Define.
+func NewChecker(u *Universe, preds ...Predicate) *Checker {
+	return &Checker{
+		u:     u,
+		ev:    knowledge.NewEvaluator(u),
+		vocab: logic.NewVocabulary(preds...),
+	}
+}
+
+// CheckProtocol enumerates the protocol's universe under the given
+// options (see WithMaxEvents, WithCap, WithParallelism, WithContext,
+// WithProgress) and returns a session over it.
+func CheckProtocol(p Protocol, opts ...EnumOption) (*Checker, error) {
+	u, err := universe.EnumerateWith(p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return NewChecker(u), nil
+}
+
+// MustCheckProtocol is CheckProtocol for configurations known to
+// succeed; it panics on error.
+func MustCheckProtocol(p Protocol, opts ...EnumOption) *Checker {
+	ck, err := CheckProtocol(p, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return ck
+}
+
+// Define adds predicates to the session's vocabulary and returns the
+// session, so construction chains:
+//
+//	ck := hpl.MustCheckProtocol(bus, hpl.WithMaxEvents(8)).
+//		Define(bus.TokenAt("p"), bus.TokenAt("q"))
+func (c *Checker) Define(preds ...Predicate) *Checker {
+	for _, p := range preds {
+		c.vocab[p.Name()] = p
+	}
+	return c
+}
+
+// Universe returns the session's quantification domain.
+func (c *Checker) Universe() *Universe { return c.u }
+
+// Evaluator returns the session's memoizing evaluator, for APIs that
+// take one directly (EveryoneDepth, theorem harnesses).
+func (c *Checker) Evaluator() *Evaluator { return c.ev }
+
+// Atoms lists the vocabulary's atom names, sorted.
+func (c *Checker) Atoms() []string {
+	names := make([]string, 0, len(c.vocab))
+	for name := range c.vocab {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse parses the textual formula syntax (e.g. `K{q} "sent(p,m)"`)
+// against the session vocabulary.
+func (c *Checker) Parse(input string) (Formula, error) {
+	return logic.Parse(input, c.vocab)
+}
+
+// Holds evaluates f at computation x, which must be a member of the
+// universe.
+func (c *Checker) Holds(f Formula, x *Computation) (bool, error) {
+	return c.ev.Holds(f, x)
+}
+
+// MustHolds is Holds for members; it panics when x is not a member.
+func (c *Checker) MustHolds(f Formula, x *Computation) bool {
+	return c.ev.MustHolds(f, x)
+}
+
+// HoldsAt evaluates f at the i-th member.
+func (c *Checker) HoldsAt(f Formula, i int) bool { return c.ev.HoldsAt(f, i) }
+
+// Valid reports whether f holds at every member of the universe.
+func (c *Checker) Valid(f Formula) bool { return c.ev.Valid(f) }
+
+// LocalTo reports whether f is local to P over the universe: P is sure
+// of f at every member (§4.2).
+func (c *Checker) LocalTo(f Formula, p ProcSet) bool { return c.ev.LocalTo(f, p) }
+
+// Report summarizes one formula checked over the whole universe.
+type Report struct {
+	// Formula is the checked formula.
+	Formula Formula
+	// Total is the universe size.
+	Total int
+	// Holding counts the members where the formula holds.
+	Holding int
+	// FirstFailure is the index of the first member where the formula
+	// fails, or -1 when it is valid.
+	FirstFailure int
+}
+
+// Valid reports whether the formula held at every member.
+func (r Report) Valid() bool { return r.FirstFailure < 0 }
+
+// Check evaluates f at every member and summarizes the result.
+func (c *Checker) Check(f Formula) Report {
+	rep := Report{Formula: f, Total: c.u.Len(), FirstFailure: -1}
+	for i := 0; i < c.u.Len(); i++ {
+		if c.ev.HoldsAt(f, i) {
+			rep.Holding++
+		} else if rep.FirstFailure < 0 {
+			rep.FirstFailure = i
+		}
+	}
+	return rep
+}
+
+// ParseAndCheck parses the textual formula against the session
+// vocabulary and checks it over the whole universe.
+func (c *Checker) ParseAndCheck(input string) (Report, error) {
+	f, err := c.Parse(input)
+	if err != nil {
+		return Report{}, err
+	}
+	return c.Check(f), nil
+}

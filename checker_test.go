@@ -1,0 +1,158 @@
+package hpl_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"hpl"
+)
+
+func freeChecker(t *testing.T, opts ...hpl.EnumOption) *hpl.Checker {
+	t.Helper()
+	p := hpl.NewFree(hpl.FreeConfig{
+		Procs:    []hpl.ProcID{"p", "q"},
+		MaxSends: 1,
+	})
+	ck, err := hpl.CheckProtocol(p, append([]hpl.EnumOption{hpl.WithMaxEvents(4)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck
+}
+
+func TestCheckerHoldsAndValid(t *testing.T) {
+	ck := freeChecker(t)
+	sent := hpl.NewAtom(hpl.SentTag("p", "m"))
+	qKnows := hpl.Knows(hpl.Singleton("q"), sent)
+
+	// Before q receives, q cannot know; after, it must.
+	before := hpl.NewBuilder().Send("p", "q", "m").MustBuild()
+	after := hpl.FromComputation(before).Receive("q", "p").MustBuild()
+	if ck.MustHolds(qKnows, before) {
+		t.Fatalf("q knows sent(p) before receiving")
+	}
+	if !ck.MustHolds(qKnows, after) {
+		t.Fatalf("q does not know sent(p) after receiving")
+	}
+
+	// Fact 4: knowledge implies truth, valid over the whole universe.
+	if !ck.Valid(hpl.Implies(qKnows, sent)) {
+		t.Fatalf("K{q} b -> b is not valid")
+	}
+	if ck.Valid(sent) {
+		t.Fatalf("sent(p,m) cannot be valid: the null computation is a member")
+	}
+}
+
+func TestCheckerHoldsNonMember(t *testing.T) {
+	ck := freeChecker(t)
+	foreign := hpl.NewBuilder().Internal("zz", "x").MustBuild()
+	if _, err := ck.Holds(hpl.True, foreign); err == nil {
+		t.Fatalf("Holds accepted a non-member")
+	}
+}
+
+func TestCheckerParseAndCheck(t *testing.T) {
+	ck := freeChecker(t).Define(hpl.SentTag("p", "m"), hpl.ReceivedTag("q", "m"))
+
+	rep, err := ck.ParseAndCheck(`K{q} "sent(p,m)" -> "sent(p,m)"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid() || rep.FirstFailure != -1 {
+		t.Fatalf("fact 4 not valid: %+v", rep)
+	}
+	if rep.Total != ck.Universe().Len() || rep.Holding != rep.Total {
+		t.Fatalf("report inconsistent: %+v", rep)
+	}
+
+	rep, err = ck.ParseAndCheck(`"sent(p,m)"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid() {
+		t.Fatalf("sent(p,m) reported valid")
+	}
+	if rep.FirstFailure < 0 || rep.Holding >= rep.Total || rep.Holding == 0 {
+		t.Fatalf("report inconsistent: %+v", rep)
+	}
+	if ck.HoldsAt(rep.Formula, rep.FirstFailure) {
+		t.Fatalf("formula holds at its reported first failure")
+	}
+
+	if _, err := ck.ParseAndCheck(`"no-such-atom"`); err == nil {
+		t.Fatalf("unknown atom parsed")
+	}
+}
+
+func TestCheckerAtoms(t *testing.T) {
+	ck := freeChecker(t).Define(hpl.SentTag("p", "m"), hpl.ReceivedTag("q", "m"))
+	atoms := ck.Atoms()
+	joined := strings.Join(atoms, " ")
+	if !strings.Contains(joined, "sent(p,m)") || !strings.Contains(joined, "received(q,m)") {
+		t.Fatalf("atoms = %v", atoms)
+	}
+	for i := 1; i < len(atoms); i++ {
+		if atoms[i-1] >= atoms[i] {
+			t.Fatalf("atoms not sorted: %v", atoms)
+		}
+	}
+}
+
+func TestCheckerLocalTo(t *testing.T) {
+	ck := freeChecker(t)
+	sent := hpl.NewAtom(hpl.SentTag("p", "m"))
+	if !ck.LocalTo(sent, hpl.Singleton("p")) {
+		t.Fatalf("sent(p,m) should be local to p")
+	}
+	if ck.LocalTo(sent, hpl.Singleton("q")) {
+		t.Fatalf("sent(p,m) cannot be local to q")
+	}
+}
+
+func TestCheckProtocolPropagatesOptions(t *testing.T) {
+	big := hpl.NewFree(hpl.FreeConfig{
+		Procs:    []hpl.ProcID{"p", "q", "r"},
+		MaxSends: 2,
+	})
+	if _, err := hpl.CheckProtocol(big, hpl.WithMaxEvents(8), hpl.WithCap(50)); !errors.Is(err, hpl.ErrUniverseTooLarge) {
+		t.Fatalf("err = %v, want ErrUniverseTooLarge", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := hpl.CheckProtocol(big, hpl.WithMaxEvents(8), hpl.WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCheckerParallelSessionAgrees(t *testing.T) {
+	seq := freeChecker(t)
+	var calls int
+	par := freeChecker(t, hpl.WithParallelism(4), hpl.WithProgress(func(hpl.EnumProgress) { calls++ }))
+	if calls == 0 {
+		t.Fatalf("progress callback never invoked")
+	}
+	if seq.Universe().Len() != par.Universe().Len() {
+		t.Fatalf("universe sizes differ: %d vs %d", seq.Universe().Len(), par.Universe().Len())
+	}
+	f := hpl.Knows(hpl.Singleton("q"), hpl.NewAtom(hpl.SentTag("p", "m")))
+	for i := 0; i < seq.Universe().Len(); i++ {
+		if seq.HoldsAt(f, i) != par.HoldsAt(f, i) {
+			t.Fatalf("sessions disagree at member %d", i)
+		}
+	}
+}
+
+func TestMustCheckProtocolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	hpl.MustCheckProtocol(hpl.NewFree(hpl.FreeConfig{
+		Procs:    []hpl.ProcID{"p", "q", "r"},
+		MaxSends: 2,
+	}), hpl.WithMaxEvents(8), hpl.WithCap(10))
+}

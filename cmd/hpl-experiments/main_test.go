@@ -66,3 +66,34 @@ func TestAllExperiments(t *testing.T) {
 		}
 	}
 }
+
+func TestParallelRunKeepsOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full run is slow in -short mode")
+	}
+	code, out, _ := runWith(t, "-par", "4")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	last := -1
+	for _, id := range []string{"FIG-3-1", "EXP-T1", "EXP-A3", "EXP-GEN"} {
+		i := strings.Index(out, "== "+id)
+		if i < 0 {
+			t.Fatalf("output missing %s", id)
+		}
+		if i < last {
+			t.Errorf("%s printed out of order", id)
+		}
+		last = i
+	}
+}
+
+func TestTimeoutPrintsPartialRun(t *testing.T) {
+	code, _, errOut := runWith(t, "-timeout", "1ns")
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "deadline") {
+		t.Errorf("stderr:\n%s", errOut)
+	}
+}

@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	isodiagram [-dot] [-universe] [-procs p,q] [-sends 1] [-events 3]
+//	isodiagram [-dot] [-universe] [-procs p,q] [-sends 1] [-events 3] [-par 4]
 //
-// -dot emits Graphviz DOT instead of the ASCII adjacency listing.
+// -dot emits Graphviz DOT instead of the ASCII adjacency listing; -par
+// enumerates the universe on several workers.
 package main
 
 import (
@@ -18,9 +19,7 @@ import (
 	"strconv"
 	"strings"
 
-	"hpl/internal/diagram"
-	"hpl/internal/trace"
-	"hpl/internal/universe"
+	"hpl"
 )
 
 func main() {
@@ -35,41 +34,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 	procs := fs.String("procs", "p,q", "comma-separated process names (with -universe)")
 	sends := fs.Int("sends", 1, "max sends per process (with -universe)")
 	events := fs.Int("events", 3, "max events per computation (with -universe)")
+	par := fs.Int("par", 1, "enumeration worker count (with -universe)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	var d *diagram.Diagram
+	var d *hpl.Diagram
 	var title string
 	if *uni {
-		var ids []trace.ProcID
+		var ids []hpl.ProcID
 		for _, s := range strings.Split(*procs, ",") {
 			if s = strings.TrimSpace(s); s != "" {
-				ids = append(ids, trace.ProcID(s))
+				ids = append(ids, hpl.ProcID(s))
 			}
 		}
-		u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+		u, err := hpl.EnumerateWith(hpl.NewFree(hpl.FreeConfig{
 			Procs:    ids,
 			MaxSends: *sends,
-		}), *events, 2000)
+		}),
+			hpl.WithMaxEvents(*events),
+			hpl.WithCap(2000),
+			hpl.WithParallelism(*par))
 		if err != nil {
 			fmt.Fprintf(stderr, "isodiagram: %v\n", err)
 			return 1
 		}
-		vertices := make([]diagram.Vertex, 0, u.Len())
+		vertices := make([]hpl.Vertex, 0, u.Len())
 		for i := 0; i < u.Len(); i++ {
-			vertices = append(vertices, diagram.Vertex{Name: "c" + strconv.Itoa(i), Comp: u.At(i)})
+			vertices = append(vertices, hpl.Vertex{Name: "c" + strconv.Itoa(i), Comp: u.At(i)})
 		}
-		d = diagram.New(vertices, u.All())
+		d = hpl.NewDiagram(vertices, u.All())
 		title = fmt.Sprintf("free universe (%d computations)", u.Len())
 	} else {
-		x := trace.NewBuilder().Internal("p", "a").Internal("q", "b").MustBuild()
-		z := trace.NewBuilder().Internal("q", "b").Internal("p", "a").MustBuild()
-		y := trace.NewBuilder().Internal("p", "a").Internal("q", "c").MustBuild()
-		w := trace.NewBuilder().Internal("p", "d").Internal("q", "b").MustBuild()
-		d = diagram.New([]diagram.Vertex{
+		x := hpl.NewBuilder().Internal("p", "a").Internal("q", "b").MustBuild()
+		z := hpl.NewBuilder().Internal("q", "b").Internal("p", "a").MustBuild()
+		y := hpl.NewBuilder().Internal("p", "a").Internal("q", "c").MustBuild()
+		w := hpl.NewBuilder().Internal("p", "d").Internal("q", "b").MustBuild()
+		d = hpl.NewDiagram([]hpl.Vertex{
 			{Name: "x", Comp: x}, {Name: "y", Comp: y}, {Name: "z", Comp: z}, {Name: "w", Comp: w},
-		}, trace.NewProcSet("p", "q"))
+		}, hpl.NewProcSet("p", "q"))
 		title = "figure-3-1"
 	}
 	if *dot {

@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	mck [-procs p,q] [-sends 1] [-events 4] [-valid] 'K{q} "sent(p,m)"'
+//	mck [-procs p,q] [-sends 1] [-events 4] [-par 4] [-timeout 30s]
+//	    [-progress] [-valid] 'K{q} "sent(p,m)"'
 //
 // Atoms available in the vocabulary: "sent(<proc>,m)" and
 // "received(<proc>,m)" for every process. The formula grammar is
-// documented in internal/logic.
+// documented in internal/logic. -par enumerates the universe on several
+// workers, -timeout aborts enumeration cleanly, and -progress reports
+// engine snapshots on stderr.
 //
 // Example:
 //
@@ -16,16 +19,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"hpl/internal/knowledge"
-	"hpl/internal/logic"
-	"hpl/internal/trace"
-	"hpl/internal/universe"
+	"hpl"
 )
 
 func main() {
@@ -38,6 +39,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	procs := fs.String("procs", "p,q", "comma-separated process names")
 	sends := fs.Int("sends", 1, "max sends per process")
 	events := fs.Int("events", 4, "max events per computation")
+	par := fs.Int("par", 1, "enumeration worker count")
+	timeout := fs.Duration("timeout", 0, "abort enumeration after this long (0 = no limit)")
+	progress := fs.Bool("progress", false, "report enumeration progress on stderr")
 	valid := fs.Bool("valid", false, "report only whether the formula holds at every computation")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -48,61 +52,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var ids []trace.ProcID
+	var ids []hpl.ProcID
 	for _, s := range strings.Split(*procs, ",") {
 		if s = strings.TrimSpace(s); s != "" {
-			ids = append(ids, trace.ProcID(s))
+			ids = append(ids, hpl.ProcID(s))
 		}
 	}
-	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+
+	opts := []hpl.EnumOption{
+		hpl.WithMaxEvents(*events),
+		hpl.WithCap(200000),
+		hpl.WithParallelism(*par),
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts = append(opts, hpl.WithContext(ctx))
+	}
+	if *progress {
+		opts = append(opts, hpl.WithProgress(func(p hpl.EnumProgress) {
+			fmt.Fprintf(stderr, "mck: explored %d computations (frontier %d)\n", p.Explored, p.Frontier)
+		}))
+	}
+
+	ck, err := hpl.CheckProtocol(hpl.NewFree(hpl.FreeConfig{
 		Procs:    ids,
 		MaxSends: *sends,
-	}), *events, 200000)
+	}), opts...)
 	if err != nil {
 		fmt.Fprintf(stderr, "mck: %v\n", err)
 		return 1
 	}
-
-	var preds []knowledge.Predicate
 	for _, p := range ids {
-		preds = append(preds,
-			knowledge.SentTag(p, "m"),
-			knowledge.ReceivedTag(p, "m"),
-		)
+		ck.Define(hpl.SentTag(p, "m"), hpl.ReceivedTag(p, "m"))
 	}
-	vocab := logic.NewVocabulary(preds...)
-	f, err := logic.Parse(fs.Arg(0), vocab)
+
+	rep, err := ck.ParseAndCheck(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintf(stderr, "mck: %v\n", err)
-		fmt.Fprintf(stderr, "available atoms: %s\n", atomList(vocab))
+		fmt.Fprintf(stderr, "available atoms: %s\n", atomList(ck))
 		return 1
 	}
 
-	ev := knowledge.NewEvaluator(u)
 	if *valid {
-		for i := 0; i < u.Len(); i++ {
-			if !ev.HoldsAt(f, i) {
-				fmt.Fprintf(stdout, "NOT VALID: fails at computation %d:\n%s\n", i, indent(u.At(i).String()))
-				return 1
-			}
+		if !rep.Valid() {
+			fmt.Fprintf(stdout, "NOT VALID: fails at computation %d:\n%s\n",
+				rep.FirstFailure, indent(ck.Universe().At(rep.FirstFailure).String()))
+			return 1
 		}
-		fmt.Fprintf(stdout, "VALID over %d computations\n", u.Len())
+		fmt.Fprintf(stdout, "VALID over %d computations\n", rep.Total)
 		return 0
 	}
-	holds := 0
-	for i := 0; i < u.Len(); i++ {
-		if ev.HoldsAt(f, i) {
-			holds++
-		}
-	}
-	fmt.Fprintf(stdout, "%s\nholds at %d / %d computations\n", logic.Print(f), holds, u.Len())
+	fmt.Fprintf(stdout, "%s\nholds at %d / %d computations\n",
+		hpl.PrintFormula(rep.Formula), rep.Holding, rep.Total)
 	return 0
 }
 
-func atomList(v logic.Vocabulary) string {
-	var names []string
-	for name := range v {
-		names = append(names, `"`+name+`"`)
+func atomList(ck *hpl.Checker) string {
+	names := ck.Atoms()
+	for i, n := range names {
+		names[i] = `"` + n + `"`
 	}
 	return strings.Join(names, ", ")
 }

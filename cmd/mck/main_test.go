@@ -82,3 +82,38 @@ func TestEnumerationTooLarge(t *testing.T) {
 		t.Errorf("stderr:\n%s", errOut)
 	}
 }
+
+func TestParallelEnumerationAgrees(t *testing.T) {
+	code, seq, _ := runWith(t, "-valid", `K{q} "sent(p,m)" -> "sent(p,m)"`)
+	if code != 0 {
+		t.Fatalf("sequential exit = %d", code)
+	}
+	code, par, _ := runWith(t, "-par", "4", "-valid", `K{q} "sent(p,m)" -> "sent(p,m)"`)
+	if code != 0 {
+		t.Fatalf("parallel exit = %d", code)
+	}
+	if seq != par {
+		t.Errorf("parallel output differs:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+func TestTimeoutAbortsEnumeration(t *testing.T) {
+	code, _, errOut := runWith(t, "-procs", "a,b,c,d", "-sends", "3", "-events", "12",
+		"-timeout", "1ns", "true")
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "mck:") || !strings.Contains(errOut, "deadline") {
+		t.Errorf("stderr:\n%s", errOut)
+	}
+}
+
+func TestProgressFlag(t *testing.T) {
+	code, _, errOut := runWith(t, "-progress", `K{q} "sent(p,m)"`)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "explored") {
+		t.Errorf("stderr missing progress lines:\n%s", errOut)
+	}
+}

@@ -3,15 +3,18 @@
 //
 // Usage:
 //
-//	tracecheck [-json] [-chain p,q,r] [-cuts] < trace.txt
+//	tracecheck [-json] [-chain p,q,r] [-cuts] [-check '<formula>'] [-par 4] < trace.txt
 //
 // It validates the input as a system computation, prints per-process
 // projections, vector clocks, and in-flight messages; -chain queries a
-// process chain; -cuts counts consistent cuts.
+// process chain; -cuts counts consistent cuts; -check evaluates an
+// epistemic formula at the trace, quantifying over the smallest free
+// universe that contains it (enumerated on -par workers).
 //
 // Example:
 //
 //	printf 'send p q m\nrecv q p\n' | tracecheck -chain p,q
+//	printf 'send p q m\nrecv q p\n' | tracecheck -check 'K{q} "sent(p,m)"'
 package main
 
 import (
@@ -22,8 +25,7 @@ import (
 	"os"
 	"strings"
 
-	"hpl/internal/causality"
-	"hpl/internal/trace"
+	"hpl"
 )
 
 func main() {
@@ -36,25 +38,27 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	jsonIn := fs.Bool("json", false, "input is JSON instead of the line format")
 	chain := fs.String("chain", "", "comma-separated processes: query the chain <p1 … pn>")
 	cuts := fs.Bool("cuts", false, "count consistent cuts (may be exponential; capped)")
+	check := fs.String("check", "", "epistemic formula to evaluate at the trace")
+	par := fs.Int("par", 1, "enumeration worker count (with -check)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	var comp *trace.Computation
+	var comp *hpl.Computation
 	if *jsonIn {
 		data, err := io.ReadAll(stdin)
 		if err != nil {
 			fmt.Fprintf(stderr, "tracecheck: %v\n", err)
 			return 1
 		}
-		var c trace.Computation
+		var c hpl.Computation
 		if err := json.Unmarshal(data, &c); err != nil {
 			fmt.Fprintf(stderr, "tracecheck: %v\n", err)
 			return 1
 		}
 		comp = &c
 	} else {
-		c, err := trace.ParseText(stdin)
+		c, err := hpl.ParseTraceText(stdin)
 		if err != nil {
 			fmt.Fprintf(stderr, "tracecheck: %v\n", err)
 			return 1
@@ -66,9 +70,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		comp.Len(), comp.Procs().Len())
 
 	events := comp.Events()
-	vcs := causality.VectorClocks(events)
+	vcs := hpl.VectorClocks(events)
 	for _, p := range comp.Procs().IDs() {
-		proj := comp.Projection(trace.Singleton(p))
+		proj := comp.Projection(hpl.Singleton(p))
 		fmt.Fprintf(stdout, "\nprocess %s (%d events):\n", p, len(proj))
 		for _, e := range proj {
 			idx := -1
@@ -91,13 +95,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *chain != "" {
-		var sets []trace.ProcSet
+		var sets []hpl.ProcSet
 		for _, s := range strings.Split(*chain, ",") {
 			if s = strings.TrimSpace(s); s != "" {
-				sets = append(sets, trace.Singleton(trace.ProcID(s)))
+				sets = append(sets, hpl.Singleton(hpl.ProcID(s)))
 			}
 		}
-		g := causality.NewGraph(events)
+		g := hpl.NewCausalGraph(events)
 		ok, wit := g.Chain(sets)
 		if ok {
 			fmt.Fprintf(stdout, "\nchain <%s>: PRESENT, witness events:", *chain)
@@ -111,7 +115,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *cuts {
-		g := causality.NewGraph(events)
+		g := hpl.NewCausalGraph(events)
 		all, err := g.ConsistentCuts(1 << 20)
 		if err != nil {
 			fmt.Fprintf(stderr, "tracecheck: %v\n", err)
@@ -119,5 +123,106 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "\nconsistent cuts: %d\n", len(all))
 	}
+
+	if *check != "" {
+		return runCheck(comp, *check, *par, stdout, stderr)
+	}
 	return 0
+}
+
+// runCheck evaluates the formula at the trace. Knowledge quantifies
+// over a universe, so the trace is embedded in the smallest free system
+// that admits it: its own processes, its own per-process send and
+// internal budgets, its own tags, and its own event count as the bound.
+func runCheck(comp *hpl.Computation, formula string, par int, stdout, stderr io.Writer) int {
+	cfg, preds := envelope(comp)
+	ck, err := hpl.CheckProtocol(hpl.NewFree(cfg),
+		hpl.WithMaxEvents(comp.Len()),
+		hpl.WithCap(500000),
+		hpl.WithParallelism(par))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracecheck: %v\n", err)
+		return 1
+	}
+	ck.Define(preds...)
+
+	f, err := ck.Parse(formula)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracecheck: %v\n", err)
+		if atoms := ck.Atoms(); len(atoms) == 0 {
+			fmt.Fprintln(stderr, "available atoms: (none — the trace has no sends or internal events)")
+		} else {
+			fmt.Fprintf(stderr, "available atoms: \"%s\"\n", strings.Join(atoms, `", "`))
+		}
+		return 1
+	}
+	holds, err := ck.Holds(f, comp)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracecheck: %v\n", err)
+		return 1
+	}
+	rep := ck.Check(f)
+	fmt.Fprintf(stdout, "\nformula %s\n", hpl.PrintFormula(f))
+	fmt.Fprintf(stdout, "  at this trace: %v\n", holds)
+	fmt.Fprintf(stdout, "  over the enclosing free universe: holds at %d / %d computations\n",
+		rep.Holding, rep.Total)
+	return 0
+}
+
+// envelope derives the free-system configuration and vocabulary that
+// embed the computation.
+func envelope(comp *hpl.Computation) (hpl.FreeConfig, []hpl.Predicate) {
+	sends := map[hpl.ProcID]int{}
+	internals := map[hpl.ProcID]int{}
+	sendTags := map[string]bool{}
+	internalTags := map[string]bool{}
+	procSet := map[hpl.ProcID]bool{}
+	var procs []hpl.ProcID
+	addProc := func(p hpl.ProcID) {
+		if p != "" && !procSet[p] {
+			procSet[p] = true
+			procs = append(procs, p)
+		}
+	}
+	for _, e := range comp.Events() {
+		addProc(e.Proc)
+		// A send's destination is part of the system even when it has
+		// not received (or done) anything yet.
+		addProc(e.Peer)
+		switch e.Kind {
+		case hpl.KindSend:
+			sends[e.Proc]++
+			sendTags[e.Tag] = true
+		case hpl.KindInternal:
+			internals[e.Proc]++
+			internalTags[e.Tag] = true
+		}
+	}
+	cfg := hpl.FreeConfig{Procs: procs}
+	for _, n := range sends {
+		if n > cfg.MaxSends {
+			cfg.MaxSends = n
+		}
+	}
+	for _, n := range internals {
+		if n > cfg.MaxInternal {
+			cfg.MaxInternal = n
+		}
+	}
+	for tag := range sendTags {
+		cfg.SendTags = append(cfg.SendTags, tag)
+	}
+	for tag := range internalTags {
+		cfg.InternalTags = append(cfg.InternalTags, tag)
+	}
+	var preds []hpl.Predicate
+	for _, p := range cfg.Procs {
+		for tag := range sendTags {
+			preds = append(preds, hpl.SentTag(p, tag), hpl.ReceivedTag(p, tag))
+		}
+		for tag := range internalTags {
+			preds = append(preds, hpl.DidInternal(p, tag))
+		}
+	}
+	return cfg, preds
 }

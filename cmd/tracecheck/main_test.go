@@ -109,3 +109,47 @@ func TestNoInFlight(t *testing.T) {
 		t.Errorf("output:\n%s", out)
 	}
 }
+
+func TestCheckFormulaAtTrace(t *testing.T) {
+	code, out, _ := runWith(t, []string{"-check", `K{q} "sent(p,m)"`}, "send p q m\nrecv q p\n")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, frag := range []string{
+		"at this trace: true",
+		"over the enclosing free universe: holds at 1 / 7 computations",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	// Before the receive, q does not know.
+	code, out, _ = runWith(t, []string{"-check", `K{q} "sent(p,m)"`}, "send p q m\n")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "at this trace: false") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestCheckFormulaParallel(t *testing.T) {
+	code, out, _ := runWith(t, []string{"-par", "4", "-check", `K{q} "sent(p,m)"`},
+		"send p q m\nrecv q p\n")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "holds at 1 / 7 computations") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestCheckUnknownAtom(t *testing.T) {
+	code, _, errOut := runWith(t, []string{"-check", `"nope"`}, "send p q m\n")
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "available atoms") {
+		t.Errorf("stderr:\n%s", errOut)
+	}
+}

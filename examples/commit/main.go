@@ -15,13 +15,14 @@ import (
 
 func main() {
 	s := commit.MustNew("c", "p1", "p2")
-	u, err := s.Enumerate(s.SuggestedMaxEvents(), 0)
+	ck, err := hpl.CheckProtocol(s,
+		hpl.WithMaxEvents(s.SuggestedMaxEvents()), hpl.WithParallelism(4))
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("commit protocol (coordinator c, participants p1, p2): %d computations\n\n", u.Len())
+	fmt.Printf("commit protocol (coordinator c, participants p1, p2): %d computations\n\n",
+		ck.Universe().Len())
 
-	ev := hpl.NewEvaluator(u)
 	p1Yes := hpl.NewAtom(s.VotedYes("p1"))
 	p2Knows := hpl.Knows(hpl.Singleton("p2"), p1Yes)
 
@@ -44,7 +45,7 @@ func main() {
 			last = run.At(n - 1).String()
 		}
 		fmt.Printf("  after %-34s p2 knows p1 voted yes: %v\n",
-			last, ev.MustHolds(p2Knows, x))
+			last, ck.MustHolds(p2Knows, x))
 	}
 
 	// The claims, checked over the whole universe.
@@ -52,11 +53,11 @@ func main() {
 	got := hpl.NewAtom(s.GotCommit("p2"))
 	fmt.Println("\nuniverse-wide claims:")
 	fmt.Printf("  commit ⇒ coordinator knows both votes:  %v\n",
-		ev.Valid(hpl.Implies(committed, hpl.Knows(hpl.Singleton("c"), hpl.And(p1Yes, hpl.NewAtom(s.VotedYes("p2")))))))
+		ck.Valid(hpl.Implies(committed, hpl.Knows(hpl.Singleton("c"), hpl.And(p1Yes, hpl.NewAtom(s.VotedYes("p2")))))))
 	fmt.Printf("  p2 got commit ⇒ p2 knows p1 voted yes:  %v\n",
-		ev.Valid(hpl.Implies(got, p2Knows)))
+		ck.Valid(hpl.Implies(got, p2Knows)))
 	fmt.Printf("  commit ever common knowledge:           %v\n",
-		!ev.Valid(hpl.Not(hpl.Common(committed))))
+		!ck.Valid(hpl.Not(hpl.Common(committed))))
 	fmt.Println("\np1 and p2 never talk, yet each learns the other's vote — through the")
 	fmt.Println("coordinator, along the chain Theorem 5 demands.")
 }

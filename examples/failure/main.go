@@ -9,7 +9,9 @@ package main
 import (
 	"fmt"
 
+	"hpl"
 	"hpl/internal/failure"
+	"hpl/internal/protocols/heartbeat"
 )
 
 func main() {
@@ -24,6 +26,22 @@ func main() {
 	fmt.Printf("  monitor ever knows 'not crashed': %v\n", rep.MonitorEverKnowsNot)
 	fmt.Println("  ⇒ the monitor is unsure at every computation: failure detection")
 	fmt.Println("    is impossible without timing assumptions (paper, §5).")
+
+	// The same impossibility, stated directly as one validity check in a
+	// Checker session over the heartbeat protocol.
+	hb, err := heartbeat.New("w", "m", 2)
+	if err != nil {
+		panic(err)
+	}
+	ck, err := hpl.CheckProtocol(hb,
+		hpl.WithMaxEvents(hb.SuggestedMaxEvents()), hpl.WithParallelism(4))
+	if err != nil {
+		panic(err)
+	}
+	failed := hpl.NewAtom(hb.Failed())
+	unsure := hpl.Not(hpl.Sure(hpl.Singleton("m"), failed))
+	fmt.Printf("\n  restated: ¬(m sure 'failed') valid over %d computations: %v\n",
+		ck.Universe().Len(), ck.Valid(unsure))
 
 	fmt.Println("\nsynchronous timeout detector (rounds; heartbeat each round):")
 	fmt.Println("  timeout  delay  crash@  suspected@  false positive  latency")

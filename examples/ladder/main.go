@@ -10,7 +10,6 @@ import (
 	"fmt"
 
 	"hpl"
-	"hpl/internal/knowledge"
 	"hpl/internal/protocols/ackchain"
 )
 
@@ -19,40 +18,39 @@ func main() {
 	fmt.Println("  messages  universe  max E^k  common knowledge")
 	for _, total := range []int{1, 2, 3, 4} {
 		s := ackchain.MustNew("p", "q", total)
-		u, err := s.Enumerate(0)
+		sess, err := hpl.CheckProtocol(s,
+			hpl.WithMaxEvents(2*total), hpl.WithParallelism(4))
 		if err != nil {
 			panic(err)
 		}
-		ev := hpl.NewEvaluator(u)
 		b := hpl.NewAtom(s.Base())
-		depths := knowledge.EveryoneDepth(ev, b, total+2)
+		depths := hpl.EveryoneDepth(sess.Evaluator(), b, total+2)
 		best := -1
 		for _, d := range depths {
 			if d > best {
 				best = d
 			}
 		}
-		ck := "never"
-		if !ev.Valid(hpl.Not(hpl.Common(b))) {
-			ck = "ATTAINED (bug!)"
+		ckLabel := "never"
+		if !sess.Valid(hpl.Not(hpl.Common(b))) {
+			ckLabel = "ATTAINED (bug!)"
 		}
-		fmt.Printf("  %8d  %8d  %7d  %s\n", total, u.Len(), best, ck)
+		fmt.Printf("  %8d  %8d  %7d  %s\n", total, sess.Universe().Len(), best, ckLabel)
 	}
 
 	// Walk the rungs along the 4-message full exchange.
 	s := ackchain.MustNew("p", "q", 4)
-	u, err := s.Enumerate(0)
+	sess, err := hpl.CheckProtocol(s, hpl.WithMaxEvents(8), hpl.WithParallelism(4))
 	if err != nil {
 		panic(err)
 	}
-	ev := hpl.NewEvaluator(u)
 	b := hpl.NewAtom(s.Base())
-	depths := knowledge.EveryoneDepth(ev, b, 6)
+	depths := hpl.EveryoneDepth(sess.Evaluator(), b, 6)
 	full := s.FullExchange()
 	fmt.Println("\nalong the full 4-message exchange:")
 	for n := 0; n <= full.Len(); n++ {
 		x := full.Prefix(n)
-		i := u.IndexOf(x)
+		i := sess.Universe().IndexOf(x)
 		label := "—"
 		if depths[i] >= 0 {
 			label = fmt.Sprintf("E^%d b", depths[i])

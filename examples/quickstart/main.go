@@ -1,5 +1,5 @@
 // Quickstart: build computations, test isomorphism, and ask epistemic
-// questions with the public hpl API.
+// questions through a single hpl.Checker session.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -25,27 +25,29 @@ func main() {
 	fmt.Printf("\nbefore [p] after: %v\n", before.IsomorphicTo(c, hpl.Singleton("p")))
 	fmt.Printf("before [q] after: %v\n", before.IsomorphicTo(c, hpl.Singleton("q")))
 
-	// Knowledge: enumerate every computation of the system (p may send
-	// one message) and evaluate "q knows p sent hello".
-	u := hpl.MustEnumerateFree(hpl.FreeConfig{
+	// Knowledge: open a checking session over every computation of the
+	// system (p may send one message) and evaluate "q knows p sent
+	// hello". CheckProtocol enumerates the universe — in parallel, and
+	// cancellable via hpl.WithContext — and bundles the evaluator and
+	// vocabulary behind one entrypoint.
+	ck := hpl.MustCheckProtocol(hpl.NewFree(hpl.FreeConfig{
 		Procs:    []hpl.ProcID{"p", "q"},
 		MaxSends: 1,
 		SendTags: []string{"hello"},
-	}, 4, 0)
-	ev := hpl.NewEvaluator(u)
+	}), hpl.WithMaxEvents(4), hpl.WithParallelism(4))
 	sent := hpl.NewAtom(hpl.SentTag("p", "hello"))
 	qKnows := hpl.Knows(hpl.NewProcSet("q"), sent)
 
-	fmt.Printf("\nuniverse: %d computations\n", u.Len())
-	fmt.Printf("q knows sent(p) before receive: %v\n", ev.MustHolds(qKnows, before))
-	fmt.Printf("q knows sent(p) after  receive: %v\n", ev.MustHolds(qKnows, c))
+	fmt.Printf("\nuniverse: %d computations\n", ck.Universe().Len())
+	fmt.Printf("q knows sent(p) before receive: %v\n", ck.MustHolds(qKnows, before))
+	fmt.Printf("q knows sent(p) after  receive: %v\n", ck.MustHolds(qKnows, c))
 
 	// The same question in the textual formula language.
-	vocab := hpl.NewVocabulary(hpl.SentTag("p", "hello"))
-	f, err := hpl.ParseFormula(`K{q} "sent(p,hello)" -> "sent(p,hello)"`, vocab)
+	ck.Define(hpl.SentTag("p", "hello"))
+	rep, err := ck.ParseAndCheck(`K{q} "sent(p,hello)" -> "sent(p,hello)"`)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("\n%q is valid: %v (fact 4: knowledge implies truth)\n",
-		hpl.PrintFormula(f), ev.Valid(f))
+		hpl.PrintFormula(rep.Formula), rep.Valid())
 }

@@ -14,13 +14,12 @@ import (
 
 func main() {
 	bus := tokenbus.MustNew("p", "q", "r")
-	u, err := bus.Enumerate(8, 0)
+	ck, err := hpl.CheckProtocol(bus, hpl.WithMaxEvents(8), hpl.WithParallelism(4))
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("token bus p—q—r: %d computations enumerated\n", u.Len())
+	fmt.Printf("token bus p—q—r: %d computations enumerated\n", ck.Universe().Len())
 
-	ev := hpl.NewEvaluator(u)
 	atP := hpl.NewAtom(bus.TokenAt("p"))
 	atR := hpl.NewAtom(bus.TokenAt("r"))
 	claim := hpl.Implies(atR,
@@ -28,7 +27,7 @@ func main() {
 			hpl.Knows(hpl.Singleton("q"), hpl.Not(atP))))
 
 	fmt.Printf("claim: token@r ⇒ r knows q knows ¬token@p\n")
-	fmt.Printf("valid over the whole universe: %v\n", ev.Valid(claim))
+	fmt.Printf("valid over the whole universe: %v\n", ck.Valid(claim))
 
 	// Show the knowledge states along one concrete run:
 	// p passes to q, q passes to r.
@@ -44,7 +43,7 @@ func main() {
 	for n := 0; n <= run.Len(); n++ {
 		x := run.Prefix(n)
 		fmt.Printf("  after %d events: q knows ¬token@p = %-5v  r knows q knows = %v\n",
-			n, ev.MustHolds(qKnows, x), ev.MustHolds(rKnowsQKnows, x))
+			n, ck.MustHolds(qKnows, x), ck.MustHolds(rKnowsQKnows, x))
 	}
 
 	// A randomized long simulation conserves the token.

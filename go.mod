@@ -1,0 +1,3 @@
+module hpl
+
+go 1.24

@@ -10,16 +10,22 @@
 // # Quick start
 //
 //	// Build a computation: p sends to q, q receives.
-//	c := hpl.NewBuilder().Send("p", "q", "hello").Receive("q", "p").MustBuild()
+//	c := hpl.NewBuilder().Send("p", "q", "m").Receive("q", "p").MustBuild()
 //
-//	// Enumerate every computation of a small system and ask an
+//	// Open a checking session: enumerate every computation of a small
+//	// system (in parallel, cancellable via WithContext) and ask an
 //	// epistemic question.
-//	u := hpl.MustEnumerateFree(hpl.FreeConfig{
+//	ck, err := hpl.CheckProtocol(hpl.NewFree(hpl.FreeConfig{
 //	    Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1,
-//	}, 4, 0)
-//	ev := hpl.NewEvaluator(u)
-//	b := hpl.NewAtom(hpl.SentTag("p", "hello"))
-//	knows := ev.MustHolds(hpl.Knows(hpl.NewProcSet("q"), b), c) // true
+//	}), hpl.WithMaxEvents(4), hpl.WithParallelism(4))
+//	if err != nil { ... }
+//	b := hpl.NewAtom(hpl.SentTag("p", "m"))
+//	knows := ck.MustHolds(hpl.Knows(hpl.NewProcSet("q"), b), c) // true
+//
+//	// The same question in the textual formula language.
+//	ck.Define(hpl.SentTag("p", "m"))
+//	rep, err := ck.ParseAndCheck(`K{q} "sent(p,m)" -> "sent(p,m)"`)
+//	valid := rep.Valid() // true: knowledge implies truth
 //
 // The facade re-exports the stable core of the internal packages; the
 // experiment harnesses live in cmd/hpl-experiments and the runnable
@@ -27,6 +33,8 @@
 package hpl
 
 import (
+	"context"
+
 	"hpl/internal/diagram"
 	"hpl/internal/fusion"
 	"hpl/internal/iso"
@@ -102,13 +110,67 @@ type (
 // NewUniverse builds a universe from computations with D = all.
 func NewUniverse(comps []*Computation, all ProcSet) *Universe { return universe.New(comps, all) }
 
+// NewFree returns the Protocol of the free system described by cfg: the
+// least-constrained system of the model, in which every process may
+// send bounded numbers of messages, perform bounded internal events,
+// and receive whatever is in flight.
+func NewFree(cfg FreeConfig) Protocol { return universe.NewFree(cfg) }
+
+// Enumeration options (see EnumerateWith and CheckProtocol).
+type (
+	// EnumOption configures an enumeration.
+	EnumOption = universe.Option
+	// EnumProgress is a snapshot of a running enumeration.
+	EnumProgress = universe.Progress
+)
+
+// ErrUniverseTooLarge reports an enumeration that exceeded its WithCap
+// bound.
+var ErrUniverseTooLarge = universe.ErrTooLarge
+
+// WithMaxEvents bounds every enumerated computation to at most n events.
+func WithMaxEvents(n int) EnumOption { return universe.WithMaxEvents(n) }
+
+// WithCap fails the enumeration with ErrUniverseTooLarge when more than
+// n distinct computations would be produced; n <= 0 disables the cap.
+func WithCap(n int) EnumOption { return universe.WithCap(n) }
+
+// WithParallelism enumerates on n workers; the resulting universe is
+// identical for every n.
+func WithParallelism(n int) EnumOption { return universe.WithParallelism(n) }
+
+// WithContext makes the enumeration cancellable: when ctx ends, the
+// enumeration stops promptly and returns ctx.Err().
+func WithContext(ctx context.Context) EnumOption { return universe.WithContext(ctx) }
+
+// WithProgress installs a progress callback (serialized by the engine).
+func WithProgress(fn func(EnumProgress)) EnumOption { return universe.WithProgress(fn) }
+
+// EnumerateWith exhaustively generates the protocol's computations
+// under the given options.
+func EnumerateWith(p Protocol, opts ...EnumOption) (*Universe, error) {
+	return universe.EnumerateWith(p, opts...)
+}
+
+// MustEnumerateWith is EnumerateWith for configurations known to
+// succeed; it panics on error.
+func MustEnumerateWith(p Protocol, opts ...EnumOption) *Universe {
+	return universe.MustEnumerateWith(p, opts...)
+}
+
 // Enumerate exhaustively generates the protocol's computations up to
 // maxEvents events (capN <= 0 disables the size cap).
+//
+// Deprecated: use EnumerateWith (or CheckProtocol for a full session)
+// with WithMaxEvents and WithCap.
 func Enumerate(p Protocol, maxEvents, capN int) (*Universe, error) {
 	return universe.Enumerate(p, maxEvents, capN)
 }
 
 // MustEnumerateFree enumerates a free system; it panics on error.
+//
+// Deprecated: use MustEnumerateWith(NewFree(cfg), ...) or
+// MustCheckProtocol(NewFree(cfg), ...).
 func MustEnumerateFree(cfg FreeConfig, maxEvents, capN int) *Universe {
 	return universe.MustEnumerate(universe.NewFree(cfg), maxEvents, capN)
 }

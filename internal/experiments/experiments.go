@@ -12,10 +12,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync"
 
 	"hpl/internal/diagram"
 	"hpl/internal/failure"
@@ -88,10 +90,10 @@ func ftoa(f float64) string { return strconv.FormatFloat(f, 'f', 3, 64) }
 // freeUniverse enumerates the standard two-process free system used by
 // several experiments.
 func freeUniverse(maxSends, maxEvents int) (*universe.Universe, error) {
-	return universe.Enumerate(universe.NewFree(universe.FreeConfig{
+	return universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
 		Procs:    []trace.ProcID{"p", "q"},
 		MaxSends: maxSends,
-	}), maxEvents, 500000)
+	}), universe.WithMaxEvents(maxEvents), universe.WithCap(500000))
 }
 
 // example1Vertices rebuilds the four computations of the paper's
@@ -672,9 +674,9 @@ func TerminationBound() (Table, error) {
 	return t, nil
 }
 
-// All runs every experiment in DESIGN.md order.
-func All() ([]Table, error) {
-	funcs := []func() (Table, error){
+// registry lists every experiment in DESIGN.md order.
+func registry() []func() (Table, error) {
+	return []func() (Table, error){
 		Fig31, Fig32, Fig33,
 		IsoProperties, Theorem1, Theorem3,
 		KnowledgeAxioms, LocalPredicateFacts, CommonKnowledge,
@@ -682,13 +684,81 @@ func All() ([]Table, error) {
 		TokenBus, Tracking, FailureDetection, TerminationBound,
 		StateAbstraction, CommitKnowledge, KnowledgeLadder, Generalizations,
 	}
+}
+
+// All runs every experiment in DESIGN.md order.
+func All() ([]Table, error) {
+	return AllWith(context.Background(), 1)
+}
+
+// AllWith runs every experiment on up to parallelism workers, still
+// returning tables in DESIGN.md order. The context cancels cleanly
+// between experiments: cancellation returns ctx.Err() together with the
+// tables completed so far (in order, stopping at the first gap). An
+// experiment error likewise stops the run: no new experiments start
+// after the first failure.
+func AllWith(ctx context.Context, parallelism int) ([]Table, error) {
+	funcs := registry()
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	type slot struct {
+		t   Table
+		err error
+	}
+	results := make([]slot, len(funcs))
+	done := make([]bool, len(funcs))
+
+	var (
+		mu     sync.Mutex
+		next   int
+		failed bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				if failed {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(funcs) {
+					return
+				}
+				t, err := funcs[i]()
+				mu.Lock()
+				results[i] = slot{t: t, err: err}
+				done[i] = true
+				if err != nil {
+					failed = true
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
 	out := make([]Table, 0, len(funcs))
-	for _, f := range funcs {
-		t, err := f()
-		if err != nil {
-			return out, err
+	for i := range funcs {
+		if !done[i] {
+			break
 		}
-		out = append(out, t)
+		if results[i].err != nil {
+			return out, results[i].err
+		}
+		out = append(out, results[i].t)
+	}
+	if err := ctx.Err(); err != nil && len(out) < len(funcs) {
+		return out, err
 	}
 	return out, nil
 }

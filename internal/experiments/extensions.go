@@ -24,11 +24,11 @@ func StateAbstraction() (Table, error) {
 	// Two distinguishable messages: coarse abstractions can then merge a
 	// history that saw m1 with one that did not, which is what breaks
 	// the event-semantics laws.
-	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+	u, err := universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
 		Procs:    []trace.ProcID{"p", "q"},
 		MaxSends: 2,
 		SendTags: []string{"m1", "m2"},
-	}), 5, 500000)
+	}), universe.WithMaxEvents(5), universe.WithCap(500000))
 	if err != nil {
 		return Table{}, err
 	}

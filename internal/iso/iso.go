@@ -34,7 +34,7 @@ func Reachable(u *universe.Universe, x *trace.Computation, sets []trace.ProcSet)
 		return nil
 	}
 	frontier := make(map[int]struct{})
-	for _, i := range u.Class(x, sets[0]) {
+	for _, i := range u.ClassRef(x, sets[0]) {
 		frontier[i] = struct{}{}
 	}
 	for _, p := range sets[1:] {
@@ -48,7 +48,7 @@ func Reachable(u *universe.Universe, x *trace.Computation, sets []trace.ProcSet)
 				continue
 			}
 			seenClass[key] = struct{}{}
-			for _, j := range u.Class(u.At(i), p) {
+			for _, j := range u.ClassRef(u.At(i), p) {
 				next[j] = struct{}{}
 			}
 		}

@@ -41,7 +41,7 @@ func CheckComputationExtension(u *universe.Universe) (PCEStats, error) {
 		switch e.Kind {
 		case trace.KindInternal, trace.KindSend:
 			// Part 1 over the whole [p]-class of x.
-			for _, j := range u.Class(x, p) {
+			for _, j := range u.ClassRef(x, p) {
 				y := u.At(j)
 				ext, err := ExtendWith(y, e)
 				if err != nil {
@@ -57,7 +57,7 @@ func CheckComputationExtension(u *universe.Universe) (PCEStats, error) {
 		switch e.Kind {
 		case trace.KindInternal, trace.KindReceive:
 			// Part 2 over the [p]-class of (x;e).
-			for _, j := range u.Class(xe, p) {
+			for _, j := range u.ClassRef(xe, p) {
 				y := u.At(j)
 				shrunk, err := Shrink(y, e)
 				if err != nil {
@@ -73,7 +73,7 @@ func CheckComputationExtension(u *universe.Universe) (PCEStats, error) {
 		if e.Kind == trace.KindReceive {
 			// Corollary over the [{p,q}]-class of x, q the sender.
 			pq := trace.NewProcSet(e.Proc, e.Peer)
-			for _, j := range u.Class(x, pq) {
+			for _, j := range u.ClassRef(x, pq) {
 				y := u.At(j)
 				if _, err := ExtendWithReceive(y, e); err != nil {
 					return st, fmt.Errorf("iso: PCE corollary fails at members %d/%d: %w", i, j, err)

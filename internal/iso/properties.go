@@ -34,7 +34,7 @@ func CheckEquivalence(u *universe.Universe, p trace.ProcSet) error {
 	// keys; verify through class structure: classes must partition U.
 	seen := make(map[int]string)
 	for i := 0; i < u.Len(); i++ {
-		for _, j := range u.Class(u.At(i), p) {
+		for _, j := range u.ClassRef(u.At(i), p) {
 			id := classID(u.At(i), p)
 			if prev, ok := seen[j]; ok && prev != id {
 				return fmt.Errorf("iso: [%v] classes overlap at member %d", p, j)

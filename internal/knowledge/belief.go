@@ -80,7 +80,7 @@ func (e *BelieverEvaluator) eval(f Formula, i int) bool {
 	case ImpliesF:
 		return !e.HoldsAt(f.L, i) || e.HoldsAt(f.R, i)
 	case KnowsF:
-		for _, j := range e.u.Class(e.u.At(i), f.P) {
+		for _, j := range e.u.ClassRef(e.u.At(i), f.P) {
 			if !e.plausible.Holds(e.u.At(j)) {
 				continue
 			}

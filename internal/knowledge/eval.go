@@ -88,7 +88,7 @@ func (e *Evaluator) eval(f Formula, i int) bool {
 	case ImpliesF:
 		return !e.HoldsAt(f.L, i) || e.HoldsAt(f.R, i)
 	case KnowsF:
-		for _, j := range e.u.Class(e.u.At(i), f.P) {
+		for _, j := range e.u.ClassRef(e.u.At(i), f.P) {
 			if !e.HoldsAt(f.F, j) {
 				return false
 			}
@@ -113,16 +113,26 @@ func (e *Evaluator) commonAt(f CommonF, i int) bool {
 	for j := 0; j < n; j++ {
 		in[j] = e.HoldsAt(f.F, j)
 	}
+	// Fetch each member's singleton classes once up front (read-only
+	// refs): the fixpoint loop below revisits every class on every
+	// iteration.
 	procs := e.u.All().IDs()
+	classes := make([][][]int, len(procs))
+	for pi, p := range procs {
+		classes[pi] = make([][]int, n)
+		for j := 0; j < n; j++ {
+			classes[pi][j] = e.u.ClassRef(e.u.At(j), trace.Singleton(p))
+		}
+	}
 	for changed := true; changed; {
 		changed = false
 		for j := 0; j < n; j++ {
 			if !in[j] {
 				continue
 			}
-			for _, p := range procs {
+			for pi := range procs {
 				ok := true
-				for _, k := range e.u.Class(e.u.At(j), trace.Singleton(p)) {
+				for _, k := range classes[pi][j] {
 					if !in[k] {
 						ok = false
 						break
@@ -165,7 +175,7 @@ func EvalNaive(u *universe.Universe, f Formula, i int) bool {
 	case ImpliesF:
 		return !EvalNaive(u, f.L, i) || EvalNaive(u, f.R, i)
 	case KnowsF:
-		for _, j := range u.Class(u.At(i), f.P) {
+		for _, j := range u.ClassRef(u.At(i), f.P) {
 			if !EvalNaive(u, f.F, j) {
 				return false
 			}

@@ -24,7 +24,7 @@ func CheckKnowledgeFacts(e *Evaluator, p, q trace.ProcSet, b, b2 Formula) error 
 
 		// Fact 1: P knows b at x ≡ ∀y: x[P]y: P knows b at y.
 		all := true
-		for _, j := range u.Class(x, p) {
+		for _, j := range u.ClassRef(x, p) {
 			if !e.HoldsAt(kb, j) {
 				all = false
 				break
@@ -35,7 +35,7 @@ func CheckKnowledgeFacts(e *Evaluator, p, q trace.ProcSet, b, b2 Formula) error 
 		}
 
 		// Fact 2: x[P]y ⇒ (P knows b at x ≡ P knows b at y).
-		for _, j := range u.Class(x, p) {
+		for _, j := range u.ClassRef(x, p) {
 			if e.HoldsAt(kb, i) != e.HoldsAt(kb, j) {
 				return fmt.Errorf("knowledge: fact 2 fails between members %d and %d", i, j)
 			}
@@ -107,7 +107,7 @@ func CheckLocalFacts(e *Evaluator, p, q trace.ProcSet, b Formula) error {
 		for i := 0; i < u.Len(); i++ {
 			x := u.At(i)
 			// LP1: x[P]y ⇒ (b at x ≡ b at y).
-			for _, j := range u.Class(x, p) {
+			for _, j := range u.ClassRef(x, p) {
 				if e.HoldsAt(b, i) != e.HoldsAt(b, j) {
 					return fmt.Errorf("knowledge: LP1 fails between members %d and %d", i, j)
 				}

@@ -35,7 +35,7 @@ func (p Predicate) Holds(c *trace.Computation) bool { return p.fn(c) }
 func CheckWellFormed(u *universe.Universe, b Predicate) error {
 	for i := 0; i < u.Len(); i++ {
 		x := u.At(i)
-		for _, j := range u.Class(x, u.All()) {
+		for _, j := range u.ClassRef(x, u.All()) {
 			if b.Holds(x) != b.Holds(u.At(j)) {
 				return fmt.Errorf("knowledge: predicate %q distinguishes [D]-isomorphic members %d and %d", b.Name(), i, j)
 			}

@@ -1,0 +1,162 @@
+package universe_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hpl/internal/protocols/ackchain"
+	"hpl/internal/protocols/commit"
+	"hpl/internal/protocols/heartbeat"
+	"hpl/internal/protocols/tokenbus"
+	"hpl/internal/protocols/tracker"
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// enumerable names one protocol instance from internal/protocols plus
+// its event bound, for the sequential-vs-parallel differential.
+type enumerable struct {
+	name      string
+	p         universe.Protocol
+	maxEvents int
+}
+
+func allProtocols(t *testing.T) []enumerable {
+	t.Helper()
+	hb, err := heartbeat.New("w", "m", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tracker.New("o", "t", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []enumerable{
+		{"free", universe.NewFree(universe.FreeConfig{
+			Procs:    []trace.ProcID{"p", "q"},
+			MaxSends: 2,
+		}), 5},
+		{"tokenbus", tokenbus.MustNew("p", "q", "r"), 6},
+		{"commit", commit.MustNew("c", "p1", "p2"), 8},
+		{"heartbeat", hb, hb.SuggestedMaxEvents()},
+		{"tracker", tr, tr.SuggestedMaxEvents()},
+		{"ackchain", ackchain.MustNew("p", "q", 2), 4},
+	}
+}
+
+// TestParallelMatchesSequential checks the engine's central contract:
+// enumeration with 4 workers yields a byte-identical universe — the
+// same member keys in the same canonical order, hence identical Class
+// partitions — as single-threaded enumeration, for every protocol in
+// internal/protocols.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, e := range allProtocols(t) {
+		t.Run(e.name, func(t *testing.T) {
+			seq, err := universe.EnumerateWith(e.p, universe.WithMaxEvents(e.maxEvents))
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := universe.EnumerateWith(e.p,
+				universe.WithMaxEvents(e.maxEvents), universe.WithParallelism(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Len() != par.Len() {
+				t.Fatalf("Len: sequential %d, parallel %d", seq.Len(), par.Len())
+			}
+			if seq.Len() < 2 {
+				t.Fatalf("degenerate universe (%d members) proves nothing", seq.Len())
+			}
+			for i := 0; i < seq.Len(); i++ {
+				if seq.At(i).Key() != par.At(i).Key() {
+					t.Fatalf("member %d differs: %q vs %q", i, seq.At(i).Key(), par.At(i).Key())
+				}
+			}
+			// With identical member order, identical partitions means
+			// identical index slices for every class of every relation.
+			sets := []trace.ProcSet{seq.All()}
+			for _, p := range seq.All().IDs() {
+				sets = append(sets, trace.Singleton(p))
+			}
+			for _, ps := range sets {
+				for i := 0; i < seq.Len(); i++ {
+					a := seq.Class(seq.At(i), ps)
+					b := par.Class(par.At(i), ps)
+					if len(a) != len(b) {
+						t.Fatalf("class of member %d wrt %v: %d vs %d members", i, ps, len(a), len(b))
+					}
+					for k := range a {
+						if a[k] != b[k] {
+							t.Fatalf("class of member %d wrt %v differs at %d: %d vs %d", i, ps, k, a[k], b[k])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// bigFree is a system whose universe is far too large to finish within
+// the cancellation tests' deadlines.
+func bigFree() universe.Protocol {
+	return universe.NewFree(universe.FreeConfig{
+		Procs:    []trace.ProcID{"p", "q", "r"},
+		MaxSends: 3,
+	})
+}
+
+func TestContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := universe.EnumerateWith(bigFree(),
+		universe.WithMaxEvents(12), universe.WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestContextCancelStopsPromptly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		_, err := universe.EnumerateWith(bigFree(),
+			universe.WithMaxEvents(14),
+			universe.WithParallelism(workers),
+			universe.WithContext(ctx))
+		elapsed := time.Since(start)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if elapsed > 5*time.Second {
+			t.Fatalf("workers=%d: cancellation took %v, want prompt stop", workers, elapsed)
+		}
+	}
+}
+
+func TestContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := universe.EnumerateWith(bigFree(),
+		universe.WithMaxEvents(14), universe.WithContext(ctx))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestParallelCap verifies the cap fails gracefully under parallelism
+// instead of panicking or deadlocking.
+func TestParallelCap(t *testing.T) {
+	_, err := universe.EnumerateWith(bigFree(),
+		universe.WithMaxEvents(8),
+		universe.WithParallelism(4),
+		universe.WithCap(100))
+	if !errors.Is(err, universe.ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}

@@ -1,0 +1,285 @@
+package universe
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hpl/internal/trace"
+)
+
+// The enumeration engine is an iterative frontier search run by a pool
+// of workers. Each work item is a computation plus the per-process local
+// states it induces; expanding an item emits the computation and pushes
+// one child per admissible delivery and enabled step. Items are deduped
+// by computation key in a sharded set, so no computation is emitted or
+// expanded twice even when the protocol's Steps relation produces the
+// same child along different paths.
+//
+// The emitted set is independent of worker count and of scheduling; the
+// final universe is canonicalized by sorting members by (length, key),
+// so enumeration with any parallelism yields byte-identical results —
+// same member order, hence identical Class partitions. The differential
+// tests in differential_test.go hold the engine to that contract.
+
+// node is one work item of the frontier.
+type node struct {
+	comp *trace.Computation
+	st   map[trace.ProcID]string
+}
+
+// dedupShard is one lock-striped slice of the global seen-key set.
+type dedupShard struct {
+	mu   sync.Mutex
+	seen map[string]struct{}
+}
+
+// shardOf hashes key (FNV-1a) onto one of n shards.
+func shardOf(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+type engine struct {
+	p     Protocol
+	cfg   config
+	procs []trace.ProcID
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []node
+	active  int
+	stopped bool
+	stopErr error
+
+	shards   []dedupShard
+	emitted  atomic.Int64
+	frontier atomic.Int64
+
+	// progMu serializes the user's progress callback.
+	progMu sync.Mutex
+
+	// outs collects emitted computations per worker; merged and sorted
+	// once the pool drains.
+	outs [][]*trace.Computation
+}
+
+// EnumerateWith exhaustively generates every computation of the protocol
+// under the given options (including the empty computation and every
+// prefix, since the search tree is rooted at null). Without options it
+// uses DefaultMaxEvents, no cap, and a single worker.
+//
+// The resulting universe is canonical: members are ordered by event
+// count, then key, so the result is identical for every parallelism
+// level. Enumeration fails with ErrTooLarge when the universe exceeds
+// the WithCap bound, and with ctx.Err() when the WithContext context is
+// cancelled.
+func EnumerateWith(p Protocol, opts ...Option) (*Universe, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	procs := p.Procs()
+	all := trace.NewProcSet(procs...)
+	states := make(map[trace.ProcID]string, len(procs))
+	for _, id := range procs {
+		states[id] = p.Init(id)
+	}
+
+	nshards := 1
+	if cfg.parallelism > 1 {
+		nshards = 64
+	}
+	e := &engine{
+		p:      p,
+		cfg:    cfg,
+		procs:  procs,
+		shards: make([]dedupShard, nshards),
+		outs:   make([][]*trace.Computation, cfg.parallelism),
+	}
+	for i := range e.shards {
+		e.shards[i].seen = make(map[string]struct{})
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.queue = []node{{comp: trace.Empty(), st: states}}
+	e.frontier.Store(1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	if e.stopErr != nil {
+		return nil, e.stopErr
+	}
+
+	total := 0
+	for _, out := range e.outs {
+		total += len(out)
+	}
+	comps := make([]*trace.Computation, 0, total)
+	for _, out := range e.outs {
+		comps = append(comps, out...)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if comps[i].Len() != comps[j].Len() {
+			return comps[i].Len() < comps[j].Len()
+		}
+		return comps[i].Key() < comps[j].Key()
+	})
+	if cfg.progress != nil {
+		cfg.progress(Progress{Explored: len(comps)})
+	}
+	return New(comps, all), nil
+}
+
+// MustEnumerateWith is EnumerateWith for configurations known to
+// succeed; it panics on error.
+func MustEnumerateWith(p Protocol, opts ...Option) *Universe {
+	u, err := EnumerateWith(p, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// worker pops items until the frontier drains, an error stops the
+// engine, or the context is cancelled.
+func (e *engine) worker(id int) {
+	var children []node
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && e.active > 0 && !e.stopped {
+			e.cond.Wait()
+		}
+		if e.stopped || len(e.queue) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		nd := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		e.active++
+		e.mu.Unlock()
+		e.frontier.Add(-1)
+
+		children = children[:0]
+		err := e.expand(id, nd, &children)
+
+		e.mu.Lock()
+		e.active--
+		if err != nil && !e.stopped {
+			e.stopped = true
+			e.stopErr = err
+		}
+		wasEmpty := len(e.queue) == 0
+		if !e.stopped && len(children) > 0 {
+			e.queue = append(e.queue, children...)
+			e.frontier.Add(int64(len(children)))
+		}
+		// Wake peers only on a state change they wait for: work arriving
+		// on an empty queue, the engine stopping, or the pool draining.
+		if e.stopped || (wasEmpty && len(e.queue) > 0) || (e.active == 0 && len(e.queue) == 0) {
+			e.cond.Broadcast()
+		}
+		e.mu.Unlock()
+	}
+}
+
+// expand emits nd's computation (unless another worker already claimed
+// its key) and appends its children to *children.
+func (e *engine) expand(worker int, nd node, children *[]node) error {
+	if err := e.cfg.ctx.Err(); err != nil {
+		return err
+	}
+	if !e.claim(nd.comp.Key()) {
+		return nil
+	}
+	e.outs[worker] = append(e.outs[worker], nd.comp)
+	count := e.emitted.Add(1)
+	if e.cfg.capN > 0 && count > int64(e.cfg.capN) {
+		return fmt.Errorf("%w: more than %d computations", ErrTooLarge, e.cfg.capN)
+	}
+	if e.cfg.progress != nil && count%int64(e.cfg.progressEvery) == 0 {
+		e.reportProgress()
+	}
+
+	c, st := nd.comp, nd.st
+	if c.Len() >= e.cfg.maxEvents {
+		return nil
+	}
+	// Deliveries of in-flight messages.
+	for _, send := range c.InFlight() {
+		dst := send.Peer
+		next, ok := e.p.Deliver(dst, st[dst], send.Proc, send.Tag)
+		if !ok {
+			continue
+		}
+		child := trace.FromComputation(c).ReceiveMsg(send.Msg).MustBuild()
+		st2 := copyStates(st)
+		st2[dst] = next
+		*children = append(*children, node{comp: child, st: st2})
+	}
+	// Spontaneous steps.
+	for _, id := range e.procs {
+		for _, a := range e.p.Steps(id, st[id]) {
+			b := trace.FromComputation(c)
+			switch a.Kind {
+			case trace.KindSend:
+				b.Send(id, a.To, a.Tag)
+			case trace.KindInternal:
+				b.Internal(id, a.Tag)
+			default:
+				return fmt.Errorf("universe: protocol %T emitted action of kind %v", e.p, a.Kind)
+			}
+			child, err := b.Build()
+			if err != nil {
+				return fmt.Errorf("universe: invalid step by %s: %w", id, err)
+			}
+			st2 := copyStates(st)
+			st2[id] = e.p.AfterStep(id, st[id], a)
+			*children = append(*children, node{comp: child, st: st2})
+		}
+	}
+	return nil
+}
+
+// claim records key in the sharded seen-set; it reports whether this
+// call was the first to see it.
+func (e *engine) claim(key string) bool {
+	s := &e.shards[shardOf(key, len(e.shards))]
+	s.mu.Lock()
+	_, dup := s.seen[key]
+	if !dup {
+		s.seen[key] = struct{}{}
+	}
+	s.mu.Unlock()
+	return !dup
+}
+
+func (e *engine) reportProgress() {
+	f := e.frontier.Load()
+	if f < 0 {
+		f = 0
+	}
+	e.progMu.Lock()
+	e.cfg.progress(Progress{Explored: int(e.emitted.Load()), Frontier: int(f)})
+	e.progMu.Unlock()
+}
+
+func copyStates(st map[trace.ProcID]string) map[trace.ProcID]string {
+	cp := make(map[trace.ProcID]string, len(st))
+	for k, v := range st {
+		cp[k] = v
+	}
+	return cp
+}

@@ -1,0 +1,114 @@
+package universe
+
+import (
+	"testing"
+
+	"hpl/internal/trace"
+)
+
+// TestClassReturnsCopy guards the aliasing contract: mutating or
+// appending to a returned class must not corrupt the memoized index.
+func TestClassReturnsCopy(t *testing.T) {
+	u := freeTwoProc(t, 3)
+	p := trace.Singleton("q")
+	x := u.At(1)
+
+	first := u.Class(x, p)
+	if len(first) == 0 {
+		t.Fatalf("expected nonempty class")
+	}
+	want := append([]int(nil), first...)
+
+	// A hostile caller scribbles over the slice and appends past it.
+	for i := range first {
+		first[i] = -1
+	}
+	_ = append(first, 12345)
+
+	second := u.Class(x, p)
+	if len(second) != len(want) {
+		t.Fatalf("class size changed after caller mutation: %d vs %d", len(second), len(want))
+	}
+	for i := range want {
+		if second[i] != want[i] {
+			t.Fatalf("class corrupted by caller mutation at %d: %d vs %d", i, second[i], want[i])
+		}
+	}
+}
+
+func TestCanonicalMemberOrder(t *testing.T) {
+	u := freeTwoProc(t, 4)
+	if u.At(0).Len() != 0 {
+		t.Fatalf("member 0 is not the null computation")
+	}
+	for i := 1; i < u.Len(); i++ {
+		a, b := u.At(i-1), u.At(i)
+		if a.Len() > b.Len() || (a.Len() == b.Len() && a.Key() >= b.Key()) {
+			t.Fatalf("members %d,%d out of canonical (length, key) order", i-1, i)
+		}
+	}
+}
+
+// TestDeprecatedWrapperMatchesOptions pins the old positional API to the
+// options engine.
+func TestDeprecatedWrapperMatchesOptions(t *testing.T) {
+	p := NewFree(FreeConfig{Procs: []trace.ProcID{"p", "q"}, MaxSends: 1})
+	old, err := Enumerate(p, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := EnumerateWith(p, WithMaxEvents(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Len() != opt.Len() {
+		t.Fatalf("Len: %d vs %d", old.Len(), opt.Len())
+	}
+	for i := 0; i < old.Len(); i++ {
+		if old.At(i).Key() != opt.At(i).Key() {
+			t.Fatalf("member %d differs", i)
+		}
+	}
+}
+
+func TestMaxEventsZeroIsNullUniverse(t *testing.T) {
+	p := NewFree(FreeConfig{Procs: []trace.ProcID{"p", "q"}, MaxSends: 1})
+	u, err := EnumerateWith(p, WithMaxEvents(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 1 || u.At(0).Len() != 0 {
+		t.Fatalf("want {null}, got %d members", u.Len())
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	p := NewFree(FreeConfig{Procs: []trace.ProcID{"p", "q"}, MaxSends: 1})
+	for _, workers := range []int{1, 4} {
+		var snaps []Progress
+		u, err := EnumerateWith(p,
+			WithMaxEvents(5),
+			WithParallelism(workers),
+			WithProgress(func(pr Progress) { snaps = append(snaps, pr) }),
+			withProgressEvery(16),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) < 2 {
+			t.Fatalf("workers=%d: got %d progress snapshots, want several", workers, len(snaps))
+		}
+		for i := 1; i < len(snaps); i++ {
+			if snaps[i].Explored < snaps[i-1].Explored {
+				t.Fatalf("workers=%d: Explored regressed: %+v", workers, snaps)
+			}
+			if snaps[i].Frontier < 0 {
+				t.Fatalf("workers=%d: negative frontier: %+v", workers, snaps[i])
+			}
+		}
+		final := snaps[len(snaps)-1]
+		if final.Explored != u.Len() {
+			t.Fatalf("workers=%d: final Explored = %d, universe = %d", workers, final.Explored, u.Len())
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package universe
+
+import "context"
+
+// DefaultMaxEvents bounds computations when WithMaxEvents is not given.
+// Protocols with unbounded runs (a token circulating forever) would
+// otherwise never terminate, so the bound is deliberately conservative.
+const DefaultMaxEvents = 8
+
+// Progress is a snapshot of a running enumeration, delivered to the
+// callback installed by WithProgress.
+type Progress struct {
+	// Explored counts distinct computations emitted so far.
+	Explored int
+	// Frontier counts discovered-but-unexpanded computations queued in
+	// the engine (an approximation while workers are mid-expansion).
+	Frontier int
+}
+
+// Option configures an enumeration started by EnumerateWith.
+type Option func(*config)
+
+type config struct {
+	maxEvents   int
+	capN        int
+	parallelism int
+	ctx         context.Context
+	progress    func(Progress)
+	// progressEvery is the number of emissions between progress
+	// callbacks; tests shrink it to observe mid-run snapshots.
+	progressEvery int
+}
+
+func defaultConfig() config {
+	return config{
+		maxEvents:     DefaultMaxEvents,
+		capN:          0,
+		parallelism:   1,
+		ctx:           context.Background(),
+		progressEvery: 1024,
+	}
+}
+
+// WithMaxEvents bounds every computation to at most n events (including
+// the empty computation and every prefix, since the search tree is
+// rooted at null). n <= 0 yields the universe {null}.
+func WithMaxEvents(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.maxEvents = n
+	}
+}
+
+// WithCap fails the enumeration with ErrTooLarge when more than n
+// distinct computations would be produced; n <= 0 disables the cap.
+func WithCap(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.capN = n
+	}
+}
+
+// WithParallelism runs the enumeration on n workers; n <= 1 is
+// single-threaded. The resulting universe is identical (same members in
+// the same canonical order, hence the same classes) for every n.
+func WithParallelism(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.parallelism = n
+	}
+}
+
+// WithContext makes the enumeration cancellable: when ctx is cancelled
+// or its deadline passes, EnumerateWith stops promptly and returns
+// ctx.Err().
+func WithContext(ctx context.Context) Option {
+	return func(c *config) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	}
+}
+
+// WithProgress installs a progress callback, invoked periodically during
+// enumeration and once at the end. The callback is serialized by the
+// engine (never invoked concurrently), so it need not lock. It must not
+// call back into the enumeration.
+func WithProgress(fn func(Progress)) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// withProgressEvery tunes the callback interval; exported options keep
+// the default, tests reach this directly.
+func withProgressEvery(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.progressEvery = n
+		}
+	}
+}

@@ -13,7 +13,7 @@ package universe
 
 import (
 	"errors"
-	"fmt"
+	"slices"
 
 	"hpl/internal/trace"
 )
@@ -88,8 +88,17 @@ func (u *Universe) index(p trace.ProcSet) map[string][]int {
 
 // Class returns the indexes of every member y with x [P] y. The
 // computation x itself need not be a member; if it is, its index is
-// included (the relation is reflexive).
+// included (the relation is reflexive). The slice is a copy: callers may
+// append to or mutate it without corrupting the memoized index.
 func (u *Universe) Class(x *trace.Computation, p trace.ProcSet) []int {
+	return slices.Clone(u.ClassRef(x, p))
+}
+
+// ClassRef is Class without the defensive copy: the returned slice
+// aliases the memoized index and MUST be treated as read-only. It
+// exists for hot read-only loops (knowledge evaluation, isomorphism
+// closures) that only range over the class.
+func (u *Universe) ClassRef(x *trace.Computation, p trace.ProcSet) []int {
 	return u.index(p)[x.ProjectionKey(p)]
 }
 
@@ -144,81 +153,17 @@ type Protocol interface {
 // prefix, since the search tree is rooted at null). It fails with
 // ErrTooLarge when more than cap computations would be produced; cap <= 0
 // means no cap.
+//
+// Deprecated: use EnumerateWith with WithMaxEvents and WithCap, which
+// also offers parallelism, cancellation, and progress reporting.
 func Enumerate(p Protocol, maxEvents, capN int) (*Universe, error) {
-	procs := p.Procs()
-	all := trace.NewProcSet(procs...)
-	var comps []*trace.Computation
-
-	states := make(map[trace.ProcID]string, len(procs))
-	for _, id := range procs {
-		states[id] = p.Init(id)
-	}
-
-	var dfs func(c *trace.Computation, st map[trace.ProcID]string) error
-	dfs = func(c *trace.Computation, st map[trace.ProcID]string) error {
-		comps = append(comps, c)
-		if capN > 0 && len(comps) > capN {
-			return fmt.Errorf("%w: more than %d computations", ErrTooLarge, capN)
-		}
-		if c.Len() >= maxEvents {
-			return nil
-		}
-		// Deliveries of in-flight messages.
-		for _, send := range c.InFlight() {
-			dst := send.Peer
-			next, ok := p.Deliver(dst, st[dst], send.Proc, send.Tag)
-			if !ok {
-				continue
-			}
-			child := trace.FromComputation(c).ReceiveMsg(send.Msg).MustBuild()
-			st2 := copyStates(st)
-			st2[dst] = next
-			if err := dfs(child, st2); err != nil {
-				return err
-			}
-		}
-		// Spontaneous steps.
-		for _, id := range procs {
-			for _, a := range p.Steps(id, st[id]) {
-				b := trace.FromComputation(c)
-				switch a.Kind {
-				case trace.KindSend:
-					b.Send(id, a.To, a.Tag)
-				case trace.KindInternal:
-					b.Internal(id, a.Tag)
-				default:
-					return fmt.Errorf("universe: protocol %T emitted action of kind %v", p, a.Kind)
-				}
-				child, err := b.Build()
-				if err != nil {
-					return fmt.Errorf("universe: invalid step by %s: %w", id, err)
-				}
-				st2 := copyStates(st)
-				st2[id] = p.AfterStep(id, st[id], a)
-				if err := dfs(child, st2); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-
-	if err := dfs(trace.Empty(), states); err != nil {
-		return nil, err
-	}
-	return New(comps, all), nil
-}
-
-func copyStates(st map[trace.ProcID]string) map[trace.ProcID]string {
-	cp := make(map[trace.ProcID]string, len(st))
-	for k, v := range st {
-		cp[k] = v
-	}
-	return cp
+	return EnumerateWith(p, WithMaxEvents(maxEvents), WithCap(capN))
 }
 
 // MustEnumerate is Enumerate for configurations known to fit the cap; it
 // panics on error. Intended for tests, examples, and benchmarks.
+//
+// Deprecated: use MustEnumerateWith with WithMaxEvents and WithCap.
 func MustEnumerate(p Protocol, maxEvents, capN int) *Universe {
 	u, err := Enumerate(p, maxEvents, capN)
 	if err != nil {
