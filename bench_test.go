@@ -287,6 +287,93 @@ func BenchmarkAblationKnowledgeMemo(b *testing.B) {
 	})
 }
 
+// ablationUniverseLarge enumerates a ≥10k-computation universe (16.9k
+// members on three processes) for the vectorized-engine ablations.
+func ablationUniverseLarge(b *testing.B) *universe.Universe {
+	b.Helper()
+	u, err := universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
+		Procs:    []trace.ProcID{"p", "q", "r"},
+		MaxSends: 2,
+	}), universe.WithMaxEvents(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if u.Len() < 10000 {
+		b.Fatalf("universe too small for the vectorized-eval ablation: %d", u.Len())
+	}
+	return u
+}
+
+// BenchmarkAblationVectorizedEval compares the vectorized set-at-a-time
+// engine against the per-member memoized evaluator it replaced, on a
+// nested-knowledge formula over the whole ≥10k-member universe. The
+// per-member path pays Σ|class|² work inside each Knows; the vectorized
+// path pays one all-reduce per class, so expect well over 2×.
+func BenchmarkAblationVectorizedEval(b *testing.B) {
+	u := ablationUniverseLarge(b)
+	u.Partition(trace.Singleton("p")) // warm shared tables: measure evaluation, not indexing
+	u.Partition(trace.Singleton("q"))
+	f := knowledge.Knows(trace.Singleton("p"),
+		knowledge.Knows(trace.Singleton("q"),
+			knowledge.NewAtom(knowledge.SentTag("p", "m"))))
+	b.Run("vectorized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := knowledge.NewEvaluator(u)
+			for j := 0; j < u.Len(); j++ {
+				e.HoldsAt(f, j)
+			}
+		}
+	})
+	b.Run("member-memoized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := knowledge.NewMemberEvaluator(u)
+			for j := 0; j < u.Len(); j++ {
+				e.HoldsAt(f, j)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPartitionTable compares the dense interned partition
+// table against the string-keyed projection map it replaced: build the
+// class structure for {q}, then resolve every member's class.
+func BenchmarkAblationPartitionTable(b *testing.B) {
+	u := ablationUniverseLarge(b)
+	p := trace.Singleton("q")
+	b.Run("partition", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pt := universe.NewPartition(u, p)
+			total := 0
+			for j := 0; j < u.Len(); j++ {
+				total += len(pt.MembersOf(pt.ClassOf(j)))
+			}
+			if total < u.Len() {
+				b.Fatal("partition lost members")
+			}
+		}
+	})
+	b.Run("stringmap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			idx := make(map[string][]int)
+			for j := 0; j < u.Len(); j++ {
+				pk := u.At(j).ProjectionKey(p)
+				idx[pk] = append(idx[pk], j)
+			}
+			total := 0
+			for j := 0; j < u.Len(); j++ {
+				total += len(idx[u.At(j).ProjectionKey(p)])
+			}
+			if total < u.Len() {
+				b.Fatal("index lost members")
+			}
+		}
+	})
+}
+
 func BenchmarkKnowledgeLadder(b *testing.B) { benchTable(b, experiments.KnowledgeLadder) }
 
 func BenchmarkGeneralizations(b *testing.B) { benchTable(b, experiments.Generalizations) }

@@ -19,9 +19,11 @@ import (
 //	rep, err := ck.ParseAndCheck(`K{q} "sent(p,m)" -> "sent(p,m)"`)
 //	fmt.Println(rep.Valid())
 //
-// A Checker is safe for sequential use; the evaluator memoizes, so
-// reusing one session across many queries is much cheaper than
-// re-creating it.
+// A Checker is safe for concurrent use: the evaluator serializes
+// queries internally and memoizes one truth vector per distinct
+// subformula, so reusing one session across many queries — from one
+// goroutine or many — is much cheaper than re-creating it. (Define is
+// the exception: seed the vocabulary before sharing the session.)
 type Checker struct {
 	u     *Universe
 	ev    *Evaluator
@@ -132,18 +134,16 @@ type Report struct {
 // Valid reports whether the formula held at every member.
 func (r Report) Valid() bool { return r.FirstFailure < 0 }
 
-// Check evaluates f at every member and summarizes the result.
+// Check evaluates f at every member and summarizes the result. The
+// evaluation is set-at-a-time: one truth vector over the whole
+// universe, counted and scanned word-parallel.
 func (c *Checker) Check(f Formula) Report {
-	rep := Report{Formula: f, Total: c.u.Len(), FirstFailure: -1}
-	for i := 0; i < c.u.Len(); i++ {
-		if c.ev.HoldsAt(f, i) {
-			rep.Holding++
-		} else if rep.FirstFailure < 0 {
-			rep.FirstFailure = i
-		}
-	}
-	return rep
+	holding, firstFailure := c.ev.Summary(f)
+	return Report{Formula: f, Total: c.u.Len(), Holding: holding, FirstFailure: firstFailure}
 }
+
+// TruthVector returns f's truth value at every member, in member order.
+func (c *Checker) TruthVector(f Formula) []bool { return c.ev.TruthVector(f) }
 
 // ParseAndCheck parses the textual formula against the session
 // vocabulary and checks it over the whole universe.

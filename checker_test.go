@@ -3,7 +3,9 @@ package hpl_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"hpl"
@@ -155,4 +157,91 @@ func TestMustCheckProtocolPanics(t *testing.T) {
 		Procs:    []hpl.ProcID{"p", "q", "r"},
 		MaxSends: 2,
 	}), hpl.WithMaxEvents(8), hpl.WithCap(10))
+}
+
+// TestCheckerConcurrentQueries runs concurrent queries against one
+// shared universe — through one shared Checker session and through
+// per-goroutine sessions over the same Universe — and checks every
+// answer against a sequentially computed oracle. Run under -race in CI:
+// this is the contract that partition construction and the vector memo
+// are goroutine-safe.
+func TestCheckerConcurrentQueries(t *testing.T) {
+	ck := freeChecker(t)
+	u := ck.Universe()
+
+	sent := hpl.NewAtom(hpl.SentTag("p", "m"))
+	recv := hpl.NewAtom(hpl.ReceivedTag("q", "m"))
+	formulas := []hpl.Formula{
+		hpl.Implies(hpl.Knows(hpl.Singleton("q"), sent), sent),
+		hpl.Knows(hpl.Singleton("p"), hpl.Not(recv)),
+		hpl.Sure(hpl.Singleton("q"), sent),
+		hpl.Common(hpl.Or(sent, hpl.Not(sent))),
+		hpl.Knows(hpl.NewProcSet("p", "q"), hpl.Implies(recv, sent)),
+	}
+	oracle := hpl.NewChecker(u)
+	want := make([][]bool, len(formulas))
+	wantValid := make([]bool, len(formulas))
+	for i, f := range formulas {
+		want[i] = oracle.TruthVector(f)
+		wantValid[i] = oracle.Valid(f)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			private := hpl.NewChecker(u)
+			for rep := 0; rep < 3; rep++ {
+				for fi, f := range formulas {
+					if got := ck.Valid(f); got != wantValid[fi] {
+						errs <- fmt.Errorf("shared session: Valid(%s) = %v, want %v", f, got, wantValid[fi])
+						return
+					}
+					i := (g*7 + fi + rep) % u.Len()
+					if got := ck.HoldsAt(f, i); got != want[fi][i] {
+						errs <- fmt.Errorf("shared session: HoldsAt(%s, %d) = %v", f, i, got)
+						return
+					}
+					if rep := private.Check(f); rep.Valid() != wantValid[fi] {
+						errs <- fmt.Errorf("private session: Check(%s).Valid = %v", f, rep.Valid())
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCheckerReportMatchesScan pins the vectorized Report fields to a
+// per-member scan.
+func TestCheckerReportMatchesScan(t *testing.T) {
+	ck := freeChecker(t)
+	sent := hpl.NewAtom(hpl.SentTag("p", "m"))
+	for _, f := range []hpl.Formula{
+		sent,
+		hpl.Knows(hpl.Singleton("q"), sent),
+		hpl.Implies(hpl.Knows(hpl.Singleton("q"), sent), sent),
+		hpl.False,
+	} {
+		rep := ck.Check(f)
+		holding, first := 0, -1
+		for i := 0; i < ck.Universe().Len(); i++ {
+			if ck.HoldsAt(f, i) {
+				holding++
+			} else if first < 0 {
+				first = i
+			}
+		}
+		if rep.Holding != holding || rep.FirstFailure != first || rep.Total != ck.Universe().Len() {
+			t.Fatalf("Check(%s) = %+v, want holding %d first %d", f, rep, holding, first)
+		}
+	}
 }

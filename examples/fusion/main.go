@@ -1,6 +1,9 @@
 // Fusion: Lemma 1 and Theorem 2 (Figures 3-2 and 3-3). Two computations
 // that extend a common prefix on disjoint "sides" are fused into one
-// computation containing both sides' events.
+// computation containing both sides' events — and, checked over an
+// exhaustive universe through the hpl.Checker session API, the fusion
+// provably transports each side's knowledge: y [p] w makes p's
+// knowledge at y and at w identical.
 //
 // Run with: go run ./examples/fusion
 package main
@@ -22,12 +25,11 @@ func main() {
 
 	// y extends x with p's work only; z extends x with q's work only.
 	y := hpl.FromComputation(x).
-		Internal("p", "p-work-1").
-		Send("p", "q", "p-msg"). // stays in flight within y
+		Internal("p", "work").
+		Send("p", "q", "ping"). // stays in flight within y
 		MustBuild()
 	z := hpl.FromComputation(x).
-		Internal("q", "q-work-1").
-		Internal("q", "q-work-2").
+		Internal("q", "work").
 		MustBuild()
 
 	fmt.Println("x (common prefix):")
@@ -51,6 +53,37 @@ func main() {
 		panic(err)
 	}
 	fmt.Printf("\nlemma 1 square verified: %v\n", sq.Verify() == nil)
+
+	// Knowledge rides the fusion. Open a checking session over the free
+	// system all four computations live in: every computation with at
+	// most MaxSends sends and MaxInternal internal events per process.
+	ck := hpl.MustCheckProtocol(hpl.NewFree(hpl.FreeConfig{
+		Procs:        []hpl.ProcID{"p", "q"},
+		MaxSends:     2,
+		MaxInternal:  1,
+		SendTags:     []string{"seed", "ping"},
+		InternalTags: []string{"work"},
+	}), hpl.WithMaxEvents(5), hpl.WithParallelism(4))
+	fmt.Printf("\nsession universe: %d computations\n", ck.Universe().Len())
+
+	// y [p] w: p cannot distinguish y from w, so p's knowledge is the
+	// same at both — here, that p itself pinged q.
+	pinged := hpl.NewAtom(hpl.SentTag("p", "ping"))
+	kp := hpl.Knows(hpl.Singleton("p"), pinged)
+	fmt.Printf("p knows sent(p,ping):  at y %v, at w %v (transported by y [p] w)\n",
+		ck.MustHolds(kp, y), ck.MustHolds(kp, f.W))
+
+	// z [q] w does the same for q's side.
+	seeded := hpl.NewAtom(hpl.ReceivedTag("q", "seed"))
+	kq := hpl.Knows(hpl.Singleton("q"), seeded)
+	fmt.Printf("q knows received(q,seed): at z %v, at w %v (transported by z [q] w)\n",
+		ck.MustHolds(kq, z), ck.MustHolds(kq, f.W))
+
+	// What does NOT transport: q never learns about the in-flight ping,
+	// at z or at w — knowledge of it would need a chain from p.
+	kqPing := hpl.Knows(hpl.Singleton("q"), pinged)
+	fmt.Printf("q knows sent(p,ping):  at z %v, at w %v\n",
+		ck.MustHolds(kqPing, z), ck.MustHolds(kqPing, f.W))
 
 	// When a cross-side chain exists, fusion correctly refuses: in y2,
 	// p *reacts* to a new message from q (chain <q p> = <P̄ P> in the

@@ -2,6 +2,8 @@
 // Dijkstra–Scholten pays exactly one control message per basic message;
 // weight throwing pays one per passive period and is driven to the same
 // bound by an adversarial workload; a zero-overhead detector is unsound.
+// An hpl.Checker session over an exhaustive universe shows why: no
+// process ever *knows* the system is quiescent from its own view alone.
 //
 // Run with: go run ./examples/termination
 package main
@@ -9,11 +11,34 @@ package main
 import (
 	"fmt"
 
+	"hpl"
 	"hpl/internal/protocols/diffusing"
 	"hpl/internal/termination"
 )
 
 func main() {
+	// The epistemic root of the bound, model-checked through the session
+	// API: enumerate every computation of a small free system and ask
+	// who can know that no messages are in flight. Knowledge implies
+	// truth (so a detector that *knows* is sound), but quiescence itself
+	// is known to nobody — a silent process cannot exclude in-flight
+	// messages from its isomorphism class, which is why every sound
+	// detector must buy knowledge with control messages.
+	ck := hpl.MustCheckProtocol(hpl.NewFree(hpl.FreeConfig{
+		Procs:    []hpl.ProcID{"p", "q", "r"},
+		MaxSends: 1,
+	}), hpl.WithMaxEvents(5), hpl.WithParallelism(4))
+	quiet := hpl.NewAtom(hpl.NoMessagesInFlight())
+	fmt.Printf("free universe: %d computations\n", ck.Universe().Len())
+	for _, p := range []hpl.ProcID{"p", "q", "r"} {
+		kq := hpl.Knows(hpl.Singleton(p), quiet)
+		sound := ck.Check(hpl.Implies(kq, quiet))
+		attained := ck.Check(hpl.Implies(quiet, kq))
+		fmt.Printf("  K{%s} quiescent ⇒ quiescent: valid=%v;  quiescent ⇒ K{%s} quiescent: holds at %d/%d\n",
+			p, sound.Valid(), p, attained.Holding, attained.Total)
+	}
+	fmt.Println()
+
 	fmt.Println("benign workload (complete graph, 6 processes):")
 	fmt.Println("   M    DS overhead  DS ratio  credit overhead  credit ratio")
 	rows, err := termination.Sweep(termination.SweepConfig{

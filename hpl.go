@@ -281,6 +281,10 @@ func TokenAt(p, initialHolder ProcID, tag string) Predicate {
 	return knowledge.TokenAt(p, initialHolder, tag)
 }
 
+// NoMessagesInFlight holds when every sent message has been received —
+// quiescence, the termination detector's target fact.
+func NoMessagesInFlight() Predicate { return knowledge.NoMessagesInFlight() }
+
 // --- Formula language (package logic) ---
 
 // Vocabulary resolves atom names for the textual formula language.

@@ -2,26 +2,42 @@ package knowledge
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"hpl/internal/trace"
 	"hpl/internal/universe"
 )
 
-// Evaluator evaluates epistemic formulas at members of a universe. It
-// memoizes per-formula truth vectors, so nested knowledge (which touches
-// whole isomorphism classes) costs each subformula at most one pass over
-// the universe. BenchmarkAblationKnowledgeMemo compares against the
-// unmemoized evaluator below.
+// Evaluator evaluates epistemic formulas over a universe set-at-a-time.
+// Every distinct subformula is evaluated exactly once, bottom-up, into
+// a bitset truth vector over all members: atoms fan out over a worker
+// pool, boolean connectives are word-parallel operations, (P knows F)
+// is one all-reduce per class of the [P]-partition table, and common
+// knowledge is a fixpoint iterated directly over the singleton
+// partitions. Vectors are memoized by hash-consed formula ID (see the
+// interner in formula.go), so nested knowledge costs each subformula
+// one pass over the universe no matter how many members are queried.
+//
+// An Evaluator is safe for concurrent use: queries serialize on an
+// internal lock, and the partition tables they share are built
+// goroutine-safely by the universe. The per-member evaluation paths
+// are kept as ablation baselines — see MemberEvaluator and EvalNaive,
+// and the benchmarks BenchmarkAblationVectorizedEval and
+// BenchmarkAblationKnowledgeMemo at the repository root.
 type Evaluator struct {
 	u *universe.Universe
-	// memo maps formula key to the truth vector over members; entries in
-	// a vector are lazily filled (0 unknown, 1 true, 2 false).
-	memo map[string][]uint8
+
+	mu sync.Mutex
+	in *interner
+	// vecs[id] is the truth vector of interned node id; nil until the
+	// node is first evaluated.
+	vecs []bitset
 }
 
 // NewEvaluator builds an evaluator over the universe.
 func NewEvaluator(u *universe.Universe) *Evaluator {
-	return &Evaluator{u: u, memo: make(map[string][]uint8)}
+	return &Evaluator{u: u, in: newInterner()}
 }
 
 // Universe returns the evaluator's universe.
@@ -49,180 +65,195 @@ func (e *Evaluator) MustHolds(f Formula, x *trace.Computation) bool {
 
 // HoldsAt evaluates f at the i-th member.
 func (e *Evaluator) HoldsAt(f Formula, i int) bool {
-	key := f.Key()
-	vec, ok := e.memo[key]
-	if !ok {
-		vec = make([]uint8, e.u.Len())
-		e.memo[key] = vec
-	}
-	switch vec[i] {
-	case 1:
-		return true
-	case 2:
-		return false
-	}
-	v := e.eval(f, i)
-	// Re-fetch: common-knowledge evaluation may have replaced the vector
-	// wholesale while this frame was suspended.
-	vec = e.memo[key]
-	if v {
-		vec[i] = 1
-	} else {
-		vec[i] = 2
-	}
-	return v
+	return e.vectorOf(f).get(i)
 }
 
-func (e *Evaluator) eval(f Formula, i int) bool {
-	switch f := f.(type) {
-	case ConstF:
-		return f.Value
-	case Atom:
-		return f.Pred.Holds(e.u.At(i))
-	case NotF:
-		return !e.HoldsAt(f.F, i)
-	case AndF:
-		return e.HoldsAt(f.L, i) && e.HoldsAt(f.R, i)
-	case OrF:
-		return e.HoldsAt(f.L, i) || e.HoldsAt(f.R, i)
-	case ImpliesF:
-		return !e.HoldsAt(f.L, i) || e.HoldsAt(f.R, i)
-	case KnowsF:
-		for _, j := range e.u.ClassRef(e.u.At(i), f.P) {
-			if !e.HoldsAt(f.F, j) {
-				return false
-			}
-		}
-		return true
-	case SureF:
-		return e.HoldsAt(Knows(f.P, f.F), i) || e.HoldsAt(Knows(f.P, Not(f.F)), i)
-	case CommonF:
-		return e.commonAt(f, i)
-	default:
-		panic(fmt.Sprintf("knowledge: unknown formula type %T", f))
+// TruthVector returns the truth value of f at every member, in member
+// order. The slice is freshly allocated; callers own it.
+func (e *Evaluator) TruthVector(f Formula) []bool {
+	v := e.vectorOf(f)
+	out := make([]bool, e.u.Len())
+	for i := range out {
+		out[i] = v.get(i)
 	}
+	return out
 }
 
-// commonAt computes common knowledge as the greatest fixpoint of
-// S_{k+1} = {x ∈ S_k : F at x ∧ ∀p ∈ D: [p]-class of x ⊆ S_k}, and
-// caches the whole truth vector.
-func (e *Evaluator) commonAt(f CommonF, i int) bool {
-	key := f.Key()
-	n := e.u.Len()
-	in := make([]bool, n)
-	for j := 0; j < n; j++ {
-		in[j] = e.HoldsAt(f.F, j)
-	}
-	// Fetch each member's singleton classes once up front (read-only
-	// refs): the fixpoint loop below revisits every class on every
-	// iteration.
-	procs := e.u.All().IDs()
-	classes := make([][][]int, len(procs))
-	for pi, p := range procs {
-		classes[pi] = make([][]int, n)
-		for j := 0; j < n; j++ {
-			classes[pi][j] = e.u.ClassRef(e.u.At(j), trace.Singleton(p))
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		for j := 0; j < n; j++ {
-			if !in[j] {
-				continue
-			}
-			for pi := range procs {
-				ok := true
-				for _, k := range classes[pi][j] {
-					if !in[k] {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					in[j] = false
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	vec := make([]uint8, n)
-	for j := 0; j < n; j++ {
-		if in[j] {
-			vec[j] = 1
-		} else {
-			vec[j] = 2
-		}
-	}
-	e.memo[key] = vec
-	return in[i]
+// Summary evaluates f over the whole universe and reports how many
+// members it holds at and the first member it fails at (-1 when valid).
+func (e *Evaluator) Summary(f Formula) (holding, firstFailure int) {
+	v := e.vectorOf(f)
+	return v.count(), v.firstClear(e.u.Len())
 }
 
-// EvalNaive evaluates f at member i with no memoization; it exists for
-// the memoization ablation benchmark and for differential testing.
-func EvalNaive(u *universe.Universe, f Formula, i int) bool {
-	switch f := f.(type) {
-	case ConstF:
-		return f.Value
-	case Atom:
-		return f.Pred.Holds(u.At(i))
-	case NotF:
-		return !EvalNaive(u, f.F, i)
-	case AndF:
-		return EvalNaive(u, f.L, i) && EvalNaive(u, f.R, i)
-	case OrF:
-		return EvalNaive(u, f.L, i) || EvalNaive(u, f.R, i)
-	case ImpliesF:
-		return !EvalNaive(u, f.L, i) || EvalNaive(u, f.R, i)
-	case KnowsF:
-		for _, j := range u.ClassRef(u.At(i), f.P) {
-			if !EvalNaive(u, f.F, j) {
-				return false
-			}
-		}
-		return true
-	case SureF:
-		return EvalNaive(u, Knows(f.P, f.F), i) || EvalNaive(u, Knows(f.P, Not(f.F)), i)
-	case CommonF:
-		// Delegate to an evaluator: the fixpoint is inherently global.
-		return NewEvaluator(u).HoldsAt(f, i)
-	default:
-		panic(fmt.Sprintf("knowledge: unknown formula type %T", f))
-	}
+// Valid reports whether f holds at every member of the universe.
+func (e *Evaluator) Valid(f Formula) bool {
+	return e.vectorOf(f).allSet(e.u.Len())
 }
 
 // LocalTo reports whether f is local to P over the universe: P is sure of
 // f at every member ("the value of b is always known to P", §4.2).
 func (e *Evaluator) LocalTo(f Formula, p trace.ProcSet) bool {
-	s := Sure(p, f)
-	for i := 0; i < e.u.Len(); i++ {
-		if !e.HoldsAt(s, i) {
-			return false
-		}
-	}
-	return true
+	return e.Valid(Sure(p, f))
 }
 
 // IsConstant reports whether f has the same value at every member.
 func (e *Evaluator) IsConstant(f Formula) bool {
-	if e.u.Len() == 0 {
-		return true
-	}
-	first := e.HoldsAt(f, 0)
-	for i := 1; i < e.u.Len(); i++ {
-		if e.HoldsAt(f, i) != first {
-			return false
-		}
-	}
-	return true
+	c := e.vectorOf(f).count()
+	return c == 0 || c == e.u.Len()
 }
 
-// Valid reports whether f holds at every member of the universe.
-func (e *Evaluator) Valid(f Formula) bool {
-	for i := 0; i < e.u.Len(); i++ {
-		if !e.HoldsAt(f, i) {
-			return false
+// vectorOf interns f and returns its memoized truth vector. The
+// returned bitset is shared and read-only; the lock covers only the
+// intern-and-evaluate step, so concurrent queries serialize on vector
+// construction but read completed vectors without contention.
+func (e *Evaluator) vectorOf(f Formula) bitset {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.vector(e.in.intern(f))
+}
+
+// vector computes (or fetches) the truth vector of interned node id.
+// Children are fully evaluated before the parent's vector is stored, so
+// every result — including the common-knowledge fixpoint — lands
+// through this one memo path; there is no partially-filled vector to
+// re-fetch after a nested evaluation, by construction.
+func (e *Evaluator) vector(id int32) bitset {
+	if int(id) < len(e.vecs) && e.vecs[id] != nil {
+		return e.vecs[id]
+	}
+	nd := e.in.nodes[id]
+	n := e.u.Len()
+	var v bitset
+	switch nd.kind {
+	case inConst:
+		v = newBitset(n)
+		if nd.val {
+			v.fill(n)
+		}
+	case inAtom:
+		v = e.atomVector(nd.pred)
+	case inNot:
+		v = e.vector(nd.l).clone()
+		v.not(n)
+	case inAnd:
+		v = e.vector(nd.l).clone()
+		v.and(e.vector(nd.r))
+	case inOr:
+		v = e.vector(nd.l).clone()
+		v.or(e.vector(nd.r))
+	case inKnows:
+		v = e.knowsVector(nd.set, e.vector(nd.l))
+	case inCommon:
+		v = e.commonVector(e.vector(nd.l))
+	default:
+		panic(fmt.Sprintf("knowledge: unknown interned node kind %d", nd.kind))
+	}
+	if int(id) >= len(e.vecs) {
+		grown := make([]bitset, len(e.in.nodes))
+		copy(grown, e.vecs)
+		e.vecs = grown
+	}
+	e.vecs[id] = v
+	return v
+}
+
+// atomVector evaluates a predicate at every member, fanning out over a
+// worker pool. Chunk boundaries are multiples of 64 so each worker owns
+// whole words of the shared bitset.
+func (e *Evaluator) atomVector(p Predicate) bitset {
+	n := e.u.Len()
+	v := newBitset(n)
+	const minChunk = 2048
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || n < 2*minChunk {
+		for i := 0; i < n; i++ {
+			if p.Holds(e.u.At(i)) {
+				v.set(i)
+			}
+		}
+		return v
+	}
+	chunk := (n/workers + 64) &^ 63
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if p.Holds(e.u.At(i)) {
+					v.set(i)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return v
+}
+
+// knowsVector computes (P knows F) from F's vector: one all-reduce per
+// class of the [P]-partition — a class's members either all know F or
+// none do, so the work is linear in the universe rather than quadratic
+// in class sizes as in the per-member paths.
+func (e *Evaluator) knowsVector(p trace.ProcSet, fv bitset) bitset {
+	pt := e.u.Partition(p)
+	out := newBitset(e.u.Len())
+	for c := int32(0); c < int32(pt.NumClasses()); c++ {
+		ms := pt.MembersOf(c)
+		all := true
+		for _, j := range ms {
+			if !fv.get(j) {
+				all = false
+				break
+			}
+		}
+		if all {
+			for _, j := range ms {
+				out.set(j)
+			}
 		}
 	}
-	return true
+	return out
+}
+
+// commonVector computes common knowledge as the greatest fixpoint of
+// S_{k+1} = {x ∈ S_k : F at x ∧ ∀p ∈ D: [p]-class of x ⊆ S_k},
+// iterating directly over the singleton partition tables: any class not
+// wholly inside S evicts all of its members at once.
+func (e *Evaluator) commonVector(fv bitset) bitset {
+	in := fv.clone()
+	procs := e.u.All().IDs()
+	parts := make([]*universe.Partition, len(procs))
+	for i, p := range procs {
+		parts[i] = e.u.Partition(trace.Singleton(p))
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, pt := range parts {
+			for c := int32(0); c < int32(pt.NumClasses()); c++ {
+				ms := pt.MembersOf(c)
+				all := true
+				for _, j := range ms {
+					if !in.get(j) {
+						all = false
+						break
+					}
+				}
+				if all {
+					continue
+				}
+				for _, j := range ms {
+					if in.get(j) {
+						in.clear(j)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return in
 }

@@ -1,0 +1,187 @@
+package knowledge
+
+import (
+	"fmt"
+
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// MemberEvaluator is the per-member recursive evaluator the vectorized
+// Evaluator replaced: it interprets formulas one member at a time,
+// memoizing lazily-filled truth vectors keyed by Key() strings. It is
+// kept as an ablation baseline (BenchmarkAblationVectorizedEval) and as
+// an independent oracle for the differential tests; new code should use
+// Evaluator.
+//
+// A MemberEvaluator is NOT safe for concurrent use.
+type MemberEvaluator struct {
+	u *universe.Universe
+	// memo maps formula key to the truth vector over members; entries in
+	// a vector are lazily filled (0 unknown, 1 true, 2 false).
+	memo map[string][]uint8
+}
+
+// NewMemberEvaluator builds a per-member evaluator over the universe.
+func NewMemberEvaluator(u *universe.Universe) *MemberEvaluator {
+	return &MemberEvaluator{u: u, memo: make(map[string][]uint8)}
+}
+
+// Universe returns the evaluator's universe.
+func (e *MemberEvaluator) Universe() *universe.Universe { return e.u }
+
+// HoldsAt evaluates f at the i-th member.
+func (e *MemberEvaluator) HoldsAt(f Formula, i int) bool {
+	key := f.Key()
+	vec, ok := e.memo[key]
+	if !ok {
+		vec = make([]uint8, e.u.Len())
+		e.memo[key] = vec
+	}
+	switch vec[i] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	v := e.eval(f, i)
+	// vec stays current across the recursive eval: commonAt fills the
+	// memoized vector in place instead of replacing it wholesale, so
+	// every result lands through the one vector created above.
+	if v {
+		vec[i] = 1
+	} else {
+		vec[i] = 2
+	}
+	return v
+}
+
+func (e *MemberEvaluator) eval(f Formula, i int) bool {
+	switch f := f.(type) {
+	case ConstF:
+		return f.Value
+	case Atom:
+		return f.Pred.Holds(e.u.At(i))
+	case NotF:
+		return !e.HoldsAt(f.F, i)
+	case AndF:
+		return e.HoldsAt(f.L, i) && e.HoldsAt(f.R, i)
+	case OrF:
+		return e.HoldsAt(f.L, i) || e.HoldsAt(f.R, i)
+	case ImpliesF:
+		return !e.HoldsAt(f.L, i) || e.HoldsAt(f.R, i)
+	case KnowsF:
+		for _, j := range e.u.ClassRef(e.u.At(i), f.P) {
+			if !e.HoldsAt(f.F, j) {
+				return false
+			}
+		}
+		return true
+	case SureF:
+		return e.HoldsAt(Knows(f.P, f.F), i) || e.HoldsAt(Knows(f.P, Not(f.F)), i)
+	case CommonF:
+		return e.commonAt(f, i)
+	default:
+		panic(fmt.Sprintf("knowledge: unknown formula type %T", f))
+	}
+}
+
+// commonAt computes common knowledge as the greatest fixpoint of
+// S_{k+1} = {x ∈ S_k : F at x ∧ ∀p ∈ D: [p]-class of x ⊆ S_k}. The
+// whole truth vector is filled into the memo entry HoldsAt created for
+// this formula — in place, never by replacing the slice, so the caller
+// frame suspended in HoldsAt still writes into the live vector.
+func (e *MemberEvaluator) commonAt(f CommonF, i int) bool {
+	n := e.u.Len()
+	in := make([]bool, n)
+	for j := 0; j < n; j++ {
+		in[j] = e.HoldsAt(f.F, j)
+	}
+	// Fetch each member's singleton classes once up front (read-only
+	// refs): the fixpoint loop below revisits every class on every
+	// iteration.
+	procs := e.u.All().IDs()
+	classes := make([][][]int, len(procs))
+	for pi, p := range procs {
+		classes[pi] = make([][]int, n)
+		for j := 0; j < n; j++ {
+			classes[pi][j] = e.u.ClassRef(e.u.At(j), trace.Singleton(p))
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for j := 0; j < n; j++ {
+			if !in[j] {
+				continue
+			}
+			for pi := range procs {
+				ok := true
+				for _, k := range classes[pi][j] {
+					if !in[k] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					in[j] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	vec := e.memo[f.Key()]
+	for j := 0; j < n; j++ {
+		if in[j] {
+			vec[j] = 1
+		} else {
+			vec[j] = 2
+		}
+	}
+	return in[i]
+}
+
+// Valid reports whether f holds at every member of the universe.
+func (e *MemberEvaluator) Valid(f Formula) bool {
+	for i := 0; i < e.u.Len(); i++ {
+		if !e.HoldsAt(f, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalNaive evaluates f at member i with no memoization; it exists for
+// the memoization ablation benchmark and for differential testing. It
+// shares no machinery with the vectorized Evaluator: common knowledge
+// delegates to a fresh MemberEvaluator (the fixpoint is inherently
+// global), everything else recurses per member.
+func EvalNaive(u *universe.Universe, f Formula, i int) bool {
+	switch f := f.(type) {
+	case ConstF:
+		return f.Value
+	case Atom:
+		return f.Pred.Holds(u.At(i))
+	case NotF:
+		return !EvalNaive(u, f.F, i)
+	case AndF:
+		return EvalNaive(u, f.L, i) && EvalNaive(u, f.R, i)
+	case OrF:
+		return EvalNaive(u, f.L, i) || EvalNaive(u, f.R, i)
+	case ImpliesF:
+		return !EvalNaive(u, f.L, i) || EvalNaive(u, f.R, i)
+	case KnowsF:
+		for _, j := range u.ClassRef(u.At(i), f.P) {
+			if !EvalNaive(u, f.F, j) {
+				return false
+			}
+		}
+		return true
+	case SureF:
+		return EvalNaive(u, Knows(f.P, f.F), i) || EvalNaive(u, Knows(f.P, Not(f.F)), i)
+	case CommonF:
+		return NewMemberEvaluator(u).HoldsAt(f, i)
+	default:
+		panic(fmt.Sprintf("knowledge: unknown formula type %T", f))
+	}
+}

@@ -15,6 +15,8 @@
 package knowledge
 
 import (
+	"fmt"
+	"strconv"
 	"strings"
 
 	"hpl/internal/trace"
@@ -175,3 +177,156 @@ var (
 	_ Formula = CommonF{}
 	_ Formula = ConstF{}
 )
+
+// --- Structural hash-consing ---
+
+// The vectorized evaluator keys its memo by dense formula IDs rather
+// than recomputed Key() strings. An interner assigns IDs bottom-up: a
+// node's identity is its kind plus the IDs of its children (plus the
+// predicate name for atoms, or the interned process set for knowledge
+// operators), so structurally equal subformulas — however and whenever
+// they were constructed — share one ID and therefore one truth vector.
+// Derived operators desugar during interning (P sure F becomes
+// (P knows F) ∨ (P knows ¬F), and L ⇒ R becomes ¬L ∨ R), which buys
+// vector sharing between, say, Sure(P,F) and an explicit Knows(P,F).
+
+// internKind enumerates the node kinds that survive desugaring.
+type internKind uint8
+
+const (
+	inConst internKind = iota
+	inAtom
+	inNot
+	inAnd
+	inOr
+	inKnows
+	inCommon
+)
+
+// inode is one hash-consed formula node.
+type inode struct {
+	kind internKind
+	l, r int32         // child IDs (inNot/inKnows/inCommon use l only)
+	val  bool          // inConst
+	pred Predicate     // inAtom
+	set  trace.ProcSet // inKnows
+}
+
+// interner hash-conses formulas into dense node IDs. Node keys are
+// short (a kind tag plus child IDs) and are built in a reusable scratch
+// buffer, so re-interning an already-seen formula does O(size) map
+// probes and zero allocations — the evaluator interns on every query,
+// and the hot path must not pay Key()-style string reconstruction.
+type interner struct {
+	ids   map[string]int32
+	psIDs map[string]int32
+	nodes []inode
+	buf   []byte // scratch for node keys; valid between child interns only
+	psBuf []byte // scratch for process-set keys
+}
+
+func newInterner() *interner {
+	return &interner{
+		ids:   make(map[string]int32),
+		psIDs: make(map[string]int32),
+	}
+}
+
+// procSetID interns a process set so knowledge-node keys stay short.
+// The map probe is allocation-free; the key string materializes only
+// the first time a set is seen.
+func (t *interner) procSetID(p trace.ProcSet) int32 {
+	t.psBuf = p.AppendKey(t.psBuf[:0])
+	if id, ok := t.psIDs[string(t.psBuf)]; ok {
+		return id
+	}
+	id := int32(len(t.psIDs))
+	t.psIDs[string(t.psBuf)] = id
+	return id
+}
+
+// node returns the ID for the scratch key, appending a fresh node when
+// unseen. The map lookup on string(key) does not allocate; the string
+// is materialized only on a miss.
+func (t *interner) node(key []byte, n inode) int32 {
+	if id, ok := t.ids[string(key)]; ok {
+		return id
+	}
+	id := int32(len(t.nodes))
+	t.ids[string(key)] = id
+	t.nodes = append(t.nodes, n)
+	return id
+}
+
+// key starts a fresh scratch key with the kind tag and child IDs.
+func (t *interner) key(tag byte, ids ...int32) []byte {
+	b := append(t.buf[:0], tag)
+	for i, id := range ids {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(id), 10)
+	}
+	t.buf = b
+	return b
+}
+
+// ID-based constructors: compose already-interned children without
+// allocating intermediate Formula boxes (Sure and Implies desugar
+// through these on every query).
+
+func (t *interner) internNot(l int32) int32 {
+	return t.node(t.key('!', l), inode{kind: inNot, l: l})
+}
+
+func (t *interner) internAnd(l, r int32) int32 {
+	return t.node(t.key('&', l, r), inode{kind: inAnd, l: l, r: r})
+}
+
+func (t *interner) internOr(l, r int32) int32 {
+	return t.node(t.key('|', l, r), inode{kind: inOr, l: l, r: r})
+}
+
+func (t *interner) internKnows(p trace.ProcSet, l int32) int32 {
+	return t.node(t.key('K', t.procSetID(p), l), inode{kind: inKnows, l: l, set: p})
+}
+
+// intern returns the dense ID of f, interning every subformula.
+func (t *interner) intern(f Formula) int32 {
+	switch f := f.(type) {
+	case ConstF:
+		if f.Value {
+			return t.node(t.key('t'), inode{kind: inConst, val: true})
+		}
+		return t.node(t.key('f'), inode{kind: inConst})
+	case Atom:
+		b := append(t.buf[:0], 'a')
+		b = append(b, f.Pred.Name()...)
+		t.buf = b
+		return t.node(b, inode{kind: inAtom, pred: f.Pred})
+	case NotF:
+		return t.internNot(t.intern(f.F))
+	case AndF:
+		l, r := t.intern(f.L), t.intern(f.R)
+		return t.internAnd(l, r)
+	case OrF:
+		l, r := t.intern(f.L), t.intern(f.R)
+		return t.internOr(l, r)
+	case ImpliesF:
+		nl := t.internNot(t.intern(f.L))
+		r := t.intern(f.R)
+		return t.internOr(nl, r)
+	case KnowsF:
+		return t.internKnows(f.P, t.intern(f.F))
+	case SureF:
+		inner := t.intern(f.F)
+		kf := t.internKnows(f.P, inner)
+		kn := t.internKnows(f.P, t.internNot(inner))
+		return t.internOr(kf, kn)
+	case CommonF:
+		l := t.intern(f.F)
+		return t.node(t.key('C', l), inode{kind: inCommon, l: l})
+	default:
+		panic(fmt.Sprintf("knowledge: unknown formula type %T", f))
+	}
+}

@@ -49,7 +49,8 @@ func CheckWellFormed(u *universe.Universe, b Predicate) error {
 // SentTag holds when p has sent at least one message tagged tag.
 func SentTag(p trace.ProcID, tag string) Predicate {
 	return NewPredicate(fmt.Sprintf("sent(%s,%s)", p, tag), func(c *trace.Computation) bool {
-		for _, e := range c.Events() {
+		for i := 0; i < c.Len(); i++ {
+			e := c.At(i)
 			if e.Kind == trace.KindSend && e.Proc == p && e.Tag == tag {
 				return true
 			}
@@ -61,7 +62,8 @@ func SentTag(p trace.ProcID, tag string) Predicate {
 // ReceivedTag holds when p has received at least one message tagged tag.
 func ReceivedTag(p trace.ProcID, tag string) Predicate {
 	return NewPredicate(fmt.Sprintf("received(%s,%s)", p, tag), func(c *trace.Computation) bool {
-		for _, e := range c.Events() {
+		for i := 0; i < c.Len(); i++ {
+			e := c.At(i)
 			if e.Kind == trace.KindReceive && e.Proc == p && e.Tag == tag {
 				return true
 			}
@@ -73,7 +75,8 @@ func ReceivedTag(p trace.ProcID, tag string) Predicate {
 // DidInternal holds when p has performed an internal event tagged tag.
 func DidInternal(p trace.ProcID, tag string) Predicate {
 	return NewPredicate(fmt.Sprintf("internal(%s,%s)", p, tag), func(c *trace.Computation) bool {
-		for _, e := range c.Events() {
+		for i := 0; i < c.Len(); i++ {
+			e := c.At(i)
 			if e.Kind == trace.KindInternal && e.Proc == p && e.Tag == tag {
 				return true
 			}
@@ -97,7 +100,8 @@ func EventCountAtLeast(p trace.ProcSet, n int) Predicate {
 func TokenAt(p trace.ProcID, initialHolder trace.ProcID, tag string) Predicate {
 	return NewPredicate(fmt.Sprintf("token@%s", p), func(c *trace.Computation) bool {
 		recv, sent := 0, 0
-		for _, e := range c.Events() {
+		for i := 0; i < c.Len(); i++ {
+			e := c.At(i)
 			if e.Proc != p || e.Tag != tag {
 				continue
 			}

@@ -53,7 +53,8 @@ func (s *System) Bit() knowledge.Predicate {
 	owner := s.Owner
 	return knowledge.NewPredicate(fmt.Sprintf("bit@%s", owner), func(c *trace.Computation) bool {
 		flips := 0
-		for _, e := range c.Events() {
+		for i := 0; i < c.Len(); i++ {
+			e := c.At(i)
 			if e.Proc == owner && e.Kind == trace.KindInternal && e.Tag == TagFlip {
 				flips++
 			}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Validation errors returned by NewComputation and related constructors.
@@ -28,10 +29,15 @@ type Computation struct {
 	events []Event
 	// key is the canonical encoding of the full sequence, computed once.
 	key string
+	// projKeys caches ProjectionKey results per ProcSet key. Partition
+	// construction and class lookups ask for the same projections
+	// repeatedly, possibly from several goroutines at once. Held as a
+	// pointer so UnmarshalJSON's value assignment stays copylock-free.
+	projKeys *sync.Map
 }
 
 // Empty returns the empty computation (the paper's "null").
-func Empty() *Computation { return &Computation{} }
+func Empty() *Computation { return &Computation{projKeys: new(sync.Map)} }
 
 // NewComputation validates the event sequence as a system computation:
 // event identifiers must be the canonical per-process identifiers, every
@@ -87,7 +93,7 @@ func NewComputation(events []Event) (*Computation, error) {
 	}
 	cp := make([]Event, len(events))
 	copy(cp, events)
-	return &Computation{events: cp, key: sequenceKey(cp)}, nil
+	return &Computation{events: cp, key: sequenceKey(cp), projKeys: new(sync.Map)}, nil
 }
 
 // MustNew is NewComputation for statically known-valid inputs (tests,
@@ -164,7 +170,14 @@ func (c *Computation) Projection(p ProcSet) []Event {
 // subsequence — two interleavings of independent events on distinct
 // members of P are [P]-isomorphic.
 func (c *Computation) ProjectionKey(p ProcSet) string {
+	pk := p.Key()
+	if c.projKeys != nil {
+		if v, ok := c.projKeys.Load(pk); ok {
+			return v.(string)
+		}
+	}
 	var b strings.Builder
+	b.Grow(len(pk) + 2*len(c.events) + 4*p.Len())
 	for _, id := range p.ids {
 		b.WriteString(string(id))
 		b.WriteByte('/')
@@ -176,7 +189,11 @@ func (c *Computation) ProjectionKey(p ProcSet) string {
 		}
 		b.WriteByte('|')
 	}
-	return b.String()
+	s := b.String()
+	if c.projKeys != nil {
+		c.projKeys.Store(pk, s)
+	}
+	return s
 }
 
 // IsomorphicTo reports x [P] y: the projections of c and d on every process
@@ -211,7 +228,7 @@ func (c *Computation) IsPrefixOf(d *Computation) bool {
 // range, matching slice semantics.
 func (c *Computation) Prefix(n int) *Computation {
 	pre := c.events[:n]
-	return &Computation{events: pre, key: sequenceKey(pre)}
+	return &Computation{events: pre, key: sequenceKey(pre), projKeys: new(sync.Map)}
 }
 
 // Prefixes returns all prefixes of c, from Empty up to c itself. System

@@ -1,0 +1,56 @@
+package trace
+
+import "sync"
+
+// Interner maps strings to dense int32 identifiers. It exists so that
+// hot paths that would otherwise hash long canonical keys (projection
+// keys, sequence keys) can work with small integers instead: the string
+// is hashed once at interning time, and every later comparison or map
+// lookup is on an int32.
+//
+// An Interner is safe for concurrent use; identifiers are assigned in
+// interning order starting at 0 and are never reused.
+type Interner struct {
+	mu  sync.RWMutex
+	ids map[string]int32
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int32)}
+}
+
+// Intern returns the identifier for s, assigning the next free one when
+// s has not been seen before.
+func (t *Interner) Intern(s string) int32 {
+	t.mu.RLock()
+	id, ok := t.ids[s]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id = int32(len(t.ids))
+	t.ids[s] = id
+	return id
+}
+
+// Lookup returns the identifier for s without interning; ok is false
+// when s has never been interned.
+func (t *Interner) Lookup(s string) (int32, bool) {
+	t.mu.RLock()
+	id, ok := t.ids[s]
+	t.mu.RUnlock()
+	return id, ok
+}
+
+// Len reports how many distinct strings have been interned.
+func (t *Interner) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.ids)
+}

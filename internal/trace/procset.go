@@ -127,6 +127,20 @@ func (s ProcSet) Equal(t ProcSet) bool {
 	return true
 }
 
+// AppendKey appends the canonical Key encoding to b and returns the
+// extended slice, allocating only when b lacks capacity. Hot paths that
+// key maps by process set (formula interning) use this with a reused
+// scratch buffer.
+func (s ProcSet) AppendKey(b []byte) []byte {
+	for i, id := range s.ids {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, id...)
+	}
+	return b
+}
+
 // Key returns a canonical string for use as a map key. Distinct sets have
 // distinct keys.
 func (s ProcSet) Key() string {

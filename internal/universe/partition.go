@@ -1,0 +1,146 @@
+package universe
+
+import (
+	"runtime"
+	"sync"
+
+	"hpl/internal/trace"
+)
+
+// Partition is the dense decomposition of a universe into isomorphism
+// classes with respect to one process set P: x and y share a class
+// exactly when x [P] y. It is the set-at-a-time counterpart of Class —
+// a precomputed table instead of a string-keyed map — and the substrate
+// the vectorized knowledge engine reduces over: (P knows b) is one
+// all-reduce per class.
+//
+// Partitions are immutable once built and safe for concurrent readers.
+// Class identifiers are dense, deterministic (assigned in order of
+// first occurrence by member index), and independent of how many
+// goroutines built the table.
+type Partition struct {
+	set trace.ProcSet
+	// classID maps member index → class identifier.
+	classID []int32
+	// members maps class identifier → ascending member indexes. The
+	// inner slices are views into one shared arena.
+	members [][]int
+	// byKeyID maps interned projection-key ID → class identifier, for
+	// class lookups of computations outside the universe.
+	byKeyID map[int32]int32
+	// keys is the universe-wide projection-key interner the table was
+	// built against.
+	keys *trace.Interner
+}
+
+// Set returns P, the process set the partition refines by.
+func (pt *Partition) Set() trace.ProcSet { return pt.set }
+
+// Len reports the number of members partitioned.
+func (pt *Partition) Len() int { return len(pt.classID) }
+
+// NumClasses reports the number of isomorphism classes.
+func (pt *Partition) NumClasses() int { return len(pt.members) }
+
+// ClassOf returns the class identifier of member i.
+func (pt *Partition) ClassOf(i int) int32 { return pt.classID[i] }
+
+// MembersOf returns the ascending member indexes of the class. The
+// slice aliases the table and MUST be treated as read-only.
+func (pt *Partition) MembersOf(class int32) []int { return pt.members[class] }
+
+// ClassOfKey returns the class whose members have the given projection
+// key; ok is false when no member projects to it.
+func (pt *Partition) ClassOfKey(projKey string) (int32, bool) {
+	id, ok := pt.keys.Lookup(projKey)
+	if !ok {
+		return 0, false
+	}
+	c, ok := pt.byKeyID[id]
+	return c, ok
+}
+
+// NewPartition builds the [P]-partition of the universe without
+// consulting or populating the universe's partition cache. Prefer
+// Universe.Partition, which builds each table once and shares it;
+// NewPartition exists for the partition-table ablation benchmark and
+// for tests that need a fresh table.
+func NewPartition(u *Universe, p trace.ProcSet) *Partition {
+	n := u.Len()
+	pt := &Partition{
+		set:     p,
+		classID: make([]int32, n),
+		byKeyID: make(map[int32]int32),
+		keys:    u.keys,
+	}
+	// Projection keys are independent per member; computing them is the
+	// expensive part (one pass over each member's events), so fan it out.
+	keyIDs := make([]int32, n)
+	workers := runtime.GOMAXPROCS(0)
+	if chunk := 1024; workers > 1 && n >= 2*chunk {
+		var wg sync.WaitGroup
+		for lo := 0; lo < n; lo += chunk {
+			hi := min(lo+chunk, n)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					keyIDs[i] = u.keys.Intern(u.At(i).ProjectionKey(p))
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < n; i++ {
+			keyIDs[i] = u.keys.Intern(u.At(i).ProjectionKey(p))
+		}
+	}
+	// Group sequentially so class identifiers are deterministic: class c
+	// is the c-th distinct projection key by member order.
+	counts := []int32{}
+	for i, kid := range keyIDs {
+		c, ok := pt.byKeyID[kid]
+		if !ok {
+			c = int32(len(counts))
+			pt.byKeyID[kid] = c
+			counts = append(counts, 0)
+		}
+		pt.classID[i] = c
+		counts[c]++
+	}
+	// Lay the member lists out in one arena, classes back to back.
+	arena := make([]int, n)
+	pt.members = make([][]int, len(counts))
+	off := int32(0)
+	for c, cnt := range counts {
+		pt.members[c] = arena[off : off : off+cnt]
+		off += cnt
+	}
+	for i, c := range pt.classID {
+		pt.members[c] = append(pt.members[c], i)
+	}
+	return pt
+}
+
+// Partition returns the [P]-partition of the universe, building it on
+// first use. Tables are cached per process set; concurrent callers
+// share one build. This is the set-at-a-time view of Class: for a
+// member i, MembersOf(ClassOf(i)) is exactly Class(At(i), P).
+func (u *Universe) Partition(p trace.ProcSet) *Partition {
+	k := p.Key()
+	v, ok := u.parts.Load(k)
+	if !ok {
+		v, _ = u.parts.LoadOrStore(k, &partitionCell{})
+	}
+	cell := v.(*partitionCell)
+	cell.once.Do(func() { cell.pt = NewPartition(u, p) })
+	return cell.pt
+}
+
+// partitionCell delays a cached partition's construction until exactly
+// one caller runs it; LoadOrStore may race cells, but every loser
+// discards its empty cell before any build starts.
+type partitionCell struct {
+	once sync.Once
+	pt   *Partition
+}

@@ -5,15 +5,19 @@
 // sampled, which is what makes the theorem checks in this repository
 // meaningful model checks instead of statistical tests.
 //
-// A Universe indexes computations by per-process projection keys, so the
-// isomorphism class of x with respect to P is a hash lookup rather than a
-// scan; the ablation benchmark BenchmarkAblationProjectionIndex measures
-// what that buys.
+// A Universe decomposes into dense partition tables (see Partition), one
+// per process set, with projection keys interned to integer IDs: the
+// isomorphism class of x with respect to P is an array index rather than
+// a scan or a string-map probe. Tables are built in parallel on first
+// use and are safe to share between concurrent evaluators. The ablation
+// benchmarks BenchmarkAblationProjectionIndex and
+// BenchmarkAblationPartitionTable measure what that buys.
 package universe
 
 import (
 	"errors"
 	"slices"
+	"sync"
 
 	"hpl/internal/trace"
 )
@@ -27,18 +31,21 @@ type Universe struct {
 	comps []*trace.Computation
 	byKey map[string]int
 	all   trace.ProcSet
-	// classes[P.Key()][projKey] lists indexes of computations whose
-	// projection on P has that key. Built lazily per process set.
-	classes map[string]map[string][]int
+	// parts caches the [P]-partition table per P.Key(); see Partition.
+	// Built on first use, safe under concurrent evaluators.
+	parts sync.Map
+	// keys interns projection keys to dense IDs, shared by every
+	// partition of this universe.
+	keys *trace.Interner
 }
 
 // New builds a universe from the given computations (duplicates by
 // sequence identity are dropped) with D = all.
 func New(comps []*trace.Computation, all trace.ProcSet) *Universe {
 	u := &Universe{
-		byKey:   make(map[string]int, len(comps)),
-		all:     all,
-		classes: make(map[string]map[string][]int),
+		byKey: make(map[string]int, len(comps)),
+		all:   all,
+		keys:  trace.NewInterner(),
 	}
 	for _, c := range comps {
 		if _, dup := u.byKey[c.Key()]; dup {
@@ -71,35 +78,28 @@ func (u *Universe) IndexOf(c *trace.Computation) int {
 // Contains reports membership by sequence identity.
 func (u *Universe) Contains(c *trace.Computation) bool { return u.IndexOf(c) >= 0 }
 
-// index returns the projection-key index for P, building it on first use.
-func (u *Universe) index(p trace.ProcSet) map[string][]int {
-	k := p.Key()
-	if idx, ok := u.classes[k]; ok {
-		return idx
-	}
-	idx := make(map[string][]int)
-	for i, c := range u.comps {
-		pk := c.ProjectionKey(p)
-		idx[pk] = append(idx[pk], i)
-	}
-	u.classes[k] = idx
-	return idx
-}
-
 // Class returns the indexes of every member y with x [P] y. The
 // computation x itself need not be a member; if it is, its index is
 // included (the relation is reflexive). The slice is a copy: callers may
-// append to or mutate it without corrupting the memoized index.
+// append to or mutate it without corrupting the partition table.
 func (u *Universe) Class(x *trace.Computation, p trace.ProcSet) []int {
 	return slices.Clone(u.ClassRef(x, p))
 }
 
 // ClassRef is Class without the defensive copy: the returned slice
-// aliases the memoized index and MUST be treated as read-only. It
+// aliases the partition table and MUST be treated as read-only. It
 // exists for hot read-only loops (knowledge evaluation, isomorphism
-// closures) that only range over the class.
+// closures) that only range over the class. Both Class and ClassRef are
+// thin views over Partition and safe for concurrent use.
 func (u *Universe) ClassRef(x *trace.Computation, p trace.ProcSet) []int {
-	return u.index(p)[x.ProjectionKey(p)]
+	pt := u.Partition(p)
+	if i, ok := u.byKey[x.Key()]; ok {
+		return pt.MembersOf(pt.ClassOf(i))
+	}
+	if c, ok := pt.ClassOfKey(x.ProjectionKey(p)); ok {
+		return pt.MembersOf(c)
+	}
+	return nil
 }
 
 // ClassScan is Class computed by pairwise comparison without the index;
