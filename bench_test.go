@@ -74,7 +74,7 @@ func BenchmarkUniverseEnumeration(b *testing.B) {
 	cfg := universe.FreeConfig{Procs: []trace.ProcID{"p", "q"}, MaxSends: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := universe.Enumerate(universe.NewFree(cfg), 5, 0); err != nil {
+		if _, err := universe.EnumerateWith(universe.NewFree(cfg), universe.WithMaxEvents(5)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -196,10 +196,10 @@ func BenchmarkQuietCounterexampleSearch(b *testing.B) {
 
 func ablationUniverse(b *testing.B) *universe.Universe {
 	b.Helper()
-	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+	u, err := universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
 		Procs:    []trace.ProcID{"p", "q"},
 		MaxSends: 1,
-	}), 5, 0)
+	}), universe.WithMaxEvents(5))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -369,6 +369,72 @@ func BenchmarkAblationPartitionTable(b *testing.B) {
 			}
 			if total < u.Len() {
 				b.Fatal("index lost members")
+			}
+		}
+	})
+}
+
+// BenchmarkTransitionGraph measures building the prefix-extension
+// transition graph (CSR arenas + topological order) on the ≥10k-member
+// universe — the one-time cost the temporal layer pays per universe.
+func BenchmarkTransitionGraph(b *testing.B) {
+	u := ablationUniverseLarge(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := universe.NewTransitions(u)
+		if t.NumEdges() != u.Len()-1 {
+			b.Fatalf("graph lost edges: %d", t.NumEdges())
+		}
+	}
+}
+
+// BenchmarkAblationTemporalEval compares the single-sweep vectorized
+// temporal fixpoints against the naive per-member graph recursion on
+// the knowledge-gain formula AG(K{q} b → Once r) over the whole
+// ≥10k-member universe. The naive arm re-walks each member's extension
+// subtree (and recomputes the epistemic subformulas per member), so
+// expect orders of magnitude.
+func BenchmarkAblationTemporalEval(b *testing.B) {
+	u := ablationUniverseLarge(b)
+	u.Partition(trace.Singleton("q")) // warm shared tables, as in the epistemic ablation
+	u.Transitions()
+	f := knowledge.AG(knowledge.Implies(
+		knowledge.Knows(trace.Singleton("q"), knowledge.NewAtom(knowledge.SentTag("p", "m"))),
+		knowledge.Once(knowledge.NewAtom(knowledge.ReceivedTag("q", "m")))))
+	b.Run("vectorized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := knowledge.NewEvaluator(u)
+			holding, _ := e.Summary(f)
+			if holding == 0 {
+				b.Fatal("gain formula cannot hold nowhere")
+			}
+		}
+	})
+	b.Run("member-memoized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := knowledge.NewMemberEvaluator(u)
+			holding := 0
+			for j := 0; j < u.Len(); j++ {
+				if e.HoldsAt(f, j) {
+					holding++
+				}
+			}
+			if holding == 0 {
+				b.Fatal("gain formula cannot hold nowhere")
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		// One naive full-universe pass is far slower than the other
+		// arms; keep it meaningful but bounded by sampling every 16th
+		// member.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < u.Len(); j += 16 {
+				knowledge.EvalNaive(u, f, j)
 			}
 		}
 	})

@@ -58,10 +58,10 @@ func TestFacadeTraceText(t *testing.T) {
 }
 
 func TestFacadeEveryone(t *testing.T) {
-	u := hpl.MustEnumerateFree(hpl.FreeConfig{
+	u := hpl.MustEnumerateWith(hpl.NewFree(hpl.FreeConfig{
 		Procs:    []hpl.ProcID{"p", "q"},
 		MaxSends: 1,
-	}, 4, 0)
+	}), hpl.WithMaxEvents(4))
 	ev := hpl.NewEvaluator(u)
 	b := hpl.NewAtom(hpl.SentTag("p", "m"))
 	full := hpl.NewBuilder().Send("p", "q", "m").Receive("q", "p").MustBuild()
@@ -78,10 +78,10 @@ func TestFacadeEveryone(t *testing.T) {
 }
 
 func TestFacadeStateAbstraction(t *testing.T) {
-	u := hpl.MustEnumerateFree(hpl.FreeConfig{
+	u := hpl.MustEnumerateWith(hpl.NewFree(hpl.FreeConfig{
 		Procs:    []hpl.ProcID{"p", "q"},
 		MaxSends: 1,
-	}, 4, 0)
+	}), hpl.WithMaxEvents(4))
 	se := hpl.NewStateEvaluator(u, hpl.CountersAbstraction())
 	b := hpl.NewAtom(hpl.SentTag("p", "m"))
 	if !se.Valid(hpl.Implies(hpl.Knows(hpl.Singleton("q"), b), b)) {

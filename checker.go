@@ -5,6 +5,7 @@ import (
 
 	"hpl/internal/knowledge"
 	"hpl/internal/logic"
+	"hpl/internal/trace"
 	"hpl/internal/universe"
 )
 
@@ -144,6 +145,48 @@ func (c *Checker) Check(f Formula) Report {
 
 // TruthVector returns f's truth value at every member, in member order.
 func (c *Checker) TruthVector(f Formula) []bool { return c.ev.TruthVector(f) }
+
+// TemporalReport extends Report with the model-checking verdict at the
+// initial state: a temporal property of the protocol ("q eventually
+// learns b", "knowledge of b is stable") is asked at the null
+// computation, where every behaviour of the system starts, while
+// validity quantifies over all members as usual.
+type TemporalReport struct {
+	Report
+	// Init is the member index of the null computation, or -1 when the
+	// universe does not contain it (only possible for hand-built
+	// universes; enumerated ones always start at null).
+	Init int
+	// AtInit reports whether the formula holds at the null computation;
+	// false when Init is -1.
+	AtInit bool
+}
+
+// CheckTemporal evaluates f — which may mix temporal operators
+// (EX/EF/AG/EU/Once/…) with epistemic ones — over the universe's
+// prefix-extension transition graph and reports both the verdict at the
+// initial (null) computation and the usual whole-universe summary. On
+// the prefix-closed universes produced by enumeration, "AG f holds at
+// init" and "f is valid" coincide; the temporal phrasing additionally
+// supports reachability (EF), inevitability (AF/AU) and past-looking
+// (Once/Hist) queries that validity alone cannot express.
+func (c *Checker) CheckTemporal(f Formula) TemporalReport {
+	rep := TemporalReport{Report: c.Check(f), Init: c.u.IndexOf(trace.Empty())}
+	if rep.Init >= 0 {
+		rep.AtInit = c.ev.HoldsAt(f, rep.Init)
+	}
+	return rep
+}
+
+// ParseAndCheckTemporal parses the textual formula against the session
+// vocabulary and checks it as a temporal property (see CheckTemporal).
+func (c *Checker) ParseAndCheckTemporal(input string) (TemporalReport, error) {
+	f, err := c.Parse(input)
+	if err != nil {
+		return TemporalReport{}, err
+	}
+	return c.CheckTemporal(f), nil
+}
 
 // ParseAndCheck parses the textual formula against the session
 // vocabulary and checks it over the whole universe.

@@ -245,3 +245,43 @@ func TestCheckerReportMatchesScan(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckerCheckTemporal(t *testing.T) {
+	ck := freeChecker(t)
+	sent := hpl.NewAtom(hpl.SentTag("p", "m"))
+	recv := hpl.NewAtom(hpl.ReceivedTag("q", "m"))
+	kq := hpl.Knows(hpl.Singleton("q"), sent)
+
+	// The gain theorem as a temporal validity: knowing implies a
+	// message chain in the past. Valid everywhere, so also at init.
+	gain := hpl.AG(hpl.Implies(kq, hpl.Once(recv)))
+	rep := ck.CheckTemporal(gain)
+	if !rep.AtInit || !rep.Valid() || rep.Init < 0 {
+		t.Fatalf("gain: %+v", rep)
+	}
+	// EF distinguishes init from validity: q can come to know, but
+	// does not know everywhere.
+	can := ck.CheckTemporal(hpl.EF(kq))
+	if !can.AtInit {
+		t.Fatalf("EF K{q} b must hold at init: %+v", can)
+	}
+	know := ck.CheckTemporal(kq)
+	if know.AtInit || know.Valid() {
+		t.Fatalf("K{q} b must fail at init: %+v", know)
+	}
+	// The parsed form agrees with the constructed one.
+	ck.Define(hpl.SentTag("p", "m"), hpl.ReceivedTag("q", "m"))
+	prep, err := ck.ParseAndCheckTemporal(`AG (K{q} "sent(p,m)" -> Once "received(q,m)")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.AtInit != rep.AtInit || prep.Holding != rep.Holding {
+		t.Fatalf("parsed report %+v disagrees with constructed %+v", prep, rep)
+	}
+	// On a hand-built universe without null, Init is -1 and AtInit false.
+	x := hpl.NewBuilder().Internal("p", "a").MustBuild()
+	hand := hpl.NewChecker(hpl.NewUniverse([]*hpl.Computation{x}, hpl.NewProcSet("p")))
+	if hr := hand.CheckTemporal(hpl.True); hr.Init != -1 || hr.AtInit {
+		t.Fatalf("hand-built universe: %+v", hr)
+	}
+}

@@ -5,17 +5,24 @@
 // Usage:
 //
 //	mck [-procs p,q] [-sends 1] [-events 4] [-par 4] [-timeout 30s]
-//	    [-progress] [-valid] 'K{q} "sent(p,m)"'
+//	    [-progress] [-valid] [-temporal] 'K{q} "sent(p,m)"'
 //
 // Atoms available in the vocabulary: "sent(<proc>,m)" and
 // "received(<proc>,m)" for every process. The formula grammar is
 // documented in internal/logic. -par enumerates the universe on several
 // workers, -timeout aborts enumeration cleanly, and -progress reports
-// engine snapshots on stderr.
+// engine snapshots on stderr. -temporal switches to model-checking
+// semantics: the formula — which may use the CTL operators EX, AX, EF,
+// AF, EG, AG, E[· U ·], A[· U ·] and the past operators EY, AY, Once,
+// Hist — is decided at the initial (null) computation over the
+// prefix-extension transition graph, and the exit status reports the
+// verdict.
 //
-// Example:
+// Examples:
 //
 //	mck -valid 'K{q} "sent(p,m)" -> "sent(p,m)"'   # fact 4: knowledge is true
+//	mck -temporal 'AG (K{q} "sent(p,m)" -> Once "received(q,m)")'  # gain theorem
+//	mck -temporal 'EF K{q} "sent(p,m)"'            # q can come to know b
 package main
 
 import (
@@ -43,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "abort enumeration after this long (0 = no limit)")
 	progress := fs.Bool("progress", false, "report enumeration progress on stderr")
 	valid := fs.Bool("valid", false, "report only whether the formula holds at every computation")
+	temporal := fs.Bool("temporal", false, "model-check the formula at the initial (null) computation over the prefix-extension transition graph")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,6 +93,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	for _, p := range ids {
 		ck.Define(hpl.SentTag(p, "m"), hpl.ReceivedTag(p, "m"))
+	}
+
+	if *temporal {
+		rep, err := ck.ParseAndCheckTemporal(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "mck: %v\n", err)
+			fmt.Fprintf(stderr, "available atoms: %s\n", atomList(ck))
+			return 1
+		}
+		if !rep.AtInit {
+			fmt.Fprintf(stdout, "DOES NOT HOLD at the initial computation (holds at %d / %d members)\n",
+				rep.Holding, rep.Total)
+			return 1
+		}
+		fmt.Fprintf(stdout, "HOLDS at the initial computation (holds at %d / %d members)\n",
+			rep.Holding, rep.Total)
+		return 0
 	}
 
 	rep, err := ck.ParseAndCheck(fs.Arg(0))

@@ -43,6 +43,30 @@ func TestCountMode(t *testing.T) {
 	}
 }
 
+func TestTemporalMode(t *testing.T) {
+	// The gain theorem holds at the initial computation…
+	code, out, _ := runWith(t, "-temporal", `AG (K{q} "sent(p,m)" -> Once "received(q,m)")`)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "HOLDS at the initial computation") {
+		t.Errorf("output:\n%s", out)
+	}
+	// …learning is reachable but not yet attained…
+	code, out, _ = runWith(t, "-temporal", `!K{q} "sent(p,m)" & EF K{q} "sent(p,m)"`)
+	if code != 0 || !strings.Contains(out, "HOLDS") {
+		t.Fatalf("exit = %d, output:\n%s", code, out)
+	}
+	// …and a property false at init exits non-zero.
+	code, out, _ = runWith(t, "-temporal", `K{q} "sent(p,m)"`)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "DOES NOT HOLD") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
 func TestParseErrorListsAtoms(t *testing.T) {
 	code, _, errOut := runWith(t, "nosuchatom")
 	if code != 1 {

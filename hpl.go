@@ -27,6 +27,14 @@
 //	rep, err := ck.ParseAndCheck(`K{q} "sent(p,m)" -> "sent(p,m)"`)
 //	valid := rep.Valid() // true: knowledge implies truth
 //
+//	// Temporal questions run over the prefix-extension transition
+//	// graph: the gain theorem says q learns b only after the message
+//	// arrives, checkable as one temporal validity.
+//	ck.Define(hpl.ReceivedTag("q", "m"))
+//	trep, err := ck.ParseAndCheckTemporal(
+//	    `AG (K{q} "sent(p,m)" -> Once "received(q,m)")`)
+//	holds := trep.AtInit // true
+//
 // The facade re-exports the stable core of the internal packages; the
 // experiment harnesses live in cmd/hpl-experiments and the runnable
 // examples in examples/.
@@ -158,22 +166,13 @@ func MustEnumerateWith(p Protocol, opts ...EnumOption) *Universe {
 	return universe.MustEnumerateWith(p, opts...)
 }
 
-// Enumerate exhaustively generates the protocol's computations up to
-// maxEvents events (capN <= 0 disables the size cap).
-//
-// Deprecated: use EnumerateWith (or CheckProtocol for a full session)
-// with WithMaxEvents and WithCap.
-func Enumerate(p Protocol, maxEvents, capN int) (*Universe, error) {
-	return universe.Enumerate(p, maxEvents, capN)
-}
+// --- Transitions (temporal substrate) ---
 
-// MustEnumerateFree enumerates a free system; it panics on error.
-//
-// Deprecated: use MustEnumerateWith(NewFree(cfg), ...) or
-// MustCheckProtocol(NewFree(cfg), ...).
-func MustEnumerateFree(cfg FreeConfig, maxEvents, capN int) *Universe {
-	return universe.MustEnumerate(universe.NewFree(cfg), maxEvents, capN)
-}
+// Transitions is the prefix-extension transition graph of a universe:
+// member i steps to member j exactly when j extends i by one event.
+// Obtain it with Universe.Transitions(); the temporal operators below
+// are interpreted over it.
+type Transitions = universe.Transitions
 
 // --- Isomorphism (package iso) ---
 
@@ -264,6 +263,51 @@ func Sure(p ProcSet, f Formula) Formula { return knowledge.Sure(p, f) }
 
 // Common builds common knowledge of f among all processes.
 func Common(f Formula) Formula { return knowledge.Common(f) }
+
+// Temporal operators, interpreted over the universe's prefix-extension
+// transition graph (see Transitions): one step extends the computation
+// by one event, so the future modalities quantify over extensions and
+// the past ones over prefixes. They compose freely with the epistemic
+// operators — AG(Knows(q,b) → Once(r)) is the paper's knowledge-gain
+// theorem as a temporal validity. Check them with Checker.CheckTemporal.
+
+// EX builds ∃◯f: some one-event extension satisfies f.
+func EX(f Formula) Formula { return knowledge.EX(f) }
+
+// AX builds ∀◯f: every one-event extension satisfies f.
+func AX(f Formula) Formula { return knowledge.AX(f) }
+
+// EF builds ∃◇f: some extension (including the present) satisfies f.
+func EF(f Formula) Formula { return knowledge.EF(f) }
+
+// AF builds ∀◇f: every maximal extension path satisfies f somewhere.
+func AF(f Formula) Formula { return knowledge.AF(f) }
+
+// EG builds ∃□f: some maximal extension path satisfies f throughout.
+func EG(f Formula) Formula { return knowledge.EG(f) }
+
+// AG builds ∀□f: f holds now and at every extension.
+func AG(f Formula) Formula { return knowledge.AG(f) }
+
+// EU builds E[l U r]: some extension path reaches r with l holding
+// until then.
+func EU(l, r Formula) Formula { return knowledge.EU(l, r) }
+
+// AU builds A[l U r]: every maximal extension path reaches r with l
+// holding until then.
+func AU(l, r Formula) Formula { return knowledge.AU(l, r) }
+
+// EY builds ∃●f: the one-event-shorter prefix satisfies f.
+func EY(f Formula) Formula { return knowledge.EY(f) }
+
+// AY builds ∀●f: f at the prefix, vacuously true at null.
+func AY(f Formula) Formula { return knowledge.AY(f) }
+
+// Once builds ◆f: f holds now or held at some prefix.
+func Once(f Formula) Formula { return knowledge.Once(f) }
+
+// Hist builds ■f: f holds now and held at every prefix.
+func Hist(f Formula) Formula { return knowledge.Hist(f) }
 
 // Standard predicates.
 

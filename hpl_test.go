@@ -9,19 +9,26 @@ import (
 
 func TestQuickstartFlow(t *testing.T) {
 	c := hpl.NewBuilder().Send("p", "q", "hello").Receive("q", "p").MustBuild()
-	u := hpl.MustEnumerateFree(hpl.FreeConfig{
+	ck := hpl.MustCheckProtocol(hpl.NewFree(hpl.FreeConfig{
 		Procs:    []hpl.ProcID{"p", "q"},
 		MaxSends: 1,
 		SendTags: []string{"hello"},
-	}, 4, 0)
-	ev := hpl.NewEvaluator(u)
+	}), hpl.WithMaxEvents(4))
 	b := hpl.NewAtom(hpl.SentTag("p", "hello"))
-	if !ev.MustHolds(hpl.Knows(hpl.NewProcSet("q"), b), c) {
+	if !ck.MustHolds(hpl.Knows(hpl.NewProcSet("q"), b), c) {
 		t.Fatalf("q must know b after receiving")
 	}
 	before := c.Prefix(1)
-	if ev.MustHolds(hpl.Knows(hpl.NewProcSet("q"), b), before) {
+	if ck.MustHolds(hpl.Knows(hpl.NewProcSet("q"), b), before) {
 		t.Fatalf("q must not know b before receiving")
+	}
+	// The same learning event, phrased temporally: before the receive q
+	// does not know b, yet along every extension q's knowledge of b can
+	// only appear after the message arrives.
+	gain := hpl.AG(hpl.Implies(hpl.Knows(hpl.Singleton("q"), b),
+		hpl.Once(hpl.NewAtom(hpl.ReceivedTag("q", "hello")))))
+	if rep := ck.CheckTemporal(gain); !rep.AtInit || !rep.Valid() {
+		t.Fatalf("gain theorem must hold temporally: %+v", rep)
 	}
 }
 

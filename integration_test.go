@@ -91,10 +91,10 @@ func TestPipelineSimulationToTheory(t *testing.T) {
 // TestPipelineUniverseToFormula drives enumeration → parsing → nested
 // evaluation → theorem checking on one universe.
 func TestPipelineUniverseToFormula(t *testing.T) {
-	u := hpl.MustEnumerateFree(hpl.FreeConfig{
+	u := hpl.MustEnumerateWith(hpl.NewFree(hpl.FreeConfig{
 		Procs:    []hpl.ProcID{"p", "q"},
 		MaxSends: 1,
-	}, 5, 0)
+	}), hpl.WithMaxEvents(5))
 	ev := hpl.NewEvaluator(u)
 	vocab := hpl.NewVocabulary(hpl.SentTag("p", "m"), hpl.ReceivedTag("q", "m"))
 
@@ -133,10 +133,10 @@ func TestPipelineUniverseToFormula(t *testing.T) {
 // TestPipelineStateAbstractionSoundEndToEnd confirms the §6 abstraction
 // path through the facade.
 func TestPipelineStateAbstractionSoundEndToEnd(t *testing.T) {
-	u := hpl.MustEnumerateFree(hpl.FreeConfig{
+	u := hpl.MustEnumerateWith(hpl.NewFree(hpl.FreeConfig{
 		Procs:    []hpl.ProcID{"p", "q"},
 		MaxSends: 1,
-	}, 4, 0)
+	}), hpl.WithMaxEvents(4))
 	concrete := hpl.NewEvaluator(u)
 	abstract := hpl.NewStateEvaluator(u, hpl.CountersAbstraction())
 	b := hpl.NewAtom(hpl.SentTag("p", "m"))

@@ -106,10 +106,10 @@ func TestExample1LargestLabels(t *testing.T) {
 
 func freeUniverse(t *testing.T, procs []trace.ProcID, maxSends, maxEvents int) *universe.Universe {
 	t.Helper()
-	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+	u, err := universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
 		Procs:    procs,
 		MaxSends: maxSends,
-	}), maxEvents, 200000)
+	}), universe.WithMaxEvents(maxEvents), universe.WithCap(200000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,10 +369,10 @@ func TestComputationExtensionPrincipleExhaustive(t *testing.T) {
 }
 
 func TestComputationExtensionOnThreeProcs(t *testing.T) {
-	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+	u, err := universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
 		Procs:    []trace.ProcID{"p", "q", "r"},
 		MaxSends: 1,
-	}), 3, 200000)
+	}), universe.WithMaxEvents(3), universe.WithCap(200000))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -97,7 +97,10 @@ func atomPool(u *universe.Universe) []knowledge.Formula {
 }
 
 // randFormula draws a random formula exercising every connective:
-// atoms, ¬, ∧, ∨, ⇒, K, Sure, and Common, nested up to the depth.
+// atoms, ¬, ∧, ∨, ⇒, K, Sure, Common, and the full temporal layer
+// (EX/AX/EF/AF/EG/AG, both untils, and the past operators), nested up
+// to the depth — so the differential covers epistemic operators inside
+// temporal ones and vice versa.
 func randFormula(r *rand.Rand, atoms []knowledge.Formula, procs []trace.ProcID, depth int) knowledge.Formula {
 	if depth <= 0 || r.Intn(4) == 0 {
 		return atoms[r.Intn(len(atoms))]
@@ -108,21 +111,50 @@ func randFormula(r *rand.Rand, atoms []knowledge.Formula, procs []trace.ProcID, 
 		}
 		return trace.Singleton(procs[r.Intn(len(procs))])
 	}
-	switch r.Intn(8) {
+	sub := func() knowledge.Formula { return randFormula(r, atoms, procs, depth-1) }
+	switch r.Intn(16) {
 	case 0:
-		return knowledge.Not(randFormula(r, atoms, procs, depth-1))
+		return knowledge.Not(sub())
 	case 1:
-		return knowledge.And(randFormula(r, atoms, procs, depth-1), randFormula(r, atoms, procs, depth-1))
+		return knowledge.And(sub(), sub())
 	case 2:
-		return knowledge.Or(randFormula(r, atoms, procs, depth-1), randFormula(r, atoms, procs, depth-1))
+		return knowledge.Or(sub(), sub())
 	case 3:
-		return knowledge.Implies(randFormula(r, atoms, procs, depth-1), randFormula(r, atoms, procs, depth-1))
+		return knowledge.Implies(sub(), sub())
 	case 4, 5:
-		return knowledge.Knows(randSet(), randFormula(r, atoms, procs, depth-1))
+		return knowledge.Knows(randSet(), sub())
 	case 6:
-		return knowledge.Sure(randSet(), randFormula(r, atoms, procs, depth-1))
+		return knowledge.Sure(randSet(), sub())
+	case 7:
+		return knowledge.Common(sub())
+	case 8:
+		if r.Intn(2) == 0 {
+			return knowledge.EX(sub())
+		}
+		return knowledge.AX(sub())
+	case 9:
+		if r.Intn(2) == 0 {
+			return knowledge.EF(sub())
+		}
+		return knowledge.AF(sub())
+	case 10:
+		if r.Intn(2) == 0 {
+			return knowledge.EG(sub())
+		}
+		return knowledge.AG(sub())
+	case 11:
+		return knowledge.EU(sub(), sub())
+	case 12:
+		return knowledge.AU(sub(), sub())
+	case 13:
+		if r.Intn(2) == 0 {
+			return knowledge.EY(sub())
+		}
+		return knowledge.AY(sub())
+	case 14:
+		return knowledge.Once(sub())
 	default:
-		return knowledge.Common(randFormula(r, atoms, procs, depth-1))
+		return knowledge.Hist(sub())
 	}
 }
 
@@ -142,6 +174,56 @@ func TestVectorizedMatchesNaive(t *testing.T) {
 			mem := knowledge.NewMemberEvaluator(u)
 			for fi := 0; fi < 24; fi++ {
 				f := randFormula(r, atoms, procs, 3)
+				for i := 0; i < u.Len(); i++ {
+					got := vec.HoldsAt(f, i)
+					if want := knowledge.EvalNaive(u, f, i); got != want {
+						t.Fatalf("formula %s at member %d: vectorized %v, naive %v", f, i, got, want)
+					}
+					if mm := mem.HoldsAt(f, i); got != mm {
+						t.Fatalf("formula %s at member %d: vectorized %v, member-memoized %v", f, i, got, mm)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTemporalVectorizedMatchesNaive is the temporal differential: on
+// every enumerable protocol, the single-sweep temporal fixpoints agree
+// bit for bit with the naive recursive reference on the
+// temporal-epistemic shapes the theorem checks use — gain
+// (AG(K → Once)), until-phrased gain (A[¬K U r]), stability
+// (AG(K → AG K)), loss (EF(K ∧ EX ¬K)), and past/future nestings of
+// Common and Sure.
+func TestTemporalVectorizedMatchesNaive(t *testing.T) {
+	for _, du := range diffUniverses(t) {
+		t.Run(du.name, func(t *testing.T) {
+			u := du.u
+			atoms := atomPool(u)
+			if len(atoms) < 2 {
+				t.Skip("not enough atoms derivable")
+			}
+			b, r := atoms[0], atoms[1]
+			procs := u.All().IDs()
+			p := trace.Singleton(procs[0])
+			kb := knowledge.Knows(p, b)
+			cases := []knowledge.Formula{
+				knowledge.AG(knowledge.Implies(kb, knowledge.Once(r))),
+				knowledge.AU(knowledge.Not(kb), r),
+				knowledge.EU(b, kb),
+				knowledge.AG(knowledge.Implies(kb, knowledge.AG(kb))),
+				knowledge.EF(knowledge.And(kb, knowledge.EX(knowledge.Not(kb)))),
+				knowledge.EG(knowledge.Or(b, r)),
+				knowledge.AF(knowledge.Sure(p, b)),
+				knowledge.Hist(knowledge.Implies(r, knowledge.Once(b))),
+				knowledge.EY(knowledge.AY(b)),
+				knowledge.AG(knowledge.Not(knowledge.Common(b))),
+				knowledge.Knows(p, knowledge.EF(kb)),
+				knowledge.Once(knowledge.Common(knowledge.Or(b, knowledge.Not(b)))),
+			}
+			vec := knowledge.NewEvaluator(u)
+			mem := knowledge.NewMemberEvaluator(u)
+			for _, f := range cases {
 				for i := 0; i < u.Len(); i++ {
 					got := vec.HoldsAt(f, i)
 					if want := knowledge.EvalNaive(u, f, i); got != want {

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"hpl/internal/temporal"
 	"hpl/internal/trace"
 	"hpl/internal/universe"
 )
@@ -15,7 +16,11 @@ import (
 // pool, boolean connectives are word-parallel operations, (P knows F)
 // is one all-reduce per class of the [P]-partition table, and common
 // knowledge is a fixpoint iterated directly over the singleton
-// partitions. Vectors are memoized by hash-consed formula ID (see the
+// partitions. Temporal operators (EX/EF/AG/EU/… and their past duals)
+// are single sweeps over the universe's prefix-extension transition
+// graph in topological order — see package temporal — so epistemic and
+// temporal modalities nest freely at one pass per distinct subformula.
+// Vectors are memoized by hash-consed formula ID (see the
 // interner in formula.go), so nested knowledge costs each subformula
 // one pass over the universe no matter how many members are queried.
 //
@@ -146,6 +151,18 @@ func (e *Evaluator) vector(id int32) bitset {
 		v = e.knowsVector(nd.set, e.vector(nd.l))
 	case inCommon:
 		v = e.commonVector(e.vector(nd.l))
+	case inEX:
+		v = bitset(temporal.EX(e.u.Transitions(), e.vector(nd.l)))
+	case inEU:
+		l, r := e.vector(nd.l), e.vector(nd.r)
+		v = bitset(temporal.EU(e.u.Transitions(), l, r))
+	case inAU:
+		l, r := e.vector(nd.l), e.vector(nd.r)
+		v = bitset(temporal.AU(e.u.Transitions(), l, r))
+	case inEY:
+		v = bitset(temporal.EY(e.u.Transitions(), e.vector(nd.l)))
+	case inOnce:
+		v = bitset(temporal.Once(e.u.Transitions(), e.vector(nd.l)))
 	default:
 		panic(fmt.Sprintf("knowledge: unknown interned node kind %d", nd.kind))
 	}

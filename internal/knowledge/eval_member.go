@@ -3,6 +3,7 @@ package knowledge
 import (
 	"fmt"
 
+	"hpl/internal/temporal"
 	"hpl/internal/trace"
 	"hpl/internal/universe"
 )
@@ -81,9 +82,42 @@ func (e *MemberEvaluator) eval(f Formula, i int) bool {
 		return e.HoldsAt(Knows(f.P, f.F), i) || e.HoldsAt(Knows(f.P, Not(f.F)), i)
 	case CommonF:
 		return e.commonAt(f, i)
+	// Temporal operators recurse along the prefix-extension graph; it is
+	// acyclic (every step adds an event), so memoized recursion through
+	// HoldsAt terminates without fixpoint iteration.
+	case EXF:
+		return temporal.NaiveEX(e.u.Transitions(), e.pred(f.F), i)
+	case AXF:
+		return temporal.NaiveAX(e.u.Transitions(), e.pred(f.F), i)
+	case EFF:
+		return temporal.NaiveEF(e.u.Transitions(), e.pred(f.F), i)
+	case AFF:
+		return temporal.NaiveAF(e.u.Transitions(), e.pred(f.F), i)
+	case EGF:
+		return temporal.NaiveEG(e.u.Transitions(), e.pred(f.F), i)
+	case AGF:
+		return temporal.NaiveAG(e.u.Transitions(), e.pred(f.F), i)
+	case EUF:
+		return temporal.NaiveEU(e.u.Transitions(), e.pred(f.L), e.pred(f.R), i)
+	case AUF:
+		return temporal.NaiveAU(e.u.Transitions(), e.pred(f.L), e.pred(f.R), i)
+	case EYF:
+		return temporal.NaiveEY(e.u.Transitions(), e.pred(f.F), i)
+	case AYF:
+		return temporal.NaiveAY(e.u.Transitions(), e.pred(f.F), i)
+	case OnceF:
+		return temporal.NaiveOnce(e.u.Transitions(), e.pred(f.F), i)
+	case HistF:
+		return temporal.NaiveHist(e.u.Transitions(), e.pred(f.F), i)
 	default:
 		panic(fmt.Sprintf("knowledge: unknown formula type %T", f))
 	}
+}
+
+// pred adapts a subformula to the per-member predicate shape the
+// temporal walkers take, keeping the evaluator's memo in the loop.
+func (e *MemberEvaluator) pred(f Formula) func(int) bool {
+	return func(j int) bool { return e.HoldsAt(f, j) }
 }
 
 // commonAt computes common knowledge as the greatest fixpoint of
@@ -181,7 +215,35 @@ func EvalNaive(u *universe.Universe, f Formula, i int) bool {
 		return EvalNaive(u, Knows(f.P, f.F), i) || EvalNaive(u, Knows(f.P, Not(f.F)), i)
 	case CommonF:
 		return NewMemberEvaluator(u).HoldsAt(f, i)
+	case EXF:
+		return temporal.NaiveEX(u.Transitions(), naivePred(u, f.F), i)
+	case AXF:
+		return temporal.NaiveAX(u.Transitions(), naivePred(u, f.F), i)
+	case EFF:
+		return temporal.NaiveEF(u.Transitions(), naivePred(u, f.F), i)
+	case AFF:
+		return temporal.NaiveAF(u.Transitions(), naivePred(u, f.F), i)
+	case EGF:
+		return temporal.NaiveEG(u.Transitions(), naivePred(u, f.F), i)
+	case AGF:
+		return temporal.NaiveAG(u.Transitions(), naivePred(u, f.F), i)
+	case EUF:
+		return temporal.NaiveEU(u.Transitions(), naivePred(u, f.L), naivePred(u, f.R), i)
+	case AUF:
+		return temporal.NaiveAU(u.Transitions(), naivePred(u, f.L), naivePred(u, f.R), i)
+	case EYF:
+		return temporal.NaiveEY(u.Transitions(), naivePred(u, f.F), i)
+	case AYF:
+		return temporal.NaiveAY(u.Transitions(), naivePred(u, f.F), i)
+	case OnceF:
+		return temporal.NaiveOnce(u.Transitions(), naivePred(u, f.F), i)
+	case HistF:
+		return temporal.NaiveHist(u.Transitions(), naivePred(u, f.F), i)
 	default:
 		panic(fmt.Sprintf("knowledge: unknown formula type %T", f))
 	}
+}
+
+func naivePred(u *universe.Universe, f Formula) func(int) bool {
+	return func(j int) bool { return EvalNaive(u, f, j) }
 }

@@ -68,6 +68,54 @@ type CommonF struct{ F Formula }
 // ConstF is a constant formula (true or false everywhere).
 type ConstF struct{ Value bool }
 
+// Temporal operators, interpreted over the universe's prefix-extension
+// transition graph (universe.Transitions): one step is one extension of
+// the computation by one event, so the future modalities quantify over
+// extensions and the past modalities over prefixes. Path semantics are
+// finite — see package temporal for the leaf and root conventions.
+
+// EXF is ∃◯F: some one-event extension satisfies F.
+type EXF struct{ F Formula }
+
+// AXF is ∀◯F: every one-event extension satisfies F (vacuous at
+// maximal computations).
+type AXF struct{ F Formula }
+
+// EFF is ∃◇F: some extension (including the current computation)
+// satisfies F.
+type EFF struct{ F Formula }
+
+// AFF is ∀◇F: every maximal extension path satisfies F somewhere.
+type AFF struct{ F Formula }
+
+// EGF is ∃□F: some maximal extension path satisfies F throughout.
+type EGF struct{ F Formula }
+
+// AGF is ∀□F: F holds now and at every extension.
+type AGF struct{ F Formula }
+
+// EUF is E[L U R]: some extension path reaches R with L holding until
+// then.
+type EUF struct{ L, R Formula }
+
+// AUF is A[L U R]: every maximal extension path reaches R with L
+// holding until then.
+type AUF struct{ L, R Formula }
+
+// EYF is ∃●F (exists-yesterday): the one-event-shorter prefix
+// satisfies F.
+type EYF struct{ F Formula }
+
+// AYF is ∀●F: vacuous at the null computation, otherwise equal to EYF
+// (prefixes are unique).
+type AYF struct{ F Formula }
+
+// OnceF is ◆F: F holds now or held at some prefix.
+type OnceF struct{ F Formula }
+
+// HistF is ■F: F holds now and held at every prefix.
+type HistF struct{ F Formula }
+
 // Constructors — preferred over struct literals for readability.
 
 // NewAtom wraps a predicate.
@@ -112,6 +160,44 @@ func Sure(p trace.ProcSet, f Formula) Formula { return SureF{P: p, F: f} }
 // Common builds common knowledge of f.
 func Common(f Formula) Formula { return CommonF{F: f} }
 
+// Temporal constructors.
+
+// EX builds ∃◯f: some one-event extension satisfies f.
+func EX(f Formula) Formula { return EXF{F: f} }
+
+// AX builds ∀◯f: every one-event extension satisfies f.
+func AX(f Formula) Formula { return AXF{F: f} }
+
+// EF builds ∃◇f: f is reachable along some extension.
+func EF(f Formula) Formula { return EFF{F: f} }
+
+// AF builds ∀◇f: f is inevitable along every maximal extension path.
+func AF(f Formula) Formula { return AFF{F: f} }
+
+// EG builds ∃□f: f persists along some maximal extension path.
+func EG(f Formula) Formula { return EGF{F: f} }
+
+// AG builds ∀□f: f holds now and in every extension.
+func AG(f Formula) Formula { return AGF{F: f} }
+
+// EU builds E[l U r].
+func EU(l, r Formula) Formula { return EUF{L: l, R: r} }
+
+// AU builds A[l U r].
+func AU(l, r Formula) Formula { return AUF{L: l, R: r} }
+
+// EY builds ∃●f: the one-event-shorter prefix satisfies f.
+func EY(f Formula) Formula { return EYF{F: f} }
+
+// AY builds ∀●f: f at the prefix, vacuous at null.
+func AY(f Formula) Formula { return AYF{F: f} }
+
+// Once builds ◆f: f holds now or held at some prefix.
+func Once(f Formula) Formula { return OnceF{F: f} }
+
+// Hist builds ■f: f holds now and held at every prefix.
+func Hist(f Formula) Formula { return HistF{F: f} }
+
 // True and False are the constant formulas.
 var (
 	True  Formula = ConstF{Value: true}
@@ -144,6 +230,18 @@ func (c ConstF) Key() string {
 	}
 	return "false"
 }
+func (f EXF) Key() string   { return "EX(" + f.F.Key() + ")" }
+func (f AXF) Key() string   { return "AX(" + f.F.Key() + ")" }
+func (f EFF) Key() string   { return "EF(" + f.F.Key() + ")" }
+func (f AFF) Key() string   { return "AF(" + f.F.Key() + ")" }
+func (f EGF) Key() string   { return "EG(" + f.F.Key() + ")" }
+func (f AGF) Key() string   { return "AG(" + f.F.Key() + ")" }
+func (f EUF) Key() string   { return "EU(" + f.L.Key() + "," + f.R.Key() + ")" }
+func (f AUF) Key() string   { return "AU(" + f.L.Key() + "," + f.R.Key() + ")" }
+func (f EYF) Key() string   { return "EY(" + f.F.Key() + ")" }
+func (f AYF) Key() string   { return "AY(" + f.F.Key() + ")" }
+func (f OnceF) Key() string { return "O(" + f.F.Key() + ")" }
+func (f HistF) Key() string { return "H(" + f.F.Key() + ")" }
 
 // String implementations render the paper's notation.
 
@@ -156,6 +254,18 @@ func (k KnowsF) String() string   { return k.P.String() + " knows " + paren(k.F)
 func (s SureF) String() string    { return s.P.String() + " sure " + paren(s.F) }
 func (c CommonF) String() string  { return "common " + paren(c.F) }
 func (c ConstF) String() string   { return c.Key() }
+func (f EXF) String() string      { return "EX " + paren(f.F) }
+func (f AXF) String() string      { return "AX " + paren(f.F) }
+func (f EFF) String() string      { return "EF " + paren(f.F) }
+func (f AFF) String() string      { return "AF " + paren(f.F) }
+func (f EGF) String() string      { return "EG " + paren(f.F) }
+func (f AGF) String() string      { return "AG " + paren(f.F) }
+func (f EUF) String() string      { return "E[" + f.L.String() + " U " + f.R.String() + "]" }
+func (f AUF) String() string      { return "A[" + f.L.String() + " U " + f.R.String() + "]" }
+func (f EYF) String() string      { return "EY " + paren(f.F) }
+func (f AYF) String() string      { return "AY " + paren(f.F) }
+func (f OnceF) String() string    { return "Once " + paren(f.F) }
+func (f HistF) String() string    { return "Hist " + paren(f.F) }
 
 func paren(f Formula) string {
 	s := f.String()
@@ -176,6 +286,18 @@ var (
 	_ Formula = SureF{}
 	_ Formula = CommonF{}
 	_ Formula = ConstF{}
+	_ Formula = EXF{}
+	_ Formula = AXF{}
+	_ Formula = EFF{}
+	_ Formula = AFF{}
+	_ Formula = EGF{}
+	_ Formula = AGF{}
+	_ Formula = EUF{}
+	_ Formula = AUF{}
+	_ Formula = EYF{}
+	_ Formula = AYF{}
+	_ Formula = OnceF{}
+	_ Formula = HistF{}
 )
 
 // --- Structural hash-consing ---
@@ -189,6 +311,11 @@ var (
 // Derived operators desugar during interning (P sure F becomes
 // (P knows F) ∨ (P knows ¬F), and L ⇒ R becomes ¬L ∨ R), which buys
 // vector sharing between, say, Sure(P,F) and an explicit Knows(P,F).
+// The temporal layer follows the same discipline: only EX, E-until,
+// A-until, exists-yesterday and Once survive as interned kinds; the
+// rest desugar through the CTL dualities (AX = ¬EX¬, EF = E[⊤ U ·],
+// AF = A[⊤ U ·], AG = ¬EF¬, EG = ¬AF¬, AY = ¬EY¬, Hist = ¬Once¬), so
+// AG f and an explicit ¬EF¬f share one truth vector.
 
 // internKind enumerates the node kinds that survive desugaring.
 type internKind uint8
@@ -201,6 +328,11 @@ const (
 	inOr
 	inKnows
 	inCommon
+	inEX   // ∃◯, one child
+	inEU   // E[· U ·], two children
+	inAU   // A[· U ·], two children
+	inEY   // ∃●, one child
+	inOnce // ◆, one child
 )
 
 // inode is one hash-consed formula node.
@@ -291,12 +423,36 @@ func (t *interner) internKnows(p trace.ProcSet, l int32) int32 {
 	return t.node(t.key('K', t.procSetID(p), l), inode{kind: inKnows, l: l, set: p})
 }
 
+func (t *interner) internEX(l int32) int32 {
+	return t.node(t.key('X', l), inode{kind: inEX, l: l})
+}
+
+func (t *interner) internEU(l, r int32) int32 {
+	return t.node(t.key('U', l, r), inode{kind: inEU, l: l, r: r})
+}
+
+func (t *interner) internAU(l, r int32) int32 {
+	return t.node(t.key('A', l, r), inode{kind: inAU, l: l, r: r})
+}
+
+func (t *interner) internEY(l int32) int32 {
+	return t.node(t.key('Y', l), inode{kind: inEY, l: l})
+}
+
+func (t *interner) internOnce(l int32) int32 {
+	return t.node(t.key('P', l), inode{kind: inOnce, l: l})
+}
+
+func (t *interner) internTrue() int32 {
+	return t.node(t.key('t'), inode{kind: inConst, val: true})
+}
+
 // intern returns the dense ID of f, interning every subformula.
 func (t *interner) intern(f Formula) int32 {
 	switch f := f.(type) {
 	case ConstF:
 		if f.Value {
-			return t.node(t.key('t'), inode{kind: inConst, val: true})
+			return t.internTrue()
 		}
 		return t.node(t.key('f'), inode{kind: inConst})
 	case Atom:
@@ -326,6 +482,34 @@ func (t *interner) intern(f Formula) int32 {
 	case CommonF:
 		l := t.intern(f.F)
 		return t.node(t.key('C', l), inode{kind: inCommon, l: l})
+	case EXF:
+		return t.internEX(t.intern(f.F))
+	case AXF:
+		return t.internNot(t.internEX(t.internNot(t.intern(f.F))))
+	case EFF:
+		return t.internEU(t.internTrue(), t.intern(f.F))
+	case AFF:
+		return t.internAU(t.internTrue(), t.intern(f.F))
+	case AGF:
+		inner := t.internEU(t.internTrue(), t.internNot(t.intern(f.F)))
+		return t.internNot(inner)
+	case EGF:
+		inner := t.internAU(t.internTrue(), t.internNot(t.intern(f.F)))
+		return t.internNot(inner)
+	case EUF:
+		l, r := t.intern(f.L), t.intern(f.R)
+		return t.internEU(l, r)
+	case AUF:
+		l, r := t.intern(f.L), t.intern(f.R)
+		return t.internAU(l, r)
+	case EYF:
+		return t.internEY(t.intern(f.F))
+	case AYF:
+		return t.internNot(t.internEY(t.internNot(t.intern(f.F))))
+	case OnceF:
+		return t.internOnce(t.intern(f.F))
+	case HistF:
+		return t.internNot(t.internOnce(t.internNot(t.intern(f.F))))
 	default:
 		panic(fmt.Sprintf("knowledge: unknown formula type %T", f))
 	}

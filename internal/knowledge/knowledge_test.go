@@ -14,10 +14,10 @@ func ps(ids ...trace.ProcID) trace.ProcSet { return trace.NewProcSet(ids...) }
 // send one message: rich enough for two levels of knowledge (p learns
 // that q learned).
 func pingPong(t testing.TB) *universe.Universe {
-	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+	u, err := universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
 		Procs:    []trace.ProcID{"p", "q"},
 		MaxSends: 1,
-	}), 5, 0)
+	}), universe.WithMaxEvents(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func (ackProtocol) Deliver(p trace.ProcID, state string, _ trace.ProcID, tag str
 }
 
 func ackUniverse(t testing.TB) *universe.Universe {
-	u, err := universe.Enumerate(ackProtocol{}, 4, 0)
+	u, err := universe.EnumerateWith(ackProtocol{}, universe.WithMaxEvents(4))
 	if err != nil {
 		t.Fatal(err)
 	}

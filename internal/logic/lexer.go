@@ -1,12 +1,17 @@
-// Package logic provides a textual language for the epistemic formulas of
-// package knowledge, with a lexer, a recursive-descent parser, and a
-// printer. The grammar, in decreasing binding strength:
+// Package logic provides a textual language for the epistemic-temporal
+// formulas of package knowledge, with a lexer, a recursive-descent
+// parser, and a printer. The grammar, in decreasing binding strength:
 //
 //	primary := 'true' | 'false' | IDENT | STRING | '(' formula ')'
 //	unary   := '!' unary
 //	         | 'K' '{' ident (',' ident)* '}' unary     -- P knows
 //	         | 'S' '{' ident (',' ident)* '}' unary     -- P sure
 //	         | 'C' unary                                -- common knowledge
+//	         | ('EX'|'AX'|'EF'|'AF'|'EG'|'AG') unary    -- CTL step/path
+//	         | ('EY'|'AY'|'Once'|'Hist') unary          -- past duals
+//	         | '<>' unary                               -- sugar for EF
+//	         | '[]' unary                               -- sugar for AG
+//	         | ('E'|'A') '[' formula 'U' formula ']'    -- until
 //	         | primary
 //	and     := unary ('&' unary)*
 //	or      := and ('|' and)*
@@ -14,8 +19,11 @@
 //
 // IDENT atoms ([A-Za-z_][A-Za-z0-9_@]*) and quoted STRING atoms (for
 // names containing punctuation, e.g. "sent(p,m)") are resolved against a
-// caller-supplied vocabulary of named predicates. K, S, C, true and false
-// are reserved words.
+// caller-supplied vocabulary of named predicates. K, S, C, E, A, U, the
+// temporal operator names, true and false are reserved words; quote an
+// atom to use a reserved name. Temporal operators are interpreted over
+// the universe's prefix-extension transition graph — one step extends
+// the computation by one event (see internal/temporal).
 package logic
 
 import (
@@ -32,19 +40,48 @@ const (
 	tokString
 	tokTrue
 	tokFalse
-	tokKnows   // K
-	tokSure    // S
-	tokCommon  // C
-	tokNot     // !
-	tokAnd     // &
-	tokOr      // |
-	tokImplies // ->
-	tokLParen  // (
-	tokRParen  // )
-	tokLBrace  // {
-	tokRBrace  // }
-	tokComma   // ,
+	tokKnows    // K
+	tokSure     // S
+	tokCommon   // C
+	tokNot      // !
+	tokAnd      // &
+	tokOr       // |
+	tokImplies  // ->
+	tokLParen   // (
+	tokRParen   // )
+	tokLBrace   // {
+	tokRBrace   // }
+	tokComma    // ,
+	tokEX       // EX
+	tokAX       // AX
+	tokEF       // EF
+	tokAF       // AF
+	tokEG       // EG
+	tokAG       // AG
+	tokEY       // EY
+	tokAY       // AY
+	tokOnce     // Once
+	tokHist     // Hist
+	tokExists   // E (of E[f U g])
+	tokForall   // A (of A[f U g])
+	tokUntil    // U
+	tokDiamond  // <>
+	tokBox      // []
+	tokLBracket // [
+	tokRBracket // ]
 )
+
+// reservedWords maps keyword spellings to their token kinds; the lexer
+// classifies identifiers through it and the printer quotes atom names
+// that collide with it.
+var reservedWords = map[string]tokenKind{
+	"true": tokTrue, "false": tokFalse,
+	"K": tokKnows, "S": tokSure, "C": tokCommon,
+	"EX": tokEX, "AX": tokAX, "EF": tokEF, "AF": tokAF,
+	"EG": tokEG, "AG": tokAG, "EY": tokEY, "AY": tokAY,
+	"Once": tokOnce, "Hist": tokHist,
+	"E": tokExists, "A": tokForall, "U": tokUntil,
+}
 
 func (k tokenKind) String() string {
 	switch k {
@@ -54,16 +91,6 @@ func (k tokenKind) String() string {
 		return "identifier"
 	case tokString:
 		return "quoted atom"
-	case tokTrue:
-		return "true"
-	case tokFalse:
-		return "false"
-	case tokKnows:
-		return "K"
-	case tokSure:
-		return "S"
-	case tokCommon:
-		return "C"
 	case tokNot:
 		return "!"
 	case tokAnd:
@@ -82,15 +109,40 @@ func (k tokenKind) String() string {
 		return "}"
 	case tokComma:
 		return ","
-	default:
-		return "unknown token"
+	case tokDiamond:
+		return "<>"
+	case tokBox:
+		return "[]"
+	case tokLBracket:
+		return "["
+	case tokRBracket:
+		return "]"
 	}
+	for word, kind := range reservedWords {
+		if kind == k {
+			return word
+		}
+	}
+	return "unknown token"
 }
 
 type token struct {
 	kind tokenKind
 	text string
 	pos  int
+}
+
+// describe renders the token for error messages: the kind, plus the
+// spelling when it adds information (identifiers and quoted atoms).
+func (t token) describe() string {
+	switch t.kind {
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tokString:
+		return fmt.Sprintf("quoted atom %q", t.text)
+	default:
+		return t.kind.String()
+	}
 }
 
 // lex tokenizes the input, returning a descriptive error with byte
@@ -127,6 +179,24 @@ func lex(input string) ([]token, error) {
 		case c == ',':
 			toks = append(toks, token{tokComma, ",", i})
 			i++
+		case c == '[':
+			if i+1 < len(input) && input[i+1] == ']' {
+				toks = append(toks, token{tokBox, "[]", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokLBracket, "[", i})
+				i++
+			}
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
+			i++
+		case c == '<':
+			if i+1 < len(input) && input[i+1] == '>' {
+				toks = append(toks, token{tokDiamond, "<>", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("logic: position %d: '<' must begin '<>'", i)
+			}
 		case c == '-':
 			if i+1 < len(input) && input[i+1] == '>' {
 				toks = append(toks, token{tokImplies, "->", i})
@@ -148,17 +218,8 @@ func lex(input string) ([]token, error) {
 			}
 			word := input[i:j]
 			kind := tokIdent
-			switch word {
-			case "true":
-				kind = tokTrue
-			case "false":
-				kind = tokFalse
-			case "K":
-				kind = tokKnows
-			case "S":
-				kind = tokSure
-			case "C":
-				kind = tokCommon
+			if k, ok := reservedWords[word]; ok {
+				kind = k
 			}
 			toks = append(toks, token{kind, word, i})
 			i = j
@@ -168,6 +229,18 @@ func lex(input string) ([]token, error) {
 	}
 	toks = append(toks, token{tokEOF, "", len(input)})
 	return toks, nil
+}
+
+// wordToken reports whether t lexed from an identifier-shaped spelling
+// — a plain identifier or a reserved word. Contexts where keywords
+// cannot appear (process names inside K{...}/S{...}) use it to accept
+// reserved spellings as names.
+func wordToken(t token) bool {
+	if t.kind == tokIdent {
+		return true
+	}
+	k, ok := reservedWords[t.text]
+	return ok && k == t.kind
 }
 
 func isIdentStart(c rune) bool {

@@ -109,6 +109,90 @@ func TestParseEpistemicOperators(t *testing.T) {
 	}
 }
 
+// Reserved words are legal process names inside K{...}/S{...}: the
+// braces leave no room for keywords, and systems are free to name a
+// process A, E, U, or Once. Regression test for the temporal keywords
+// shadowing such names.
+func TestParseReservedProcessNames(t *testing.T) {
+	v := vocab()
+	cases := []struct {
+		in   string
+		want knowledge.Formula
+	}{
+		{"K{A} b", knowledge.Knows(trace.Singleton("A"), atom(v, "b"))},
+		{"K{E,U} b", knowledge.Knows(trace.NewProcSet("E", "U"), atom(v, "b"))},
+		{"S{Once} b", knowledge.Sure(trace.Singleton("Once"), atom(v, "b"))},
+		{"K{K} b", knowledge.Knows(trace.Singleton("K"), atom(v, "b"))},
+		{"EX K{AG} b", knowledge.EX(knowledge.Knows(trace.Singleton("AG"), atom(v, "b")))},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in, v)
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if got.Key() != c.want.Key() {
+			t.Errorf("%q parsed to %s, want %s", c.in, got.Key(), c.want.Key())
+		}
+		printed := Print(got)
+		re, err := Parse(printed, v)
+		if err != nil {
+			t.Errorf("%q printed as %q which fails to parse: %v", c.in, printed, err)
+			continue
+		}
+		if re.Key() != got.Key() {
+			t.Errorf("%q: round trip changed %s to %s", c.in, got.Key(), re.Key())
+		}
+	}
+}
+
+func TestParseTemporalOperators(t *testing.T) {
+	v := vocab()
+	b := atom(v, "b")
+	cases := []struct {
+		in   string
+		want knowledge.Formula
+	}{
+		{"EX b", knowledge.EX(b)},
+		{"AX b", knowledge.AX(b)},
+		{"EF b", knowledge.EF(b)},
+		{"AF b", knowledge.AF(b)},
+		{"EG b", knowledge.EG(b)},
+		{"AG b", knowledge.AG(b)},
+		{"EY b", knowledge.EY(b)},
+		{"AY b", knowledge.AY(b)},
+		{"Once b", knowledge.Once(b)},
+		{"Hist b", knowledge.Hist(b)},
+		// Diamond and box sugar.
+		{"<> b", knowledge.EF(b)},
+		{"[] b", knowledge.AG(b)},
+		// Until, both quantifiers, nested formulas inside the brackets.
+		{"E[b U b]", knowledge.EU(b, b)},
+		{"A[ b U !b ]", knowledge.AU(b, knowledge.Not(b))},
+		{"E[b & b U b -> b]", knowledge.EU(knowledge.And(b, b), knowledge.Implies(b, b))},
+		// Temporal binds like the other unaries: tighter than &.
+		{"EF b & b", knowledge.And(knowledge.EF(b), b)},
+		{"!EF b", knowledge.Not(knowledge.EF(b))},
+		// Epistemic-temporal nesting, the tentpole composition.
+		{`AG (K{q} "sent(p,m)" -> Once "received(q,m)")`,
+			knowledge.AG(knowledge.Implies(
+				knowledge.Knows(trace.NewProcSet("q"), atom(v, "sent(p,m)")),
+				knowledge.Once(atom(v, "received(q,m)"))))},
+		{"K{p} EF K{q} b", knowledge.Knows(trace.NewProcSet("p"),
+			knowledge.EF(knowledge.Knows(trace.NewProcSet("q"), atom(v, "b"))))},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in, v)
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if got.Key() != c.want.Key() {
+			t.Errorf("%q parsed to %s, want %s", c.in, got.Key(), c.want.Key())
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	v := vocab()
 	cases := []string{
@@ -127,6 +211,16 @@ func TestParseErrors(t *testing.T) {
 		"b - b",
 		"b @ b",
 		"!",
+		"EX",         // operator with no operand
+		"E[b U b",    // unclosed until
+		"E[b b]",     // missing U
+		"E b",        // E without brackets
+		"A[U b]",     // missing left operand
+		"b U b",      // bare U outside brackets
+		"< b",        // '<' must begin '<>'
+		"[ b ]",      // '[' only valid after E/A
+		"Once",       // past operator with no operand
+		"E[b U b] ]", // trailing bracket
 	}
 	for _, in := range cases {
 		if _, err := Parse(in, v); err == nil {
@@ -137,9 +231,30 @@ func TestParseErrors(t *testing.T) {
 
 func TestParseErrorsMentionPosition(t *testing.T) {
 	v := vocab()
-	_, err := Parse("b & ???", v)
-	if err == nil || !strings.Contains(err.Error(), "position") {
-		t.Fatalf("err = %v", err)
+	cases := []struct {
+		in string
+		// want substrings of the error: the byte position of the
+		// offending token and a mention of what was found there.
+		want []string
+	}{
+		{"b & ???", []string{"position 4", "?"}},
+		{"b & & b", []string{"position 4", "&"}},
+		{"K{p} nosuch", []string{"position 5", `"nosuch"`}},
+		{"E[b U b", []string{"position 7", "]"}},
+		{"K{,p} b", []string{"position 2", "process name"}},
+		{`b "extra"`, []string{"position 2", `"extra"`}},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in, v)
+		if err == nil {
+			t.Errorf("%q: expected parse error", c.in)
+			continue
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("%q: error %q does not mention %q", c.in, err, w)
+			}
+		}
 	}
 }
 
@@ -173,10 +288,10 @@ func TestPrintRoundTrip(t *testing.T) {
 
 func TestParsedFormulaEvaluates(t *testing.T) {
 	// End-to-end: parse a formula and evaluate it on a universe.
-	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+	u, err := universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
 		Procs:    []trace.ProcID{"p", "q"},
 		MaxSends: 1,
-	}), 4, 0)
+	}), universe.WithMaxEvents(4))
 	if err != nil {
 		t.Fatal(err)
 	}

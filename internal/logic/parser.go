@@ -32,7 +32,7 @@ func Parse(input string, vocab Vocabulary) (knowledge.Formula, error) {
 		return nil, err
 	}
 	if p.peek().kind != tokEOF {
-		return nil, p.errorf("trailing input starting with %s", p.peek().kind)
+		return nil, p.errorf("trailing input starting with %s", p.peek().describe())
 	}
 	return f, nil
 }
@@ -66,11 +66,13 @@ func (p *parser) next() token {
 func (p *parser) expect(k tokenKind) (token, error) {
 	t := p.peek()
 	if t.kind != k {
-		return t, p.errorf("expected %s, found %s", k, t.kind)
+		return t, p.errorf("expected %s, found %s", k, t.describe())
 	}
 	return p.next(), nil
 }
 
+// errorf builds a parse error anchored at the current token's byte
+// position, so callers can point the user at the offending spot.
 func (p *parser) errorf(format string, args ...any) error {
 	return fmt.Errorf("logic: position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
 }
@@ -127,8 +129,18 @@ func (p *parser) and() (knowledge.Formula, error) {
 }
 
 // unary := '!' unary | 'K' procset unary | 'S' procset unary | 'C' unary
-// | primary
+// | TEMPORAL unary | '<>' unary | '[]' unary
+// | ('E'|'A') '[' formula 'U' formula ']' | primary
 func (p *parser) unary() (knowledge.Formula, error) {
+	// Single-child temporal operators share one shape: keyword + unary.
+	if ctor, ok := temporalUnary[p.peek().kind]; ok {
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return ctor(f), nil
+	}
 	switch p.peek().kind {
 	case tokNot:
 		p.next()
@@ -166,12 +178,62 @@ func (p *parser) unary() (knowledge.Formula, error) {
 			return nil, err
 		}
 		return knowledge.Common(f), nil
+	case tokExists, tokForall:
+		return p.until()
 	default:
 		return p.primary()
 	}
 }
 
-// procSet := '{' ident (',' ident)* '}'
+// temporalUnary maps the one-argument temporal keywords (and the
+// diamond/box sugar) to their constructors.
+var temporalUnary = map[tokenKind]func(knowledge.Formula) knowledge.Formula{
+	tokEX:      knowledge.EX,
+	tokAX:      knowledge.AX,
+	tokEF:      knowledge.EF,
+	tokAF:      knowledge.AF,
+	tokEG:      knowledge.EG,
+	tokAG:      knowledge.AG,
+	tokEY:      knowledge.EY,
+	tokAY:      knowledge.AY,
+	tokOnce:    knowledge.Once,
+	tokHist:    knowledge.Hist,
+	tokDiamond: knowledge.EF,
+	tokBox:     knowledge.AG,
+}
+
+// until := ('E'|'A') '[' formula 'U' formula ']'
+func (p *parser) until() (knowledge.Formula, error) {
+	quant := p.next()
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	left, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokUntil); err != nil {
+		return nil, err
+	}
+	right, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	if quant.kind == tokExists {
+		return knowledge.EU(left, right), nil
+	}
+	return knowledge.AU(left, right), nil
+}
+
+// procSet := '{' name (',' name)* '}'
+//
+// Keywords cannot occur between the braces, so reserved words (E, A,
+// U, Once, ...) are accepted as process names here — otherwise systems
+// with such process names would be inexpressible, and Print output
+// like `K{A} ...` could not be re-parsed.
 func (p *parser) procSet() (trace.ProcSet, error) {
 	if _, err := p.expect(tokLBrace); err != nil {
 		return trace.ProcSet{}, err
@@ -179,8 +241,8 @@ func (p *parser) procSet() (trace.ProcSet, error) {
 	var ids []trace.ProcID
 	for {
 		t := p.peek()
-		if t.kind != tokIdent {
-			return trace.ProcSet{}, p.errorf("expected process name, found %s", t.kind)
+		if !wordToken(t) {
+			return trace.ProcSet{}, p.errorf("expected process name, found %s", t.describe())
 		}
 		p.next()
 		ids = append(ids, trace.ProcID(t.text))
@@ -209,7 +271,7 @@ func (p *parser) primary() (knowledge.Formula, error) {
 		p.next()
 		pred, ok := p.vocab[t.text]
 		if !ok {
-			return nil, fmt.Errorf("logic: position %d: unknown atom %q", t.pos, t.text)
+			return nil, fmt.Errorf("logic: position %d: unknown atom %q (not in the vocabulary)", t.pos, t.text)
 		}
 		return knowledge.NewAtom(pred), nil
 	case tokLParen:
@@ -223,7 +285,7 @@ func (p *parser) primary() (knowledge.Formula, error) {
 		}
 		return f, nil
 	default:
-		return nil, p.errorf("expected a formula, found %s", t.kind)
+		return nil, p.errorf("expected a formula, found %s", t.describe())
 	}
 }
 
@@ -256,6 +318,30 @@ func Print(f knowledge.Formula) string {
 		return "S{" + f.P.Key() + "} " + printUnary(f.F)
 	case knowledge.CommonF:
 		return "C " + printUnary(f.F)
+	case knowledge.EXF:
+		return "EX " + printUnary(f.F)
+	case knowledge.AXF:
+		return "AX " + printUnary(f.F)
+	case knowledge.EFF:
+		return "EF " + printUnary(f.F)
+	case knowledge.AFF:
+		return "AF " + printUnary(f.F)
+	case knowledge.EGF:
+		return "EG " + printUnary(f.F)
+	case knowledge.AGF:
+		return "AG " + printUnary(f.F)
+	case knowledge.EUF:
+		return "E[" + Print(f.L) + " U " + Print(f.R) + "]"
+	case knowledge.AUF:
+		return "A[" + Print(f.L) + " U " + Print(f.R) + "]"
+	case knowledge.EYF:
+		return "EY " + printUnary(f.F)
+	case knowledge.AYF:
+		return "AY " + printUnary(f.F)
+	case knowledge.OnceF:
+		return "Once " + printUnary(f.F)
+	case knowledge.HistF:
+		return "Hist " + printUnary(f.F)
 	default:
 		return f.String()
 	}
@@ -271,7 +357,10 @@ func printUnary(f knowledge.Formula) string {
 }
 
 func plainIdent(s string) bool {
-	if s == "" || s == "true" || s == "false" || s == "K" || s == "S" || s == "C" {
+	if s == "" {
+		return false
+	}
+	if _, reserved := reservedWords[s]; reserved {
 		return false
 	}
 	for i, c := range s {

@@ -28,22 +28,50 @@ func randomFormula(r *rand.Rand, v Vocabulary, names []string, depth int) knowle
 		trace.Singleton("p"),
 		trace.Singleton("q"),
 		trace.NewProcSet("p", "q"),
+		// Reserved words are legal process names inside K{...}/S{...}.
+		trace.Singleton("A"),
+		trace.NewProcSet("E", "Once"),
 	}
-	switch r.Intn(7) {
+	sub := func() knowledge.Formula { return randomFormula(r, v, names, depth-1) }
+	switch r.Intn(14) {
 	case 0:
-		return knowledge.Not(randomFormula(r, v, names, depth-1))
+		return knowledge.Not(sub())
 	case 1:
-		return knowledge.And(randomFormula(r, v, names, depth-1), randomFormula(r, v, names, depth-1))
+		return knowledge.And(sub(), sub())
 	case 2:
-		return knowledge.Or(randomFormula(r, v, names, depth-1), randomFormula(r, v, names, depth-1))
+		return knowledge.Or(sub(), sub())
 	case 3:
-		return knowledge.Implies(randomFormula(r, v, names, depth-1), randomFormula(r, v, names, depth-1))
+		return knowledge.Implies(sub(), sub())
 	case 4:
-		return knowledge.Knows(procSets[r.Intn(len(procSets))], randomFormula(r, v, names, depth-1))
+		return knowledge.Knows(procSets[r.Intn(len(procSets))], sub())
 	case 5:
-		return knowledge.Sure(procSets[r.Intn(len(procSets))], randomFormula(r, v, names, depth-1))
+		return knowledge.Sure(procSets[r.Intn(len(procSets))], sub())
+	case 6:
+		return knowledge.Common(sub())
+	case 7:
+		return [...]func(knowledge.Formula) knowledge.Formula{
+			knowledge.EX, knowledge.AX,
+		}[r.Intn(2)](sub())
+	case 8:
+		return [...]func(knowledge.Formula) knowledge.Formula{
+			knowledge.EF, knowledge.AF,
+		}[r.Intn(2)](sub())
+	case 9:
+		return [...]func(knowledge.Formula) knowledge.Formula{
+			knowledge.EG, knowledge.AG,
+		}[r.Intn(2)](sub())
+	case 10:
+		return knowledge.EU(sub(), sub())
+	case 11:
+		return knowledge.AU(sub(), sub())
+	case 12:
+		return [...]func(knowledge.Formula) knowledge.Formula{
+			knowledge.EY, knowledge.AY,
+		}[r.Intn(2)](sub())
 	default:
-		return knowledge.Common(randomFormula(r, v, names, depth-1))
+		return [...]func(knowledge.Formula) knowledge.Formula{
+			knowledge.Once, knowledge.Hist,
+		}[r.Intn(2)](sub())
 	}
 }
 
@@ -83,10 +111,10 @@ func TestPrintParseRoundTripRandomFormulas(t *testing.T) {
 func TestRandomFormulasEvaluateIdenticallyAfterRoundTrip(t *testing.T) {
 	// Semantic (not just structural) round trip: the reparsed formula
 	// evaluates identically at every member of a universe.
-	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+	u, err := universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
 		Procs:    []trace.ProcID{"p", "q"},
 		MaxSends: 1,
-	}), 3, 0)
+	}), universe.WithMaxEvents(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -141,7 +141,7 @@ func (s *System) Deliver(_ trace.ProcID, state string, _ trace.ProcID, tag strin
 
 // Enumerate builds the universe of chain computations.
 func (s *System) Enumerate(capN int) (*universe.Universe, error) {
-	return universe.Enumerate(s, 2*s.Total, capN)
+	return universe.EnumerateWith(s, universe.WithMaxEvents(2*s.Total), universe.WithCap(capN))
 }
 
 // LadderDepth measures the maximum E^k depth of the base fact attained

@@ -204,7 +204,7 @@ func (s *System) Deliver(p trace.ProcID, state string, _ trace.ProcID, tag strin
 // Enumerate builds the universe of commit computations.
 // SuggestedMaxEvents covers the full two rounds.
 func (s *System) Enumerate(maxEvents, capN int) (*universe.Universe, error) {
-	return universe.Enumerate(s, maxEvents, capN)
+	return universe.EnumerateWith(s, universe.WithMaxEvents(maxEvents), universe.WithCap(capN))
 }
 
 // SuggestedMaxEvents is one send and one receive per participant per

@@ -120,7 +120,7 @@ func (s *System) Deliver(p trace.ProcID, state string, _ trace.ProcID, tag strin
 // 2·MaxHeartbeats+1 events suffices for every send, every receive, and a
 // crash; larger bounds are accepted.
 func (s *System) Enumerate(maxEvents, capN int) (*universe.Universe, error) {
-	return universe.Enumerate(s, maxEvents, capN)
+	return universe.EnumerateWith(s, universe.WithMaxEvents(maxEvents), universe.WithCap(capN))
 }
 
 // SuggestedMaxEvents is the smallest event bound under which the

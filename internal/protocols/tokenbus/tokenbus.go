@@ -128,7 +128,7 @@ func (b *Bus) Deliver(_ trace.ProcID, _ string, _ trace.ProcID, tag string) (str
 // Enumerate builds the universe of bus computations with at most
 // maxEvents events.
 func (b *Bus) Enumerate(maxEvents, capN int) (*universe.Universe, error) {
-	return universe.Enumerate(b, maxEvents, capN)
+	return universe.EnumerateWith(b, universe.WithMaxEvents(maxEvents), universe.WithCap(capN))
 }
 
 // --- sim.Node implementation ---

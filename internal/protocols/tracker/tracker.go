@@ -137,7 +137,7 @@ func (s *System) Deliver(p trace.ProcID, state string, _ trace.ProcID, tag strin
 // Enumerate builds the universe. SuggestedMaxEvents covers every flip,
 // its notification, and the delivery.
 func (s *System) Enumerate(maxEvents, capN int) (*universe.Universe, error) {
-	return universe.Enumerate(s, maxEvents, capN)
+	return universe.EnumerateWith(s, universe.WithMaxEvents(maxEvents), universe.WithCap(capN))
 }
 
 // SuggestedMaxEvents is the bound under which every flip's consequences

@@ -12,10 +12,10 @@ func ps(ids ...trace.ProcID) trace.ProcSet { return trace.NewProcSet(ids...) }
 
 func freeU(t testing.TB) *universe.Universe {
 	t.Helper()
-	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+	u, err := universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
 		Procs:    []trace.ProcID{"p", "q"},
 		MaxSends: 1,
-	}), 4, 0)
+	}), universe.WithMaxEvents(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,10 +62,10 @@ func TestFullHistoryKnowledgeMatches(t *testing.T) {
 
 func TestCoarseAbstractionMergesStates(t *testing.T) {
 	// Under Counters, sending to p and sending to q are the same state.
-	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+	u, err := universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
 		Procs:    []trace.ProcID{"a", "b", "c"},
 		MaxSends: 1,
-	}), 2, 0)
+	}), universe.WithMaxEvents(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +133,11 @@ func TestLemma4CanFailUnderLossyAbstraction(t *testing.T) {
 	// The receive case: q receives m2 after m1; under last-event the
 	// state after receiving m2 may coincide with histories that never
 	// saw m1. Use two sends with distinct tags.
-	u, err := universe.Enumerate(universe.NewFree(universe.FreeConfig{
+	u, err := universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
 		Procs:    []trace.ProcID{"p", "q"},
 		MaxSends: 2,
 		SendTags: []string{"m1", "m2"},
-	}), 5, 200000)
+	}), universe.WithMaxEvents(5), universe.WithCap(200000))
 	if err != nil {
 		t.Fatal(err)
 	}

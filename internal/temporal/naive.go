@@ -1,0 +1,111 @@
+package temporal
+
+import "hpl/internal/universe"
+
+// This file is the reference semantics: each operator evaluated at one
+// member by an explicit walk of the transition graph, sharing nothing
+// with the vectorized sweeps (no truth vectors, no topological order).
+// The differential tests pin the kernels in temporal.go — and the
+// composed temporal-epistemic engine in package knowledge — against
+// these walkers; they also serve the ablation benchmark as the
+// unvectorized baseline.
+
+// NaiveEX reports ∃◯f at member i under the per-member predicate f.
+func NaiveEX(t *universe.Transitions, f func(int) bool, i int) bool {
+	for _, j := range t.Succ(i) {
+		if f(int(j)) {
+			return true
+		}
+	}
+	return false
+}
+
+// NaiveAX reports ∀◯f at member i.
+func NaiveAX(t *universe.Transitions, f func(int) bool, i int) bool {
+	for _, j := range t.Succ(i) {
+		if !f(int(j)) {
+			return false
+		}
+	}
+	return true
+}
+
+// NaiveEY reports ∃●f at member i.
+func NaiveEY(t *universe.Transitions, f func(int) bool, i int) bool {
+	p := t.Parent(i)
+	return p >= 0 && f(p)
+}
+
+// NaiveAY reports ∀●f at member i.
+func NaiveAY(t *universe.Transitions, f func(int) bool, i int) bool {
+	p := t.Parent(i)
+	return p < 0 || f(p)
+}
+
+// NaiveEU reports E[f U g] at member i by depth-first search over the
+// extension forest (acyclic, so no visited set is needed).
+func NaiveEU(t *universe.Transitions, f, g func(int) bool, i int) bool {
+	if g(i) {
+		return true
+	}
+	if !f(i) {
+		return false
+	}
+	for _, j := range t.Succ(i) {
+		if NaiveEU(t, f, g, int(j)) {
+			return true
+		}
+	}
+	return false
+}
+
+// NaiveAU reports A[f U g] at member i.
+func NaiveAU(t *universe.Transitions, f, g func(int) bool, i int) bool {
+	if g(i) {
+		return true
+	}
+	if !f(i) || !t.HasSucc(i) {
+		return false
+	}
+	for _, j := range t.Succ(i) {
+		if !NaiveAU(t, f, g, int(j)) {
+			return false
+		}
+	}
+	return true
+}
+
+// NaiveEF reports ∃◇f at member i.
+func NaiveEF(t *universe.Transitions, f func(int) bool, i int) bool {
+	return NaiveEU(t, func(int) bool { return true }, f, i)
+}
+
+// NaiveAF reports ∀◇f at member i.
+func NaiveAF(t *universe.Transitions, f func(int) bool, i int) bool {
+	return NaiveAU(t, func(int) bool { return true }, f, i)
+}
+
+// NaiveAG reports ∀□f at member i.
+func NaiveAG(t *universe.Transitions, f func(int) bool, i int) bool {
+	return !NaiveEF(t, func(j int) bool { return !f(j) }, i)
+}
+
+// NaiveEG reports ∃□f at member i.
+func NaiveEG(t *universe.Transitions, f func(int) bool, i int) bool {
+	return !NaiveAF(t, func(j int) bool { return !f(j) }, i)
+}
+
+// NaiveOnce reports ◆f at member i by walking the prefix chain up.
+func NaiveOnce(t *universe.Transitions, f func(int) bool, i int) bool {
+	for ; i >= 0; i = t.Parent(i) {
+		if f(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// NaiveHist reports ■f at member i.
+func NaiveHist(t *universe.Transitions, f func(int) bool, i int) bool {
+	return !NaiveOnce(t, func(j int) bool { return !f(j) }, i)
+}

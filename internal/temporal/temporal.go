@@ -1,0 +1,197 @@
+// Package temporal computes CTL operators over the prefix-extension
+// transition graph of a universe (universe.Transitions), set-at-a-time
+// on packed truth vectors. It is the temporal half of the model checker:
+// package knowledge contributes the epistemic operators (K, E, Sure,
+// Common) as truth vectors over the universe, and this package closes
+// them under branching time — "does q eventually learn b", "once
+// learned, is b stable", the paper's knowledge gain and loss theorems
+// phrased as temporal validities.
+//
+// Truth vectors are []uint64 bitsets, one bit per member in member
+// order, exactly the representation the vectorized knowledge engine
+// uses, so the two compose with no conversion. Because every transition
+// appends one event, the graph is a forest ordered by event count; each
+// fixpoint therefore converges in a single sweep over a topological
+// order (descending for the future operators, ascending for the past
+// ones) instead of iterating to stabilization.
+//
+// Path semantics are finite: a path is a maximal chain of one-event
+// extensions inside the enumerated universe, so a member with no
+// successor (a computation at the event bound) ends its paths. At such
+// a leaf EX fails and AX holds vacuously, and the until/eventually
+// operators require their target to actually occur (AF f at a leaf
+// reduces to f at the leaf). Dually, the past operators treat the null
+// computation as the start of history: EY fails and AY holds there.
+package temporal
+
+import (
+	"hpl/internal/universe"
+)
+
+// words returns an all-false vector with one bit per member of t.
+func words(t *universe.Transitions) []uint64 {
+	return make([]uint64, (t.Len()+63)/64)
+}
+
+func get(v []uint64, i int32) bool { return v[i>>6]&(1<<(uint32(i)&63)) != 0 }
+func set(v []uint64, i int32)      { v[i>>6] |= 1 << (uint32(i) & 63) }
+
+// maskTail zeroes the bits past n so derived operators built from
+// complements keep clean tails (the knowledge engine's popcount and
+// all-true reductions assume them).
+func maskTail(v []uint64, n int) {
+	if r := uint(n) & 63; r != 0 && len(v) > 0 {
+		v[len(v)-1] &= (1 << r) - 1
+	}
+}
+
+func not(t *universe.Transitions, f []uint64) []uint64 {
+	out := make([]uint64, len(f))
+	for w := range f {
+		out[w] = ^f[w]
+	}
+	maskTail(out, t.Len())
+	return out
+}
+
+func trueVec(t *universe.Transitions) []uint64 {
+	out := words(t)
+	for w := range out {
+		out[w] = ^uint64(0)
+	}
+	maskTail(out, t.Len())
+	return out
+}
+
+// EX returns ∃◯f: some one-event extension satisfies f. False at
+// members with no extension.
+func EX(t *universe.Transitions, f []uint64) []uint64 {
+	out := words(t)
+	// Each member has at most one parent, so scattering child truth to
+	// parents visits every edge exactly once.
+	n := t.Len()
+	for j := 0; j < n; j++ {
+		if p := t.Parent(j); p >= 0 && get(f, int32(j)) {
+			set(out, int32(p))
+		}
+	}
+	return out
+}
+
+// AX returns ∀◯f: every one-event extension satisfies f, vacuously true
+// at members with no extension. AX f = ¬EX ¬f.
+func AX(t *universe.Transitions, f []uint64) []uint64 {
+	return not(t, EX(t, not(t, f)))
+}
+
+// EY returns ∃●f (exists-yesterday): the one-event-shorter prefix
+// satisfies f. False at members without a predecessor (null).
+func EY(t *universe.Transitions, f []uint64) []uint64 {
+	out := words(t)
+	n := t.Len()
+	for j := 0; j < n; j++ {
+		if p := t.Parent(j); p >= 0 && get(f, int32(p)) {
+			set(out, int32(j))
+		}
+	}
+	return out
+}
+
+// AY returns ∀●f: vacuously true where there is no predecessor,
+// otherwise equal to EY f (predecessors are unique). AY f = ¬EY ¬f.
+func AY(t *universe.Transitions, f []uint64) []uint64 {
+	return not(t, EY(t, not(t, f)))
+}
+
+// EU returns E[f U g]: some extension path reaches g with f holding at
+// every member strictly before it — the least fixpoint of
+// Z = g ∨ (f ∧ EX Z), computed in one sweep from the longest members
+// down (every edge lengthens the computation, so successors are always
+// visited first).
+func EU(t *universe.Transitions, f, g []uint64) []uint64 {
+	out := words(t)
+	order := t.Order()
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		if get(g, i) {
+			set(out, i)
+			continue
+		}
+		if !get(f, i) {
+			continue
+		}
+		for _, j := range t.Succ(int(i)) {
+			if get(out, j) {
+				set(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AU returns A[f U g]: every maximal extension path reaches g, with f
+// holding until then — the least fixpoint of
+// Z = g ∨ (f ∧ EX true ∧ AX Z). At a leaf A[f U g] reduces to g.
+func AU(t *universe.Transitions, f, g []uint64) []uint64 {
+	out := words(t)
+	order := t.Order()
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		if get(g, i) {
+			set(out, i)
+			continue
+		}
+		if !get(f, i) || !t.HasSucc(int(i)) {
+			continue
+		}
+		all := true
+		for _, j := range t.Succ(int(i)) {
+			if !get(out, j) {
+				all = false
+				break
+			}
+		}
+		if all {
+			set(out, i)
+		}
+	}
+	return out
+}
+
+// EF returns ∃◇f: some extension (including the member itself)
+// satisfies f. EF f = E[true U f].
+func EF(t *universe.Transitions, f []uint64) []uint64 { return EU(t, trueVec(t), f) }
+
+// AF returns ∀◇f: every maximal extension path satisfies f somewhere.
+// AF f = A[true U f].
+func AF(t *universe.Transitions, f []uint64) []uint64 { return AU(t, trueVec(t), f) }
+
+// AG returns ∀□f: f holds at the member and at every extension.
+// AG f = ¬EF ¬f.
+func AG(t *universe.Transitions, f []uint64) []uint64 { return not(t, EF(t, not(t, f))) }
+
+// EG returns ∃□f: some maximal extension path satisfies f throughout.
+// EG f = ¬AF ¬f.
+func EG(t *universe.Transitions, f []uint64) []uint64 { return not(t, AF(t, not(t, f))) }
+
+// Once returns ◆f (past-eventually): f holds at the member or at some
+// prefix of it — the least fixpoint of Z = f ∨ EY Z, one sweep from the
+// shortest members up.
+func Once(t *universe.Transitions, f []uint64) []uint64 {
+	out := words(t)
+	for _, i := range t.Order() {
+		if get(f, i) {
+			set(out, i)
+			continue
+		}
+		if p := t.Parent(int(i)); p >= 0 && get(out, int32(p)) {
+			set(out, i)
+		}
+	}
+	return out
+}
+
+// Hist returns ■f (historically): f holds at the member and at every
+// prefix of it. Hist f = ¬Once ¬f.
+func Hist(t *universe.Transitions, f []uint64) []uint64 { return not(t, Once(t, not(t, f))) }

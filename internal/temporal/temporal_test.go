@@ -1,0 +1,172 @@
+package temporal_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hpl/internal/protocols/ackchain"
+	"hpl/internal/protocols/tokenbus"
+	"hpl/internal/temporal"
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+func universes(t testing.TB) map[string]*universe.Universe {
+	t.Helper()
+	out := make(map[string]*universe.Universe)
+	add := func(name string, p universe.Protocol, maxEvents int) {
+		u, err := universe.EnumerateWith(p, universe.WithMaxEvents(maxEvents))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = u
+	}
+	add("free", universe.NewFree(universe.FreeConfig{
+		Procs:    []trace.ProcID{"p", "q"},
+		MaxSends: 1,
+	}), 4)
+	add("tokenbus", tokenbus.MustNew("p", "q", "r"), 5)
+	add("ackchain", ackchain.MustNew("p", "q", 2), 4)
+	return out
+}
+
+func randVec(r *rand.Rand, n int) []uint64 {
+	v := make([]uint64, (n+63)/64)
+	for w := range v {
+		v[w] = r.Uint64()
+	}
+	if rem := uint(n) & 63; rem != 0 && len(v) > 0 {
+		v[len(v)-1] &= (1 << rem) - 1
+	}
+	return v
+}
+
+func getBit(v []uint64, i int) bool { return v[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func pred(v []uint64) func(int) bool { return func(i int) bool { return getBit(v, i) } }
+
+// TestKernelsMatchNaive pins every vectorized kernel to the per-member
+// graph walker on randomized truth vectors over several protocol
+// universes.
+func TestKernelsMatchNaive(t *testing.T) {
+	for name, u := range universes(t) {
+		t.Run(name, func(t *testing.T) {
+			tr := u.Transitions()
+			r := rand.New(rand.NewSource(20260729))
+			n := u.Len()
+			unary := []struct {
+				name  string
+				vec   func(*universe.Transitions, []uint64) []uint64
+				naive func(*universe.Transitions, func(int) bool, int) bool
+			}{
+				{"EX", temporal.EX, temporal.NaiveEX},
+				{"AX", temporal.AX, temporal.NaiveAX},
+				{"EF", temporal.EF, temporal.NaiveEF},
+				{"AF", temporal.AF, temporal.NaiveAF},
+				{"EG", temporal.EG, temporal.NaiveEG},
+				{"AG", temporal.AG, temporal.NaiveAG},
+				{"EY", temporal.EY, temporal.NaiveEY},
+				{"AY", temporal.AY, temporal.NaiveAY},
+				{"Once", temporal.Once, temporal.NaiveOnce},
+				{"Hist", temporal.Hist, temporal.NaiveHist},
+			}
+			for rep := 0; rep < 10; rep++ {
+				f := randVec(r, n)
+				for _, op := range unary {
+					got := op.vec(tr, f)
+					for i := 0; i < n; i++ {
+						if getBit(got, i) != op.naive(tr, pred(f), i) {
+							t.Fatalf("%s disagrees with naive at member %d (rep %d)", op.name, i, rep)
+						}
+					}
+				}
+				g := randVec(r, n)
+				eu, au := temporal.EU(tr, f, g), temporal.AU(tr, f, g)
+				for i := 0; i < n; i++ {
+					if getBit(eu, i) != temporal.NaiveEU(tr, pred(f), pred(g), i) {
+						t.Fatalf("EU disagrees with naive at member %d", i)
+					}
+					if getBit(au, i) != temporal.NaiveAU(tr, pred(f), pred(g), i) {
+						t.Fatalf("AU disagrees with naive at member %d", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFinitePathConventions pins the leaf and root semantics: at a
+// member with no extension EX fails and AX holds; AF/AG/EF/EG all
+// collapse to the member's own value; dually EY fails and AY holds at
+// the null computation.
+func TestFinitePathConventions(t *testing.T) {
+	u := universes(t)["free"]
+	tr := u.Transitions()
+	n := u.Len()
+	r := rand.New(rand.NewSource(7))
+	f := randVec(r, n)
+	ex, ax := temporal.EX(tr, f), temporal.AX(tr, f)
+	ef, af := temporal.EF(tr, f), temporal.AF(tr, f)
+	eg, ag := temporal.EG(tr, f), temporal.AG(tr, f)
+	ey, ay := temporal.EY(tr, f), temporal.AY(tr, f)
+	leaves, roots := 0, 0
+	for i := 0; i < n; i++ {
+		if !tr.HasSucc(i) {
+			leaves++
+			if getBit(ex, i) || !getBit(ax, i) {
+				t.Fatalf("leaf %d: EX must fail and AX hold", i)
+			}
+			for _, v := range [][]uint64{ef, af, eg, ag} {
+				if getBit(v, i) != getBit(f, i) {
+					t.Fatalf("leaf %d: path operators must collapse to f", i)
+				}
+			}
+		}
+		if tr.Parent(i) < 0 {
+			roots++
+			if getBit(ey, i) || !getBit(ay, i) {
+				t.Fatalf("root %d: EY must fail and AY hold", i)
+			}
+		}
+	}
+	if leaves == 0 || roots != 1 {
+		t.Fatalf("degenerate universe: %d leaves, %d roots", leaves, roots)
+	}
+}
+
+// TestCTLDualities spot-checks the algebra the evaluator's desugaring
+// relies on, directly at the kernel level.
+func TestCTLDualities(t *testing.T) {
+	for name, u := range universes(t) {
+		t.Run(name, func(t *testing.T) {
+			tr := u.Transitions()
+			n := u.Len()
+			r := rand.New(rand.NewSource(11))
+			f := randVec(r, n)
+			neg := func(v []uint64) []uint64 {
+				out := make([]uint64, len(v))
+				for w := range v {
+					out[w] = ^v[w]
+				}
+				if rem := uint(n) & 63; rem != 0 && len(out) > 0 {
+					out[len(out)-1] &= (1 << rem) - 1
+				}
+				return out
+			}
+			eq := func(a, b []uint64, law string) {
+				for i := 0; i < n; i++ {
+					if getBit(a, i) != getBit(b, i) {
+						t.Fatalf("%s violated at member %d", law, i)
+					}
+				}
+			}
+			eq(temporal.AX(tr, f), neg(temporal.EX(tr, neg(f))), "AX = ¬EX¬")
+			eq(temporal.AG(tr, f), neg(temporal.EF(tr, neg(f))), "AG = ¬EF¬")
+			eq(temporal.EG(tr, f), neg(temporal.AF(tr, neg(f))), "EG = ¬AF¬")
+			eq(temporal.Hist(tr, f), neg(temporal.Once(tr, neg(f))), "Hist = ¬Once¬")
+			tru := neg(make([]uint64, (n+63)/64))
+			eq(temporal.EF(tr, f), temporal.EU(tr, tru, f), "EF = E[⊤ U ·]")
+			eq(temporal.AF(tr, f), temporal.AU(tr, tru, f), "AF = A[⊤ U ·]")
+		})
+	}
+}

@@ -49,28 +49,6 @@ func TestCanonicalMemberOrder(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrapperMatchesOptions pins the old positional API to the
-// options engine.
-func TestDeprecatedWrapperMatchesOptions(t *testing.T) {
-	p := NewFree(FreeConfig{Procs: []trace.ProcID{"p", "q"}, MaxSends: 1})
-	old, err := Enumerate(p, 4, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	opt, err := EnumerateWith(p, WithMaxEvents(4))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if old.Len() != opt.Len() {
-		t.Fatalf("Len: %d vs %d", old.Len(), opt.Len())
-	}
-	for i := 0; i < old.Len(); i++ {
-		if old.At(i).Key() != opt.At(i).Key() {
-			t.Fatalf("member %d differs", i)
-		}
-	}
-}
-
 func TestMaxEventsZeroIsNullUniverse(t *testing.T) {
 	p := NewFree(FreeConfig{Procs: []trace.ProcID{"p", "q"}, MaxSends: 1})
 	u, err := EnumerateWith(p, WithMaxEvents(0))

@@ -37,6 +37,10 @@ type Universe struct {
 	// keys interns projection keys to dense IDs, shared by every
 	// partition of this universe.
 	keys *trace.Interner
+	// trans caches the prefix-extension transition graph; see
+	// Transitions. Built on first use, shared by concurrent evaluators.
+	transOnce sync.Once
+	trans     *Transitions
 }
 
 // New builds a universe from the given computations (duplicates by
@@ -146,28 +150,4 @@ type Protocol interface {
 	// Deliver gives p's state after receiving the message, and whether
 	// the delivery is admissible in the current state.
 	Deliver(p trace.ProcID, state string, from trace.ProcID, tag string) (string, bool)
-}
-
-// Enumerate exhaustively generates every computation of the protocol with
-// at most maxEvents events (including the empty computation and every
-// prefix, since the search tree is rooted at null). It fails with
-// ErrTooLarge when more than cap computations would be produced; cap <= 0
-// means no cap.
-//
-// Deprecated: use EnumerateWith with WithMaxEvents and WithCap, which
-// also offers parallelism, cancellation, and progress reporting.
-func Enumerate(p Protocol, maxEvents, capN int) (*Universe, error) {
-	return EnumerateWith(p, WithMaxEvents(maxEvents), WithCap(capN))
-}
-
-// MustEnumerate is Enumerate for configurations known to fit the cap; it
-// panics on error. Intended for tests, examples, and benchmarks.
-//
-// Deprecated: use MustEnumerateWith with WithMaxEvents and WithCap.
-func MustEnumerate(p Protocol, maxEvents, capN int) *Universe {
-	u, err := Enumerate(p, maxEvents, capN)
-	if err != nil {
-		panic(err)
-	}
-	return u
 }

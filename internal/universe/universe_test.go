@@ -9,10 +9,10 @@ import (
 
 func freeTwoProc(t *testing.T, maxEvents int) *Universe {
 	t.Helper()
-	u, err := Enumerate(NewFree(FreeConfig{
+	u, err := EnumerateWith(NewFree(FreeConfig{
 		Procs:    []trace.ProcID{"p", "q"},
 		MaxSends: 1,
-	}), maxEvents, 0)
+	}), WithMaxEvents(maxEvents))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,10 +61,10 @@ func TestEnumerateReceivesMatchSends(t *testing.T) {
 }
 
 func TestEnumerateCap(t *testing.T) {
-	_, err := Enumerate(NewFree(FreeConfig{
+	_, err := EnumerateWith(NewFree(FreeConfig{
 		Procs:    []trace.ProcID{"p", "q", "r"},
 		MaxSends: 2,
-	}), 6, 10)
+	}), WithMaxEvents(6), WithCap(10))
 	if !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("err = %v, want ErrTooLarge", err)
 	}
@@ -165,11 +165,11 @@ func TestComputationsIsCopy(t *testing.T) {
 }
 
 func TestFreeInternalEvents(t *testing.T) {
-	u, err := Enumerate(NewFree(FreeConfig{
+	u, err := EnumerateWith(NewFree(FreeConfig{
 		Procs:       []trace.ProcID{"p"},
 		MaxInternal: 2,
 		MaxSends:    0,
-	}), 2, 0)
+	}), WithMaxEvents(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +180,11 @@ func TestFreeInternalEvents(t *testing.T) {
 }
 
 func TestFreeTagAlternatives(t *testing.T) {
-	u, err := Enumerate(NewFree(FreeConfig{
+	u, err := EnumerateWith(NewFree(FreeConfig{
 		Procs:        []trace.ProcID{"p"},
 		MaxInternal:  1,
 		InternalTags: []string{"a", "b"},
-	}), 1, 0)
+	}), WithMaxEvents(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,16 +194,16 @@ func TestFreeTagAlternatives(t *testing.T) {
 	}
 }
 
-func TestMustEnumeratePanics(t *testing.T) {
+func TestMustEnumerateWithPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatalf("expected panic")
 		}
 	}()
-	MustEnumerate(NewFree(FreeConfig{
+	MustEnumerateWith(NewFree(FreeConfig{
 		Procs:    []trace.ProcID{"p", "q", "r"},
 		MaxSends: 2,
-	}), 6, 5)
+	}), WithMaxEvents(6), WithCap(5))
 }
 
 func TestDecodeEncodeFreeState(t *testing.T) {
