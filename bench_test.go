@@ -108,6 +108,37 @@ func BenchmarkEnumerateParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkEnumerateLarge tracks the zero-copy enumeration core at the
+// bound the structural-sharing rewrite opened up: a three-process free
+// system at MaxEvents=6 (≥100k computations), with allocations
+// reported. The per-member allocation count is the headline number —
+// the engine shares each child's history with its parent, interns
+// state vectors, and dedups by 128-bit hash, so the old
+// copy-everything cost model (events slice + state map + string key
+// per member) no longer applies.
+func BenchmarkEnumerateLarge(b *testing.B) {
+	cfg := universe.FreeConfig{Procs: []trace.ProcID{"p", "q", "r"}, MaxSends: 2}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var size int
+			for i := 0; i < b.N; i++ {
+				u, err := universe.EnumerateWith(universe.NewFree(cfg),
+					universe.WithMaxEvents(6),
+					universe.WithParallelism(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = u.Len()
+			}
+			if size < 100000 {
+				b.Fatalf("universe too small for the large-bound benchmark: %d", size)
+			}
+			b.ReportMetric(float64(size), "computations")
+		})
+	}
+}
+
 func BenchmarkVectorClocks(b *testing.B) {
 	res, err := diffusing.RunDS(diffusing.Workload{
 		Topo: diffusing.Complete(6), TotalMessages: 100, FanOut: 2, Seed: 1,
@@ -441,5 +472,7 @@ func BenchmarkAblationTemporalEval(b *testing.B) {
 }
 
 func BenchmarkKnowledgeLadder(b *testing.B) { benchTable(b, experiments.KnowledgeLadder) }
+
+func BenchmarkLargeBoundTheorems(b *testing.B) { benchTable(b, experiments.LargeBound) }
 
 func BenchmarkGeneralizations(b *testing.B) { benchTable(b, experiments.Generalizations) }

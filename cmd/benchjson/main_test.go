@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: hpl
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEnumerateParallel/workers=1         	       3	   9685942 ns/op	     16873 computations	 6005922 B/op	     738 allocs/op
+BenchmarkEnumerateLarge/workers=4            	       2	  98765432 ns/op	    107593 computations	12345678 B/op	    1500 allocs/op
+PASS
+ok  	hpl	1.588s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "hpl" {
+		t.Fatalf("preamble: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkEnumerateParallel/workers=1" || b.Iterations != 3 {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	if b.NsPerOp != 9685942 {
+		t.Fatalf("ns/op = %v", b.NsPerOp)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 6005922 {
+		t.Fatalf("B/op = %v", b.BytesPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 738 {
+		t.Fatalf("allocs/op = %v", b.AllocsPerOp)
+	}
+	if b.Metrics["computations"] != 16873 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rep, err := parse(strings.NewReader("hello\nBenchmarkBad x y\nok hpl 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed garbage: %+v", rep.Benchmarks)
+	}
+}

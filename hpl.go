@@ -154,6 +154,11 @@ func WithContext(ctx context.Context) EnumOption { return universe.WithContext(c
 // WithProgress installs a progress callback (serialized by the engine).
 func WithProgress(fn func(EnumProgress)) EnumOption { return universe.WithProgress(fn) }
 
+// WithHashVerify makes the engine verify every 128-bit dedup hash hit
+// against full canonical keys, failing with universe.ErrHashCollision
+// on a mismatch. A debug option: collisions have probability ~2^-128.
+func WithHashVerify() EnumOption { return universe.WithHashVerify() }
+
 // EnumerateWith exhaustively generates the protocol's computations
 // under the given options.
 func EnumerateWith(p Protocol, opts ...EnumOption) (*Universe, error) {

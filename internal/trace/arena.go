@@ -1,0 +1,34 @@
+package trace
+
+// Arena bulk-allocates Computations for hot construction paths. The
+// enumeration engine creates one child per admissible extension of
+// every frontier node; with the persistent prefix-tree representation a
+// child is a single small struct, and the arena amortizes even that
+// allocation over chunks. An Arena is NOT safe for concurrent use —
+// give each worker its own. Computations handed out remain valid (and
+// keep their chunk alive) for as long as they are referenced.
+type Arena struct {
+	chunk []Computation
+}
+
+const arenaChunk = 512
+
+// Extend returns parent extended by e, without validation.
+//
+// The caller must guarantee that e is a valid extension of parent:
+// canonical identifiers at the correct per-process positions, receives
+// only of in-flight messages with matching peers. The enumeration
+// engine constructs events that are valid by that construction;
+// anything else should go through Computation.Append, which validates.
+func (a *Arena) Extend(parent *Computation, e Event) *Computation {
+	if len(a.chunk) == 0 {
+		a.chunk = make([]Computation, arenaChunk)
+	}
+	c := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	c.parent = parent
+	c.last = e
+	c.n = parent.n + 1
+	c.hash = parent.hash.ExtendEvent(e)
+	return c
+}

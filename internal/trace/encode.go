@@ -63,8 +63,9 @@ func kindFromString(s string) (Kind, error) {
 
 // MarshalJSON encodes the computation with a stable schema.
 func (c *Computation) MarshalJSON() ([]byte, error) {
-	out := computationJSON{Events: make([]eventJSON, 0, len(c.events))}
-	for _, e := range c.events {
+	evs := c.evs()
+	out := computationJSON{Events: make([]eventJSON, 0, len(evs))}
+	for _, e := range evs {
 		out.Events = append(out.Events, eventJSON{
 			ID:   e.ID,
 			Proc: e.Proc,
@@ -77,8 +78,16 @@ func (c *Computation) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
-// UnmarshalJSON decodes and re-validates a computation.
+// UnmarshalJSON decodes and re-validates a computation, in place. The
+// receiver must be a fresh (zero or exclusively owned) value: with the
+// prefix-tree representation, computations obtained from Empty, Prefix,
+// or Parent are shared nodes of other computations' histories, and
+// decoding into one would rewrite those histories. Decoding into the
+// shared empty computation is rejected outright.
 func (c *Computation) UnmarshalJSON(data []byte) error {
+	if c == emptyComputation {
+		return fmt.Errorf("trace: cannot unmarshal into the shared empty computation; decode into a fresh variable")
+	}
 	var in computationJSON
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("trace: %w", err)
@@ -102,7 +111,16 @@ func (c *Computation) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return err
 	}
-	*c = *validated
+	// Copy fields individually (the cache fields are atomics and must
+	// not be copied as values) and drop any stale caches from a reused
+	// receiver.
+	c.parent = validated.parent
+	c.last = validated.last
+	c.n = validated.n
+	c.hash = validated.hash
+	c.flat.Store(nil)
+	c.keyc.Store(nil)
+	c.projKeys.Store(nil)
 	return nil
 }
 
@@ -178,7 +196,7 @@ func applyTextLine(b *Builder, fields []string) error {
 // ParseText(FormatText(c)) reproduces c.
 func (c *Computation) FormatText() string {
 	var b strings.Builder
-	for _, e := range c.events {
+	for _, e := range c.evs() {
 		switch e.Kind {
 		case KindSend:
 			fmt.Fprintf(&b, "send %s %s", e.Proc, e.Peer)

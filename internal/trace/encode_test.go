@@ -160,3 +160,19 @@ func TestFormatTextTagless(t *testing.T) {
 		t.Fatalf("tagless round trip failed: %v", err)
 	}
 }
+
+func TestUnmarshalIntoSharedEmptyRejected(t *testing.T) {
+	// Empty() is a shared singleton under the prefix-tree
+	// representation; decoding into it would corrupt every computation's
+	// chain root.
+	data, err := json.Marshal(NewBuilder().Internal("p", "x").MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, Empty()); err == nil {
+		t.Fatalf("unmarshal into shared empty computation must fail")
+	}
+	if Empty().Len() != 0 {
+		t.Fatalf("shared empty computation corrupted")
+	}
+}

@@ -1,0 +1,117 @@
+package universe
+
+import (
+	"errors"
+	"testing"
+
+	"hpl/internal/trace"
+)
+
+// TestHashTableCollidingLowBits drives the open-addressing table with
+// adversarial hashes that all share their low 64 bits — every insert
+// probes from the same slot — and checks that distinct entries still
+// get distinct slots across several growth cycles.
+func TestHashTableCollidingLowBits(t *testing.T) {
+	ht := newHashTable(false)
+	const n = 500 // forces multiple grows from the 64-slot minimum
+	for i := 0; i < n; i++ {
+		h := trace.Hash128{Hi: uint64(i) + 1, Lo: 0xDEADBEEF}
+		fresh, err := ht.insert(h, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fresh {
+			t.Fatalf("entry %d wrongly deduplicated", i)
+		}
+	}
+	if ht.n != n {
+		t.Fatalf("table count = %d, want %d", ht.n, n)
+	}
+	for i := 0; i < n; i++ {
+		h := trace.Hash128{Hi: uint64(i) + 1, Lo: 0xDEADBEEF}
+		fresh, err := ht.insert(h, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh {
+			t.Fatalf("entry %d lost across growth", i)
+		}
+	}
+	if ht.n != n {
+		t.Fatalf("re-insertion changed count: %d", ht.n)
+	}
+}
+
+// TestHashTableSameHashDifferentLength pins the length safety net: two
+// computations with equal 128-bit hashes but different lengths are
+// certainly distinct, so both must be claimable.
+func TestHashTableSameHashDifferentLength(t *testing.T) {
+	ht := newHashTable(false)
+	h := trace.Hash128{Hi: 7, Lo: 9}
+	for _, tc := range []struct {
+		ln    int
+		fresh bool
+	}{
+		{2, true},
+		{3, true}, // same hash, longer: distinct computation, new slot
+		{2, false},
+		{3, false},
+		{4, true},
+	} {
+		fresh, err := ht.insert(h, tc.ln, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh != tc.fresh {
+			t.Fatalf("insert(h, %d) fresh = %v, want %v", tc.ln, fresh, tc.fresh)
+		}
+	}
+}
+
+// TestHashTableVerifyDetectsCollision: under verify, a same-length hash
+// hit between computations with different canonical keys must surface
+// ErrHashCollision instead of silently dropping one of them.
+func TestHashTableVerifyDetectsCollision(t *testing.T) {
+	ht := newHashTable(true)
+	a := trace.NewBuilder().Internal("p", "a").MustBuild()
+	b := trace.NewBuilder().Internal("p", "b").MustBuild()
+	h := trace.Hash128{Hi: 1, Lo: 2} // forged: both inserted under one hash
+	if fresh, err := ht.insert(h, 1, a); err != nil || !fresh {
+		t.Fatalf("first insert: fresh=%v err=%v", fresh, err)
+	}
+	if fresh, err := ht.insert(h, 1, a); err != nil || fresh {
+		t.Fatalf("re-insert of same computation: fresh=%v err=%v", fresh, err)
+	}
+	if _, err := ht.insert(h, 1, b); !errors.Is(err, ErrHashCollision) {
+		t.Fatalf("collision err = %v, want ErrHashCollision", err)
+	}
+}
+
+// TestHashTableVerifySurvivesGrow: verify-mode comp retention must
+// follow entries through growth.
+func TestHashTableVerifySurvivesGrow(t *testing.T) {
+	ht := newHashTable(true)
+	comps := make([]*trace.Computation, 300)
+	c := trace.Empty()
+	var err error
+	for i := range comps {
+		c, err = c.Append(trace.Event{
+			ID:   trace.NewEventID("p", i),
+			Proc: "p",
+			Kind: trace.KindInternal,
+			Tag:  "t",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps[i] = c
+		if fresh, err := ht.insert(c.Hash(), c.Len(), c); err != nil || !fresh {
+			t.Fatalf("insert %d: fresh=%v err=%v", i, fresh, err)
+		}
+	}
+	for i, c := range comps {
+		if fresh, err := ht.insert(c.Hash(), c.Len(), c); err != nil || fresh {
+			t.Fatalf("entry %d after grow: fresh=%v err=%v", i, fresh, err)
+		}
+	}
+}

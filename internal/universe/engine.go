@@ -10,49 +10,68 @@ import (
 )
 
 // The enumeration engine is an iterative frontier search run by a pool
-// of workers. Each work item is a computation plus the per-process local
-// states it induces; expanding an item emits the computation and pushes
-// one child per admissible delivery and enabled step. Items are deduped
-// by computation key in a sharded set, so no computation is emitted or
-// expanded twice even when the protocol's Steps relation produces the
-// same child along different paths.
+// of workers, rebuilt around structural sharing and incremental state:
+//
+//   - A frontier node is a computation in the persistent prefix-tree
+//     representation (child = parent + one event; see trace.Computation)
+//     plus the int32 identifier of its interned local-state vector.
+//     Expanding a node never replays or copies its event history: one
+//     allocation-free walk of the parent chain recovers the per-process
+//     event counts, send counters, and in-flight messages.
+//   - Children are constructed unchecked through per-worker arenas —
+//     the engine's events are canonical by construction — with event
+//     and message identifiers taken from tables precomputed up to the
+//     event bound, so child construction allocates no strings.
+//   - Dedup is keyed on the incrementally-extended 128-bit canonical
+//     hash in sharded open-addressing tables (see hashTable); no string
+//     key is ever computed or retained. WithHashVerify upgrades the
+//     ~2^-128 collision assumption to a checked invariant.
+//   - Workers pop nodes and push children in batches, so queue lock
+//     traffic is amortized over dozens of expansions.
+//   - Protocol transitions (Steps/AfterStep/Deliver) are cached per
+//     worker keyed by interned state-vector identifiers: a Protocol is
+//     one finite state machine per process, so its transition functions
+//     are pure in (process, state) and each distinct transition is
+//     computed once per worker.
 //
 // The emitted set is independent of worker count and of scheduling; the
-// final universe is canonicalized by sorting members by (length, key),
+// final universe is canonicalized by sorting members by (length, hash),
 // so enumeration with any parallelism yields byte-identical results —
-// same member order, hence identical Class partitions. The differential
-// tests in differential_test.go hold the engine to that contract.
+// same member order, hence identical Partition tables and Transitions
+// graph. The differential tests in differential_test.go hold the engine
+// to that contract, against both its own sequential runs and a
+// replay-based reference enumerator.
 
-// node is one work item of the frontier.
-type node struct {
+// enode is one work item of the frontier: a computation plus its
+// interned local-state vector.
+type enode struct {
 	comp *trace.Computation
-	st   map[trace.ProcID]string
+	sv   int32
 }
 
-// dedupShard is one lock-striped slice of the global seen-key set.
+// dedupShard is one lock-striped open-addressing table of the global
+// seen set.
 type dedupShard struct {
-	mu   sync.Mutex
-	seen map[string]struct{}
-}
-
-// shardOf hashes key (FNV-1a) onto one of n shards.
-func shardOf(key string, n int) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return int(h % uint32(n))
+	mu sync.Mutex
+	t  hashTable
 }
 
 type engine struct {
 	p     Protocol
 	cfg   config
 	procs []trace.ProcID
+	// procIdx indexes procs by identifier.
+	procIdx map[trace.ProcID]int32
+	// eventIDs[p][k] / msgIDs[p][k] are the canonical identifiers of
+	// the k-th event on / message from procs[p], precomputed up to the
+	// event bound so child construction allocates no strings.
+	eventIDs [][]trace.EventID
+	msgIDs   [][]trace.MsgID
+	states   *stateTable
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []node
+	queue   []enode
 	active  int
 	stopped bool
 	stopErr error
@@ -69,16 +88,52 @@ type engine struct {
 	outs [][]*trace.Computation
 }
 
+// worker holds one worker's arena, scratch buffers, and lock-free
+// caches over the engine's shared state table.
+type worker struct {
+	e     *engine
+	id    int
+	arena trace.Arena
+
+	batch    []enode
+	children []enode
+
+	// Chain-walk scratch, reused across expansions.
+	evCount  []int32
+	nextMsg  []int32
+	inflight []trace.Event
+	received []trace.MsgID
+
+	// Worker-local caches; entries are immutable once computed, so no
+	// locks after warmup.
+	vecs    map[int32][]string
+	steps   map[stepsKey][]Action
+	stepSV  map[actKey]int32
+	delivSV map[delivKey]int32
+
+	svScratch []string
+	buf       []byte
+}
+
+type stepsKey struct{ sv, proc int32 }
+
+type actKey struct{ sv, proc, act int32 }
+
+type delivKey struct {
+	sv, dst, from int32
+	tag           string
+}
+
 // EnumerateWith exhaustively generates every computation of the protocol
 // under the given options (including the empty computation and every
 // prefix, since the search tree is rooted at null). Without options it
 // uses DefaultMaxEvents, no cap, and a single worker.
 //
 // The resulting universe is canonical: members are ordered by event
-// count, then key, so the result is identical for every parallelism
-// level. Enumeration fails with ErrTooLarge when the universe exceeds
-// the WithCap bound, and with ctx.Err() when the WithContext context is
-// cancelled.
+// count, then 128-bit canonical hash, so the result is identical for
+// every parallelism level. Enumeration fails with ErrTooLarge when the
+// universe exceeds the WithCap bound, and with ctx.Err() when the
+// WithContext context is cancelled.
 func EnumerateWith(p Protocol, opts ...Option) (*Universe, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
@@ -87,27 +142,58 @@ func EnumerateWith(p Protocol, opts ...Option) (*Universe, error) {
 
 	procs := p.Procs()
 	all := trace.NewProcSet(procs...)
-	states := make(map[trace.ProcID]string, len(procs))
-	for _, id := range procs {
-		states[id] = p.Init(id)
+	n := len(procs)
+	procIdx := make(map[trace.ProcID]int32, n)
+	for i, id := range procs {
+		procIdx[id] = int32(i)
 	}
+	// The ID tables are capped: a pathological WithMaxEvents (user
+	// flags reach it) must not allocate maxEvents strings per process
+	// up front when the reachable universe is far smaller. Positions
+	// past the cap fall back to on-demand construction — still correct,
+	// just not allocation-free.
+	idTableLen := cfg.maxEvents
+	if idTableLen > idTableMax {
+		idTableLen = idTableMax
+	}
+	eventIDs := make([][]trace.EventID, n)
+	msgIDs := make([][]trace.MsgID, n)
+	for i, id := range procs {
+		eventIDs[i] = make([]trace.EventID, idTableLen)
+		msgIDs[i] = make([]trace.MsgID, idTableLen)
+		for k := 0; k < idTableLen; k++ {
+			eventIDs[i][k] = trace.NewEventID(id, k)
+			msgIDs[i][k] = trace.NewMsgID(id, k)
+		}
+	}
+
+	states := newStateTable()
+	vec0 := make([]string, n)
+	for i, id := range procs {
+		vec0[i] = p.Init(id)
+	}
+	sv0, _ := states.intern(vec0, nil)
 
 	nshards := 1
 	if cfg.parallelism > 1 {
 		nshards = 64
 	}
 	e := &engine{
-		p:      p,
-		cfg:    cfg,
-		procs:  procs,
-		shards: make([]dedupShard, nshards),
-		outs:   make([][]*trace.Computation, cfg.parallelism),
+		p:        p,
+		cfg:      cfg,
+		procs:    procs,
+		procIdx:  procIdx,
+		eventIDs: eventIDs,
+		msgIDs:   msgIDs,
+		states:   states,
+		shards:   make([]dedupShard, nshards),
+		outs:     make([][]*trace.Computation, cfg.parallelism),
 	}
 	for i := range e.shards {
-		e.shards[i].seen = make(map[string]struct{})
+		e.shards[i].t = newHashTable(cfg.hashVerify)
 	}
 	e.cond = sync.NewCond(&e.mu)
-	e.queue = []node{{comp: trace.Empty(), st: states}}
+	e.queue = []enode{{comp: trace.Empty(), sv: sv0}}
 	e.frontier.Store(1)
 
 	var wg sync.WaitGroup
@@ -115,7 +201,16 @@ func EnumerateWith(p Protocol, opts ...Option) (*Universe, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			e.worker(w)
+			e.run(&worker{
+				e:       e,
+				id:      w,
+				evCount: make([]int32, n),
+				nextMsg: make([]int32, n),
+				vecs:    make(map[int32][]string),
+				steps:   make(map[stepsKey][]Action),
+				stepSV:  make(map[actKey]int32),
+				delivSV: make(map[delivKey]int32),
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -131,16 +226,26 @@ func EnumerateWith(p Protocol, opts ...Option) (*Universe, error) {
 	for _, out := range e.outs {
 		comps = append(comps, out...)
 	}
+	// Canonical order: (length, hash). String keys are materialized
+	// only on a full 128-bit tie between distinct equal-length members,
+	// which cannot occur in practice (and under WithHashVerify cannot
+	// occur at all without failing the run first).
 	sort.Slice(comps, func(i, j int) bool {
 		if comps[i].Len() != comps[j].Len() {
 			return comps[i].Len() < comps[j].Len()
+		}
+		hi, hj := comps[i].Hash(), comps[j].Hash()
+		if hi != hj {
+			return hi.Less(hj)
 		}
 		return comps[i].Key() < comps[j].Key()
 	})
 	if cfg.progress != nil {
 		cfg.progress(Progress{Explored: len(comps)})
 	}
-	return New(comps, all), nil
+	u := New(comps, all)
+	u.sorted = true
+	return u, nil
 }
 
 // MustEnumerateWith is EnumerateWith for configurations known to
@@ -153,10 +258,37 @@ func MustEnumerateWith(p Protocol, opts ...Option) *Universe {
 	return u
 }
 
-// worker pops items until the frontier drains, an error stops the
+// batchMax bounds how many nodes a worker claims per queue lock
+// acquisition; children accumulate across the whole batch and are
+// pushed back under one more acquisition.
+const batchMax = 64
+
+// idTableMax caps the precomputed per-process identifier tables;
+// positions beyond it (only reachable under an absurd WithMaxEvents)
+// construct identifiers on demand.
+const idTableMax = 4096
+
+// eventID returns the canonical identifier of the k-th event on
+// procs[pi], from the precomputed table when possible.
+func (e *engine) eventID(pi, k int32) trace.EventID {
+	if int(k) < len(e.eventIDs[pi]) {
+		return e.eventIDs[pi][k]
+	}
+	return trace.NewEventID(e.procs[pi], int(k))
+}
+
+// msgID returns the canonical identifier of the k-th message from
+// procs[pi], from the precomputed table when possible.
+func (e *engine) msgID(pi, k int32) trace.MsgID {
+	if int(k) < len(e.msgIDs[pi]) {
+		return e.msgIDs[pi][k]
+	}
+	return trace.NewMsgID(e.procs[pi], int(k))
+}
+
+// run pops node batches until the frontier drains, an error stops the
 // engine, or the context is cancelled.
-func (e *engine) worker(id int) {
-	var children []node
+func (e *engine) run(w *worker) {
 	for {
 		e.mu.Lock()
 		for len(e.queue) == 0 && e.active > 0 && !e.stopped {
@@ -166,25 +298,34 @@ func (e *engine) worker(id int) {
 			e.mu.Unlock()
 			return
 		}
-		nd := e.queue[len(e.queue)-1]
-		e.queue = e.queue[:len(e.queue)-1]
-		e.active++
+		k := len(e.queue)
+		if k > batchMax {
+			k = batchMax
+		}
+		w.batch = append(w.batch[:0], e.queue[len(e.queue)-k:]...)
+		e.queue = e.queue[:len(e.queue)-k]
+		e.active += k
 		e.mu.Unlock()
-		e.frontier.Add(-1)
+		e.frontier.Add(int64(-k))
 
-		children = children[:0]
-		err := e.expand(id, nd, &children)
+		w.children = w.children[:0]
+		var err error
+		for _, nd := range w.batch {
+			if err = w.expand(nd, &w.children); err != nil {
+				break
+			}
+		}
 
 		e.mu.Lock()
-		e.active--
+		e.active -= k
 		if err != nil && !e.stopped {
 			e.stopped = true
 			e.stopErr = err
 		}
 		wasEmpty := len(e.queue) == 0
-		if !e.stopped && len(children) > 0 {
-			e.queue = append(e.queue, children...)
-			e.frontier.Add(int64(len(children)))
+		if !e.stopped && len(w.children) > 0 {
+			e.queue = append(e.queue, w.children...)
+			e.frontier.Add(int64(len(w.children)))
 		}
 		// Wake peers only on a state change they wait for: work arriving
 		// on an empty queue, the engine stopping, or the pool draining.
@@ -196,15 +337,17 @@ func (e *engine) worker(id int) {
 }
 
 // expand emits nd's computation (unless another worker already claimed
-// its key) and appends its children to *children.
-func (e *engine) expand(worker int, nd node, children *[]node) error {
+// its hash) and appends its children to *children.
+func (w *worker) expand(nd enode, children *[]enode) error {
+	e := w.e
 	if err := e.cfg.ctx.Err(); err != nil {
 		return err
 	}
-	if !e.claim(nd.comp.Key()) {
-		return nil
+	fresh, err := e.claim(nd.comp)
+	if err != nil || !fresh {
+		return err
 	}
-	e.outs[worker] = append(e.outs[worker], nd.comp)
+	e.outs[w.id] = append(e.outs[w.id], nd.comp)
 	count := e.emitted.Add(1)
 	if e.cfg.capN > 0 && count > int64(e.cfg.capN) {
 		return fmt.Errorf("%w: more than %d computations", ErrTooLarge, e.cfg.capN)
@@ -213,57 +356,170 @@ func (e *engine) expand(worker int, nd node, children *[]node) error {
 		e.reportProgress()
 	}
 
-	c, st := nd.comp, nd.st
+	c := nd.comp
 	if c.Len() >= e.cfg.maxEvents {
 		return nil
 	}
+	w.loadChain(c)
 	// Deliveries of in-flight messages.
-	for _, send := range c.InFlight() {
-		dst := send.Peer
-		next, ok := e.p.Deliver(dst, st[dst], send.Proc, send.Tag)
-		if !ok {
+	for _, send := range w.inflight {
+		dst := e.procIdx[send.Peer]
+		csv := w.deliverChild(nd.sv, dst, e.procIdx[send.Proc], send.Tag)
+		if csv < 0 {
 			continue
 		}
-		child := trace.FromComputation(c).ReceiveMsg(send.Msg).MustBuild()
-		st2 := copyStates(st)
-		st2[dst] = next
-		*children = append(*children, node{comp: child, st: st2})
+		ev := trace.Event{
+			ID:   e.eventID(dst, w.evCount[dst]),
+			Proc: send.Peer,
+			Kind: trace.KindReceive,
+			Msg:  send.Msg,
+			Peer: send.Proc,
+			Tag:  send.Tag,
+		}
+		*children = append(*children, enode{comp: w.arena.Extend(c, ev), sv: csv})
 	}
 	// Spontaneous steps.
-	for _, id := range e.procs {
-		for _, a := range e.p.Steps(id, st[id]) {
-			b := trace.FromComputation(c)
+	for pi := range e.procs {
+		pid := e.procs[pi]
+		for ai, a := range w.stepActions(nd.sv, int32(pi)) {
+			var ev trace.Event
 			switch a.Kind {
 			case trace.KindSend:
-				b.Send(id, a.To, a.Tag)
+				if _, ok := e.procIdx[a.To]; !ok || a.To == pid {
+					return fmt.Errorf("universe: protocol %T: invalid send %s→%s", e.p, pid, a.To)
+				}
+				ev = trace.Event{
+					ID:   e.eventID(int32(pi), w.evCount[pi]),
+					Proc: pid,
+					Kind: trace.KindSend,
+					Msg:  e.msgID(int32(pi), w.nextMsg[pi]),
+					Peer: a.To,
+					Tag:  a.Tag,
+				}
 			case trace.KindInternal:
-				b.Internal(id, a.Tag)
+				ev = trace.Event{
+					ID:   e.eventID(int32(pi), w.evCount[pi]),
+					Proc: pid,
+					Kind: trace.KindInternal,
+					Tag:  a.Tag,
+				}
 			default:
 				return fmt.Errorf("universe: protocol %T emitted action of kind %v", e.p, a.Kind)
 			}
-			child, err := b.Build()
-			if err != nil {
-				return fmt.Errorf("universe: invalid step by %s: %w", id, err)
-			}
-			st2 := copyStates(st)
-			st2[id] = e.p.AfterStep(id, st[id], a)
-			*children = append(*children, node{comp: child, st: st2})
+			*children = append(*children, enode{comp: w.arena.Extend(c, ev), sv: w.stepChild(nd.sv, int32(pi), ai, a)})
 		}
 	}
 	return nil
 }
 
-// claim records key in the sharded seen-set; it reports whether this
-// call was the first to see it.
-func (e *engine) claim(key string) bool {
-	s := &e.shards[shardOf(key, len(e.shards))]
-	s.mu.Lock()
-	_, dup := s.seen[key]
-	if !dup {
-		s.seen[key] = struct{}{}
+// loadChain recovers the expansion state of c into the worker's scratch
+// buffers with one allocation-free walk of the parent chain: per-process
+// event counts, per-process send counters, and the in-flight messages
+// (sends not received; the walk is backwards, so receives are seen
+// before their sends).
+func (w *worker) loadChain(c *trace.Computation) {
+	for i := range w.evCount {
+		w.evCount[i], w.nextMsg[i] = 0, 0
 	}
+	w.inflight = w.inflight[:0]
+	w.received = w.received[:0]
+	for node := c; ; {
+		ev, ok := node.Last()
+		if !ok {
+			break
+		}
+		pi := w.e.procIdx[ev.Proc]
+		w.evCount[pi]++
+		switch ev.Kind {
+		case trace.KindSend:
+			w.nextMsg[pi]++
+			if !w.sawReceive(ev.Msg) {
+				w.inflight = append(w.inflight, ev)
+			}
+		case trace.KindReceive:
+			w.received = append(w.received, ev.Msg)
+		}
+		node = node.Parent()
+	}
+}
+
+func (w *worker) sawReceive(m trace.MsgID) bool {
+	for _, r := range w.received {
+		if r == m {
+			return true
+		}
+	}
+	return false
+}
+
+// vec returns the state vector for sv through the worker-local cache.
+func (w *worker) vec(sv int32) []string {
+	if v, ok := w.vecs[sv]; ok {
+		return v
+	}
+	v := w.e.states.vec(sv)
+	w.vecs[sv] = v
+	return v
+}
+
+// stepActions returns the spontaneous actions enabled for procs[pi] in
+// state vector sv, computed once per (sv, pi) per worker.
+func (w *worker) stepActions(sv, pi int32) []Action {
+	k := stepsKey{sv, pi}
+	if a, ok := w.steps[k]; ok {
+		return a
+	}
+	v := w.vec(sv)
+	a := w.e.p.Steps(w.e.procs[pi], v[pi])
+	w.steps[k] = a
+	return a
+}
+
+// stepChild returns the interned state vector after procs[pi] performs
+// its ai-th enabled action in sv.
+func (w *worker) stepChild(sv, pi int32, ai int, a Action) int32 {
+	k := actKey{sv, pi, int32(ai)}
+	if id, ok := w.stepSV[k]; ok {
+		return id
+	}
+	v := w.vec(sv)
+	w.svScratch = append(w.svScratch[:0], v...)
+	w.svScratch[pi] = w.e.p.AfterStep(w.e.procs[pi], v[pi], a)
+	id, buf := w.e.states.intern(w.svScratch, w.buf)
+	w.buf = buf
+	w.stepSV[k] = id
+	return id
+}
+
+// deliverChild returns the interned state vector after procs[dst]
+// receives a tag-message from procs[from] in sv, or -1 when the
+// delivery is inadmissible.
+func (w *worker) deliverChild(sv, dst, from int32, tag string) int32 {
+	k := delivKey{sv, dst, from, tag}
+	if id, ok := w.delivSV[k]; ok {
+		return id
+	}
+	v := w.vec(sv)
+	id := int32(-1)
+	if next, ok := w.e.p.Deliver(w.e.procs[dst], v[dst], w.e.procs[from], tag); ok {
+		w.svScratch = append(w.svScratch[:0], v...)
+		w.svScratch[dst] = next
+		id, w.buf = w.e.states.intern(w.svScratch, w.buf)
+	}
+	w.delivSV[k] = id
+	return id
+}
+
+// claim records c's (hash, length) in the sharded seen set; it reports
+// whether this call was the first to see it. Under WithHashVerify a
+// hash hit is additionally checked against the full canonical keys.
+func (e *engine) claim(c *trace.Computation) (bool, error) {
+	h := c.Hash()
+	s := &e.shards[int(h.Hi)&(len(e.shards)-1)]
+	s.mu.Lock()
+	fresh, err := s.t.insert(h, c.Len(), c)
 	s.mu.Unlock()
-	return !dup
+	return fresh, err
 }
 
 func (e *engine) reportProgress() {
@@ -274,12 +530,4 @@ func (e *engine) reportProgress() {
 	e.progMu.Lock()
 	e.cfg.progress(Progress{Explored: int(e.emitted.Load()), Frontier: int(f)})
 	e.progMu.Unlock()
-}
-
-func copyStates(st map[trace.ProcID]string) map[trace.ProcID]string {
-	cp := make(map[trace.ProcID]string, len(st))
-	for k, v := range st {
-		cp[k] = v
-	}
-	return cp
 }

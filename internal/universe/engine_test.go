@@ -43,8 +43,11 @@ func TestCanonicalMemberOrder(t *testing.T) {
 	}
 	for i := 1; i < u.Len(); i++ {
 		a, b := u.At(i-1), u.At(i)
-		if a.Len() > b.Len() || (a.Len() == b.Len() && a.Key() >= b.Key()) {
-			t.Fatalf("members %d,%d out of canonical (length, key) order", i-1, i)
+		if a.Len() > b.Len() {
+			t.Fatalf("members %d,%d out of canonical length order", i-1, i)
+		}
+		if a.Len() == b.Len() && !a.Hash().Less(b.Hash()) {
+			t.Fatalf("members %d,%d out of canonical (length, hash) order", i-1, i)
 		}
 	}
 }

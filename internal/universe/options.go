@@ -29,6 +29,8 @@ type config struct {
 	// progressEvery is the number of emissions between progress
 	// callbacks; tests shrink it to observe mid-run snapshots.
 	progressEvery int
+	// hashVerify makes dedup double-check hash hits against full keys.
+	hashVerify bool
 }
 
 func defaultConfig() config {
@@ -93,6 +95,17 @@ func WithContext(ctx context.Context) Option {
 // call back into the enumeration.
 func WithProgress(fn func(Progress)) Option {
 	return func(c *config) { c.progress = fn }
+}
+
+// WithHashVerify makes the engine retain the first claimant of every
+// dedup slot and compare full canonical string keys whenever two
+// computations of equal length hit the same 128-bit hash, failing the
+// enumeration with ErrHashCollision on a mismatch. Distinct sequences
+// collide with probability ~2^-128, so production runs skip the check
+// (and the string keys entirely); this option exists for debug runs
+// that want the assumption proven rather than assumed.
+func WithHashVerify() Option {
+	return func(c *config) { c.hashVerify = true }
 }
 
 // withProgressEvery tunes the callback interval; exported options keep

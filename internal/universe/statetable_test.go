@@ -1,0 +1,47 @@
+package universe
+
+import "testing"
+
+// TestStateTableNoAliasing: element boundaries are length-framed, so
+// state strings containing arbitrary bytes (including NUL) can never
+// make distinct vectors intern to one identifier.
+func TestStateTableNoAliasing(t *testing.T) {
+	st := newStateTable()
+	var buf []byte
+	pairs := [][2][]string{
+		{{"a\x00", "b"}, {"a", "\x00b"}},
+		{{"ab", "c"}, {"a", "bc"}},
+		{{"", "ab"}, {"ab", ""}},
+		{{"x", "", "y"}, {"x", "y", ""}},
+	}
+	for _, p := range pairs {
+		var a, b int32
+		a, buf = st.intern(p[0], buf)
+		b, buf = st.intern(p[1], buf)
+		if a == b {
+			t.Fatalf("vectors %q and %q aliased to one id", p[0], p[1])
+		}
+	}
+	// Re-interning is stable.
+	for _, p := range pairs {
+		var a1, a2 int32
+		a1, buf = st.intern(p[0], buf)
+		a2, buf = st.intern(p[0], buf)
+		if a1 != a2 {
+			t.Fatalf("re-intern of %q unstable: %d vs %d", p[0], a1, a2)
+		}
+	}
+}
+
+// TestStateTableVecRoundTrip: the stored vector is a copy, not an
+// alias of the caller's (reused) scratch slice.
+func TestStateTableVecRoundTrip(t *testing.T) {
+	st := newStateTable()
+	scratch := []string{"s0", "s1"}
+	id, _ := st.intern(scratch, nil)
+	scratch[0] = "mutated"
+	got := st.vec(id)
+	if got[0] != "s0" || got[1] != "s1" {
+		t.Fatalf("interned vector aliased caller scratch: %q", got)
+	}
+}

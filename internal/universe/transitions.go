@@ -112,22 +112,20 @@ func NewTransitions(u *Universe) *Transitions {
 		label:  make([]int32, n),
 		procs:  procs,
 	}
-	// The parent of j is the member holding j's key minus its last
-	// event's segment (Computation.Key concatenates one segment per
-	// event), so each member resolves independently with one read-only
-	// map probe — fan the resolution out.
+	// With the persistent prefix-tree representation the enumeration
+	// search tree IS this graph: a member's one-event-shorter prefix is
+	// literally its Parent pointer, so resolution is one read-only hash
+	// probe per member — no key surgery, no string retention. Each
+	// member resolves independently; fan the resolution out.
 	resolve := func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			c := u.At(j)
 			t.parent[j], t.label[j] = -1, -1
-			m := c.Len()
-			if m == 0 {
+			last, ok := c.Last()
+			if !ok {
 				continue
 			}
-			last := c.At(m - 1)
-			key := c.Key()
-			seg := len(last.Proc) + 1 + len(last.LocalKey()) + 1 // "proc/localkey;"
-			if i, ok := u.byKey[key[:len(key)-seg]]; ok {
+			if i := u.IndexOf(c.Parent()); i >= 0 {
 				t.parent[j] = int32(i)
 				if li, ok := procIdx[last.Proc]; ok {
 					t.label[j] = li
@@ -176,16 +174,18 @@ func NewTransitions(u *Universe) *Transitions {
 		t.succLab[next[p]] = t.label[j]
 		next[p]++
 	}
-	// Topological order: ascending event count. Enumerated universes are
-	// already sorted by (length, key), making this the identity; sorting
-	// keeps hand-built (New) universes correct too.
+	// Topological order: ascending event count. Enumerated universes
+	// are already canonically sorted by (length, hash), making this the
+	// identity; hand-built (New) universes still sort.
 	t.order = make([]int32, n)
 	for i := range t.order {
 		t.order[i] = int32(i)
 	}
-	sort.SliceStable(t.order, func(a, b int) bool {
-		return u.At(int(t.order[a])).Len() < u.At(int(t.order[b])).Len()
-	})
+	if !u.sorted {
+		sort.SliceStable(t.order, func(a, b int) bool {
+			return u.At(int(t.order[a])).Len() < u.At(int(t.order[b])).Len()
+		})
+	}
 	return t
 }
 

@@ -29,8 +29,17 @@ var ErrTooLarge = errors.New("universe: enumeration exceeds cap")
 // together with the set D of all processes of that system.
 type Universe struct {
 	comps []*trace.Computation
-	byKey map[string]int
-	all   trace.ProcSet
+	// byHash indexes members by their 128-bit canonical hash. No string
+	// keys are retained: membership and class lookups discriminate on
+	// (hash, length), which separates distinct computations up to the
+	// ~2^-128 collision assumption (see trace.Hash128 and
+	// WithHashVerify).
+	byHash map[trace.Hash128]int32
+	all    trace.ProcSet
+	// sorted records that members are in canonical (length, hash)
+	// order — set by the enumeration engine, and used to skip the
+	// topological re-sort when building Transitions.
+	sorted bool
 	// parts caches the [P]-partition table per P.Key(); see Partition.
 	// Built on first use, safe under concurrent evaluators.
 	parts sync.Map
@@ -47,15 +56,15 @@ type Universe struct {
 // sequence identity are dropped) with D = all.
 func New(comps []*trace.Computation, all trace.ProcSet) *Universe {
 	u := &Universe{
-		byKey: make(map[string]int, len(comps)),
-		all:   all,
-		keys:  trace.NewInterner(),
+		byHash: make(map[trace.Hash128]int32, len(comps)),
+		all:    all,
+		keys:   trace.NewInterner(),
 	}
 	for _, c := range comps {
-		if _, dup := u.byKey[c.Key()]; dup {
+		if _, dup := u.byHash[c.Hash()]; dup {
 			continue
 		}
-		u.byKey[c.Key()] = len(u.comps)
+		u.byHash[c.Hash()] = int32(len(u.comps))
 		u.comps = append(u.comps, c)
 	}
 	return u
@@ -73,8 +82,8 @@ func (u *Universe) All() trace.ProcSet { return u.all }
 // IndexOf returns the index of the computation (by sequence identity), or
 // -1 when it is not a member.
 func (u *Universe) IndexOf(c *trace.Computation) int {
-	if i, ok := u.byKey[c.Key()]; ok {
-		return i
+	if i, ok := u.byHash[c.Hash()]; ok && u.comps[i].Len() == c.Len() {
+		return int(i)
 	}
 	return -1
 }
@@ -97,7 +106,7 @@ func (u *Universe) Class(x *trace.Computation, p trace.ProcSet) []int {
 // thin views over Partition and safe for concurrent use.
 func (u *Universe) ClassRef(x *trace.Computation, p trace.ProcSet) []int {
 	pt := u.Partition(p)
-	if i, ok := u.byKey[x.Key()]; ok {
+	if i := u.IndexOf(x); i >= 0 {
 		return pt.MembersOf(pt.ClassOf(i))
 	}
 	if c, ok := pt.ClassOfKey(x.ProjectionKey(p)); ok {

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Runs the enumeration benchmarks and records the results as
+# BENCH_5.json at the repo root, so the perf trajectory has
+# version-controlled data points. BENCHTIME tunes accuracy vs runtime
+# (default 3x; CI uses 1x for a smoke pass):
+#
+#   ./scripts/bench.sh            # 3 iterations per benchmark
+#   BENCHTIME=10x ./scripts/bench.sh
+set -eu
+cd "$(dirname "$0")/.."
+go test -run 'XXX' -bench 'Enumerate' -benchmem -benchtime "${BENCHTIME:-3x}" . |
+	tee /dev/stderr |
+	go run ./cmd/benchjson -out BENCH_5.json \
+		-note "PR-5 zero-copy enumeration core. PR-4 baseline on this 1-CPU Xeon 2.10GHz: BenchmarkEnumerateParallel/workers=1 178535056 ns/op, 84096104 B/op, 713239 allocs/op (16873 computations)."
+echo "wrote BENCH_5.json" >&2
