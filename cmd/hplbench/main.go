@@ -1,0 +1,316 @@
+// Command hplbench is the load-test harness for the hpld service: it
+// drives concurrent mixed epistemic + temporal formula traffic against
+// a warm universe and records sustained queries/sec and latency
+// percentiles as JSON (the repo's BENCH_6.json data point).
+//
+// Usage:
+//
+//	hplbench [-addr http://host:port] [-procs p,q,r] [-sends 2] [-events 6]
+//	         [-conc 16] [-duration 5s] [-batches 1,8] [-out BENCH_6.json]
+//
+// With no -addr the harness starts an in-process hpld (same handler,
+// loopback HTTP), so one command measures the full service stack
+// without orchestration. The universe is built once up front (the
+// build is reported separately); the measured window only ever touches
+// the hot cache, which is the steady state a long-lived daemon serves.
+// Each batch arm sends requests carrying that many formulas, so the
+// recorded rows separate per-request HTTP/JSON overhead from
+// per-formula evaluation cost. A query is one formula verdict.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hpl"
+	"hpl/internal/service"
+)
+
+// Result is the JSON record of one hplbench run.
+type Result struct {
+	Name     string       `json:"name"`
+	Date     time.Time    `json:"date"`
+	GoOS     string       `json:"goos"`
+	GoArch   string       `json:"goarch"`
+	CPUs     int          `json:"cpus"`
+	Target   string       `json:"target"` // "in-process" or the remote base URL
+	Universe UniverseInfo `json:"universe"`
+	Arms     []Arm        `json:"arms"`
+	Note     string       `json:"note,omitempty"`
+}
+
+// UniverseInfo describes the warm universe the load ran against.
+type UniverseInfo struct {
+	Digest      string  `json:"digest"`
+	Procs       int     `json:"procs"`
+	MaxSends    int     `json:"maxSends"`
+	MaxEvents   int     `json:"maxEvents"`
+	Members     int     `json:"members"`
+	Bytes       int64   `json:"bytes"`
+	BuildMillis float64 `json:"buildMillis"`
+}
+
+// Arm is one measured configuration: `Batch` formulas per request at
+// `Concurrency` in-flight clients for `DurationSec`.
+type Arm struct {
+	Batch         int     `json:"batch"`
+	Concurrency   int     `json:"concurrency"`
+	DurationSec   float64 `json:"durationSec"`
+	Requests      int64   `json:"requests"`
+	Queries       int64   `json:"queries"` // formula verdicts returned
+	Errors        int64   `json:"errors"`
+	QPS           float64 `json:"qps"`           // queries (formulas) per second
+	RPS           float64 `json:"rps"`           // HTTP requests per second
+	LatencyMicros Latency `json:"latencyMicros"` // per-request latency
+	Epistemic     int64   `json:"epistemic"`
+	Temporal      int64   `json:"temporal"`
+}
+
+// Latency is a percentile summary in microseconds.
+type Latency struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hplbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "base URL of a running hpld; empty starts an in-process server")
+	procs := fs.String("procs", "p,q,r", "comma-separated process names")
+	sends := fs.Int("sends", 2, "max sends per process")
+	events := fs.Int("events", 6, "max events per computation")
+	conc := fs.Int("conc", 16, "concurrent client goroutines")
+	duration := fs.Duration("duration", 5*time.Second, "measured window per arm")
+	batches := fs.String("batches", "1,8", "comma-separated formulas-per-request arms")
+	out := fs.String("out", "", "write the JSON record to this file (default stdout only)")
+	note := fs.String("note", "", "free-form note recorded in the result")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var ids []hpl.ProcID
+	for _, s := range strings.Split(*procs, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			ids = append(ids, hpl.ProcID(s))
+		}
+	}
+	spec := hpl.UniverseSpec{Procs: ids, MaxSends: *sends, MaxEvents: *events}
+
+	target := *addr
+	label := target
+	if target == "" {
+		ts := httptest.NewServer(service.NewServer(service.NewRegistry(service.Config{})))
+		defer ts.Close()
+		target, label = ts.URL, "in-process"
+	}
+	// http.DefaultTransport keeps only 2 idle connections per host,
+	// which would make a 16-way hammer churn TCP connections and
+	// measure the dial path instead of the service; size the pool to
+	// the concurrency.
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConns = 2 * *conc
+	transport.MaxIdleConnsPerHost = 2 * *conc
+	cl := &service.Client{Base: target, HTTPClient: &http.Client{Transport: transport}}
+
+	// Warm the universe; the build is paid once and reported, the
+	// measured arms below run entirely against the hot cache.
+	fmt.Fprintf(stderr, "hplbench: warming universe (%d procs, sends=%d, events=%d) on %s...\n",
+		len(ids), *sends, *events, label)
+	st, err := cl.UniverseStats(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintf(stderr, "hplbench: warm-up failed: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "hplbench: universe %s hot: %d members, ~%d KiB, built in %.1f ms\n",
+		st.Universe[:12], st.Members, st.Bytes>>10, st.BuildMillis)
+
+	// Warm the formula mix as well: the first evaluation of each
+	// distinct subformula pays one pass over the universe before its
+	// truth vector is memoized, and the arms below measure the
+	// daemon's steady state, not that one-time cost.
+	epistemic, temporal := formulaMix(ids)
+	if _, err := cl.Check(context.Background(), spec, epistemic...); err != nil {
+		fmt.Fprintf(stderr, "hplbench: formula warm-up failed: %v\n", err)
+		return 1
+	}
+	if _, err := cl.CheckTemporal(context.Background(), spec, temporal...); err != nil {
+		fmt.Fprintf(stderr, "hplbench: formula warm-up failed: %v\n", err)
+		return 1
+	}
+
+	res := Result{
+		Name:   "hpld-load",
+		Date:   time.Now().UTC(),
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Target: label,
+		Note:   *note,
+		Universe: UniverseInfo{
+			Digest:      st.Universe,
+			Procs:       len(ids),
+			MaxSends:    *sends,
+			MaxEvents:   *events,
+			Members:     st.Members,
+			Bytes:       st.Bytes,
+			BuildMillis: st.BuildMillis,
+		},
+	}
+
+	for _, b := range strings.Split(*batches, ",") {
+		batch, err := strconv.Atoi(strings.TrimSpace(b))
+		if err != nil || batch < 1 {
+			fmt.Fprintf(stderr, "hplbench: bad batch size %q\n", b)
+			return 2
+		}
+		arm := runArm(cl, spec, ids, batch, *conc, *duration)
+		res.Arms = append(res.Arms, arm)
+		fmt.Fprintf(stderr, "hplbench: batch=%d conc=%d: %.0f queries/sec (%.0f req/sec), p50=%.0fµs p99=%.0fµs, %d errors\n",
+			arm.Batch, arm.Concurrency, arm.QPS, arm.RPS, arm.LatencyMicros.P50, arm.LatencyMicros.P99, arm.Errors)
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(res)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "hplbench: %v\n", err)
+			return 1
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		enc.Encode(res)
+		f.Close()
+		fmt.Fprintf(stderr, "hplbench: wrote %s\n", *out)
+	}
+	for _, arm := range res.Arms {
+		if arm.Errors > 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// formulaMix returns the query pool over the spec's processes: repeat
+// formulas dominate (they are memo hits, the cache's design load) with
+// the paper's own theorems as the temporal share.
+func formulaMix(ids []hpl.ProcID) (epistemic, temporal []string) {
+	p, q := string(ids[0]), string(ids[len(ids)-1])
+	epistemic = []string{
+		fmt.Sprintf(`K{%s} "sent(%s,m)" -> "sent(%s,m)"`, q, p, p),
+		fmt.Sprintf(`K{%s} K{%s} "sent(%s,m)" -> K{%s} "sent(%s,m)"`, q, p, p, q, p),
+		fmt.Sprintf(`K{%s} "sent(%s,m)"`, q, p),
+		fmt.Sprintf(`"received(%s,m)" -> "sent(%s,m)"`, q, p),
+		`"quiescent" | !"quiescent"`,
+	}
+	temporal = []string{
+		fmt.Sprintf(`AG (K{%s} "sent(%s,m)" -> Once "received(%s,m)")`, q, p, q),
+		fmt.Sprintf(`EF K{%s} "sent(%s,m)"`, q, p),
+		fmt.Sprintf(`A[!K{%s} "sent(%s,m)" U ("received(%s,m)" | !EF K{%s} "sent(%s,m)")]`, q, p, q, q, p),
+	}
+	return epistemic, temporal
+}
+
+// runArm hammers the warm universe for the window and aggregates.
+func runArm(cl *service.Client, spec hpl.UniverseSpec, ids []hpl.ProcID, batch, conc int, window time.Duration) Arm {
+	epistemic, temporal := formulaMix(ids)
+
+	type workerStats struct {
+		requests, queries, errors, epi, temp int64
+		lat                                  []float64 // µs per request
+	}
+	stats := make([]workerStats, conc)
+	deadline := time.Now().Add(window)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := &stats[w]
+			ctx := context.Background()
+			for i := 0; time.Now().Before(deadline); i++ {
+				// 1 temporal request in 4: mixed traffic, epistemic-heavy.
+				useTemporal := (w+i)%4 == 0
+				pool := epistemic
+				if useTemporal {
+					pool = temporal
+				}
+				formulas := make([]string, batch)
+				for j := range formulas {
+					formulas[j] = pool[(i+j)%len(pool)]
+				}
+				t0 := time.Now()
+				var resp service.CheckResponse
+				var err error
+				if useTemporal {
+					resp, err = cl.CheckTemporal(ctx, spec, formulas...)
+				} else {
+					resp, err = cl.Check(ctx, spec, formulas...)
+				}
+				s.lat = append(s.lat, float64(time.Since(t0))/float64(time.Microsecond))
+				s.requests++
+				if err != nil {
+					s.errors++
+					continue
+				}
+				for _, r := range resp.Results {
+					if r.Error != "" {
+						s.errors++
+					}
+				}
+				s.queries += int64(len(resp.Results))
+				if useTemporal {
+					s.temp += int64(len(resp.Results))
+				} else {
+					s.epi += int64(len(resp.Results))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	arm := Arm{Batch: batch, Concurrency: conc, DurationSec: elapsed.Seconds()}
+	var lat []float64
+	for i := range stats {
+		arm.Requests += stats[i].requests
+		arm.Queries += stats[i].queries
+		arm.Errors += stats[i].errors
+		arm.Epistemic += stats[i].epi
+		arm.Temporal += stats[i].temp
+		lat = append(lat, stats[i].lat...)
+	}
+	arm.QPS = float64(arm.Queries) / elapsed.Seconds()
+	arm.RPS = float64(arm.Requests) / elapsed.Seconds()
+	sort.Float64s(lat)
+	pct := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	arm.LatencyMicros = Latency{P50: pct(0.50), P95: pct(0.95), P99: pct(0.99), Max: pct(1)}
+	return arm
+}

@@ -1,0 +1,87 @@
+// Command hpld is the epistemic-checking daemon: a long-lived HTTP/JSON
+// server that keeps enumerated universes hot in a memory-accounted LRU
+// cache and answers knowledge/temporal formula queries against them.
+// Universes are cached by the canonical digest of their spec
+// (hpl.UniverseSpec.Digest), concurrent requests for the same uncached
+// universe share one build, and queries against a warm universe reuse
+// the session's memoized truth vectors, so repeat formulas are
+// near-free.
+//
+// Usage:
+//
+//	hpld [-addr :8090] [-mem-mib 512] [-max-members 500000] [-par 0] [-drain 10s]
+//
+// Endpoints (see internal/service for the wire types):
+//
+//	POST /v1/check           {universe, formulas[]} → per-formula validity over the universe
+//	POST /v1/check-temporal  {universe, formulas[]} → verdicts at the initial computation
+//	POST /v1/universe-stats  {universe}             → members, bytes, build time, atoms
+//	GET  /v1/health                                 → registry snapshot
+//
+// Oversized requests degrade gracefully: a spec whose enumeration
+// overruns the member cap gets a structured 422, one whose universe
+// would not fit the memory budget a 413 — never a 500 or an OOM.
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// queries for up to -drain.
+//
+// The companion client mode is `mck -server http://host:port '<formula>'`;
+// cmd/hplbench drives load against a running daemon.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hpl/internal/service"
+)
+
+func main() {
+	fs := flag.NewFlagSet("hpld", flag.ExitOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	memMiB := fs.Int64("mem-mib", 512, "universe cache memory budget in MiB")
+	maxMembers := fs.Int("max-members", 500000, "per-universe enumeration cap (members)")
+	par := fs.Int("par", 0, "enumeration workers per build (0 = GOMAXPROCS)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight queries")
+	fs.Parse(os.Args[1:])
+
+	reg := service.NewRegistry(service.Config{
+		MaxBytes:         *memMiB << 20,
+		MaxMembers:       *maxMembers,
+		BuildParallelism: *par,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewServer(reg),
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("hpld: serving on %s (budget %d MiB, cap %d members)", *addr, *memMiB, *maxMembers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("hpld: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("hpld: shutting down, draining in-flight queries (up to %s)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("hpld: drain incomplete: %v", err)
+		srv.Close()
+		os.Exit(1)
+	}
+	st := reg.Stats()
+	fmt.Printf("hpld: stopped cleanly (%d universes hot, %d builds, %d hits, %d evictions)\n",
+		st.Universes, st.Builds, st.Hits, st.Evictions)
+}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	mck [-procs p,q] [-sends 1] [-events 4] [-par 4] [-timeout 30s]
-//	    [-progress] [-valid] [-temporal] 'K{q} "sent(p,m)"'
+//	    [-progress] [-valid] [-temporal] [-server http://host:port]
+//	    'K{q} "sent(p,m)"'
 //
 // Atoms available in the vocabulary: "sent(<proc>,m)" and
 // "received(<proc>,m)" for every process. The formula grammar is
@@ -17,6 +18,14 @@
 // Hist — is decided at the initial (null) computation over the
 // prefix-extension transition graph, and the exit status reports the
 // verdict.
+//
+// -server switches mck into thin-client mode: instead of enumerating
+// locally, the query is forwarded to a running hpld daemon, which keeps
+// the universe hot across invocations — the first query pays the build,
+// every later one (from any client) reuses the cached universe and its
+// memoized truth vectors. Output and exit statuses are identical to
+// local mode; -par and -progress are meaningless remotely and ignored,
+// -timeout bounds the request.
 //
 // Examples:
 //
@@ -32,8 +41,10 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"hpl"
+	"hpl/internal/service"
 )
 
 func main() {
@@ -51,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", false, "report enumeration progress on stderr")
 	valid := fs.Bool("valid", false, "report only whether the formula holds at every computation")
 	temporal := fs.Bool("temporal", false, "model-check the formula at the initial (null) computation over the prefix-extension transition graph")
+	server := fs.String("server", "", "forward the query to a running hpld daemon at this base URL instead of enumerating locally")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -65,6 +77,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if s = strings.TrimSpace(s); s != "" {
 			ids = append(ids, hpl.ProcID(s))
 		}
+	}
+
+	if *server != "" {
+		return runRemote(*server, hpl.UniverseSpec{
+			Procs:     ids,
+			MaxSends:  *sends,
+			MaxEvents: *events,
+			Cap:       200000,
+		}, fs.Arg(0), *valid, *temporal, *timeout, stdout, stderr)
 	}
 
 	opts := []hpl.EnumOption{
@@ -130,6 +151,62 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "%s\nholds at %d / %d computations\n",
 		hpl.PrintFormula(rep.Formula), rep.Holding, rep.Total)
+	return 0
+}
+
+// runRemote forwards one query to an hpld daemon and renders the result
+// in the same shapes (and with the same exit statuses) as local mode.
+func runRemote(base string, spec hpl.UniverseSpec, formula string, valid, temporal bool, timeout time.Duration, stdout, stderr io.Writer) int {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	cl := &service.Client{Base: base}
+
+	var resp service.CheckResponse
+	var err error
+	if temporal {
+		resp, err = cl.CheckTemporal(ctx, spec, formula)
+	} else {
+		resp, err = cl.Check(ctx, spec, formula)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "mck: %s: %v\n", base, err)
+		return 1
+	}
+	if len(resp.Results) != 1 {
+		fmt.Fprintf(stderr, "mck: %s returned %d results for 1 formula\n", base, len(resp.Results))
+		return 1
+	}
+	res := resp.Results[0]
+	if res.Error != "" {
+		fmt.Fprintf(stderr, "mck: %s\n", res.Error)
+		return 1
+	}
+
+	if temporal {
+		verdict := res.AtInit != nil && *res.AtInit
+		if !verdict {
+			fmt.Fprintf(stdout, "DOES NOT HOLD at the initial computation (holds at %d / %d members)\n",
+				res.Holding, res.Total)
+			return 1
+		}
+		fmt.Fprintf(stdout, "HOLDS at the initial computation (holds at %d / %d members)\n",
+			res.Holding, res.Total)
+		return 0
+	}
+	if valid {
+		if !res.Valid {
+			fmt.Fprintf(stdout, "NOT VALID: fails at computation %d:\n%s\n",
+				res.FirstFailure, indent(res.Witness))
+			return 1
+		}
+		fmt.Fprintf(stdout, "VALID over %d computations\n", res.Total)
+		return 0
+	}
+	fmt.Fprintf(stdout, "%s\nholds at %d / %d computations\n", res.Formula, res.Holding, res.Total)
 	return 0
 }
 

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"hpl/internal/service"
 )
 
 func runWith(t *testing.T, args ...string) (int, string, string) {
@@ -128,6 +132,80 @@ func TestTimeoutAbortsEnumeration(t *testing.T) {
 		t.Fatalf("exit = %d", code)
 	}
 	if !strings.Contains(errOut, "mck:") || !strings.Contains(errOut, "deadline") {
+		t.Errorf("stderr:\n%s", errOut)
+	}
+}
+
+// TestServerMode drives the thin-client mode against an in-process
+// hpld: epistemic and temporal queries with local-mode output shapes
+// and exit statuses, all sharing one hot universe on the server.
+func TestServerMode(t *testing.T) {
+	ts := httptest.NewServer(service.NewServer(service.NewRegistry(service.Config{})))
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		args []string
+		exit int
+		want string
+	}{
+		{"valid", []string{"-server", ts.URL, "-valid", `K{q} "sent(p,m)" -> "sent(p,m)"`}, 0, "VALID over"},
+		{"invalid-with-witness", []string{"-server", ts.URL, "-valid", `K{q} "sent(p,m)"`}, 1, "NOT VALID"},
+		{"temporal-gain", []string{"-server", ts.URL, "-temporal", `AG (K{q} "sent(p,m)" -> Once "received(q,m)")`}, 0, "HOLDS at the initial computation"},
+		{"temporal-false", []string{"-server", ts.URL, "-temporal", `K{q} "sent(p,m)"`}, 1, "DOES NOT HOLD"},
+		{"count", []string{"-server", ts.URL, `K{q} "sent(p,m)"`}, 0, "holds at"},
+		{"parse-error", []string{"-server", ts.URL, `K{q "oops`}, 1, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errOut := runWith(t, tc.args...)
+			if code != tc.exit {
+				t.Fatalf("exit %d want %d\nstdout: %s\nstderr: %s", code, tc.exit, out, errOut)
+			}
+			if tc.want != "" && !strings.Contains(out, tc.want) {
+				t.Errorf("stdout lacks %q:\n%s", tc.want, out)
+			}
+		})
+	}
+
+	// All six queries share one spec, so the daemon built exactly one
+	// universe and served the rest from cache.
+	h, err := (&service.Client{Base: ts.URL}).Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Builds != 1 || h.Universes != 1 {
+		t.Errorf("thin client did not share the hot universe: %+v", h)
+	}
+}
+
+// TestServerModeMatchesLocal checks the remote and local paths agree
+// verdict-for-verdict on the same queries.
+func TestServerModeMatchesLocal(t *testing.T) {
+	ts := httptest.NewServer(service.NewServer(service.NewRegistry(service.Config{})))
+	defer ts.Close()
+	for _, q := range []string{
+		`K{q} "sent(p,m)"`,
+		`K{q} "sent(p,m)" -> "sent(p,m)"`,
+		`"received(q,m)" -> Once "received(q,m)"`,
+	} {
+		_, local, _ := runWith(t, q)
+		_, remote, _ := runWith(t, "-server", ts.URL, q)
+		// Both end with "holds at N / M computations"; the counts must agree.
+		li, ri := strings.Index(local, "holds at"), strings.Index(remote, "holds at")
+		if li < 0 || ri < 0 || local[li:] != remote[ri:] {
+			t.Errorf("local and remote disagree on %s:\nlocal:  %s\nremote: %s", q, local, remote)
+		}
+	}
+}
+
+// TestServerModeUnreachable checks the error path when no daemon listens.
+func TestServerModeUnreachable(t *testing.T) {
+	code, _, errOut := runWith(t, "-server", "http://127.0.0.1:1", `"sent(p,m)"`)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "mck:") {
 		t.Errorf("stderr:\n%s", errOut)
 	}
 }

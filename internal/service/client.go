@@ -1,0 +1,100 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"hpl"
+)
+
+// Client is a thin typed client for an hpld server, used by the
+// `mck -server` client mode and the load harness. The zero HTTPClient
+// is http.DefaultClient.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8090".
+	Base       string
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// post sends a JSON body and decodes a JSON response, converting
+// structured service errors back into *Error values.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(c.Base, "/")+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		serr := &Error{Status: resp.StatusCode}
+		if json.NewDecoder(resp.Body).Decode(serr) != nil || serr.Message == "" {
+			serr.Code = "http_error"
+			serr.Message = fmt.Sprintf("%s returned %s", path, resp.Status)
+		}
+		return serr
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Check runs a batch of epistemic formulas against the spec's universe.
+func (c *Client) Check(ctx context.Context, spec hpl.UniverseSpec, formulas ...string) (CheckResponse, error) {
+	var out CheckResponse
+	err := c.post(ctx, "/v1/check", CheckRequest{Universe: spec, Formulas: formulas}, &out)
+	return out, err
+}
+
+// CheckTemporal runs a batch of temporal formulas; each result carries
+// the verdict at the initial computation in AtInit.
+func (c *Client) CheckTemporal(ctx context.Context, spec hpl.UniverseSpec, formulas ...string) (CheckResponse, error) {
+	var out CheckResponse
+	err := c.post(ctx, "/v1/check-temporal", CheckRequest{Universe: spec, Formulas: formulas}, &out)
+	return out, err
+}
+
+// UniverseStats builds (or touches) the spec's universe and reports its
+// cache entry.
+func (c *Client) UniverseStats(ctx context.Context, spec hpl.UniverseSpec) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.post(ctx, "/v1/universe-stats", StatsRequest{Universe: spec}, &out)
+	return out, err
+}
+
+// Health reports the registry-wide snapshot.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(c.Base, "/")+"/v1/health", nil)
+	if err != nil {
+		return HealthResponse{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return HealthResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out HealthResponse
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("health returned %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}

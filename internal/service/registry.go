@@ -1,0 +1,381 @@
+// Package service is the multi-tenant epistemic-checking service behind
+// cmd/hpld: a registry that keeps enumerated universes hot in an
+// LRU-evicted, memory-accounted cache keyed by the canonical spec digest
+// (hpl.UniverseSpec.Digest), and an HTTP/JSON server answering formula
+// queries against them.
+//
+// The engine underneath was built for exactly this shape of load:
+// universes are immutable once enumerated, Checker/Evaluator are safe
+// for concurrent queries and memoize one truth vector per distinct
+// hash-consed subformula, so N clients interrogating one warm universe
+// share every intermediate result. What the package adds is the
+// multi-tenant shell — singleflight on concurrent builds of the same
+// universe, per-universe byte accounting, eviction, cancellation
+// plumbed through to the enumeration engine, and structured client
+// errors instead of OOMs.
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"hpl"
+)
+
+// Error is a structured, client-visible service error: Status is the
+// HTTP status the server responds with, Code a stable machine-readable
+// discriminator, Message the human-readable detail.
+type Error struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"error"`
+}
+
+func (e *Error) Error() string { return e.Message }
+
+// Error codes.
+const (
+	CodeBadSpec          = "bad_spec"           // 400: the spec does not describe an enumerable system
+	CodeBadRequest       = "bad_request"        // 400: malformed JSON, missing formulas, oversized batch
+	CodeUniverseTooLarge = "universe_too_large" // 422: enumeration exceeded the cap
+	CodeBudgetExceeded   = "budget_exceeded"    // 413: built universe exceeds the memory budget
+	CodeBuildCancelled   = "build_cancelled"    // 503: every waiter abandoned the build
+	CodeNotFound         = "not_found"          // 404
+)
+
+func badSpec(err error) *Error {
+	return &Error{Status: http.StatusBadRequest, Code: CodeBadSpec, Message: err.Error()}
+}
+
+// Config parameterizes a Registry.
+type Config struct {
+	// MaxBytes is the cache's memory budget across all universes
+	// (estimated resident bytes, see EstimateBytes); <= 0 defaults to
+	// 512 MiB. A single universe whose estimate exceeds the whole
+	// budget is rejected with a structured 413 rather than cached.
+	MaxBytes int64
+	// MaxMembers clamps every request's enumeration cap: a request with
+	// no cap (or a larger one) gets this cap, so runaway specs fail
+	// with a structured 422 instead of exhausting memory; <= 0
+	// defaults to 500k members.
+	MaxMembers int
+	// BuildParallelism is the enumeration worker count per build; <= 0
+	// defaults to GOMAXPROCS.
+	BuildParallelism int
+}
+
+const (
+	defaultMaxBytes   = 512 << 20
+	defaultMaxMembers = 500000
+)
+
+// Registry is the hot universe cache: canonical spec digest → checking
+// session, with LRU eviction under a byte budget and singleflight
+// builds. All methods are safe for concurrent use.
+type Registry struct {
+	maxBytes int64
+	maxCap   int
+	buildPar int
+	// buildFn builds a session for a canonical spec; tests substitute
+	// counting/blocking builders.
+	buildFn func(ctx context.Context, spec hpl.UniverseSpec) (*hpl.Checker, error)
+
+	mu      sync.Mutex
+	entries map[string]*Entry
+	lru     *list.List // front = most recently used; values are *Entry
+	calls   map[string]*call
+	bytes   int64
+
+	builds, hits, misses, evictions int64
+}
+
+// Entry is one cached universe with its session and accounting. The
+// fields are immutable after insertion except the registry-managed LRU
+// bookkeeping.
+type Entry struct {
+	// Spec is the canonical spec the universe was built from.
+	Spec hpl.UniverseSpec
+	// Digest is the cache key.
+	Digest string
+	// Checker is the shared session: concurrent queries reuse its
+	// memoized truth vectors.
+	Checker *hpl.Checker
+	// Bytes is the estimated resident footprint (see EstimateBytes).
+	Bytes int64
+	// BuildDuration is how long the enumeration + session setup took.
+	BuildDuration time.Duration
+	// BuiltAt is when the build completed.
+	BuiltAt time.Time
+
+	mu   sync.Mutex
+	hits int64
+	elem *list.Element
+}
+
+// Hits reports how many cache hits the entry has served.
+func (e *Entry) Hits() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits
+}
+
+func (e *Entry) addHit() {
+	e.mu.Lock()
+	e.hits++
+	e.mu.Unlock()
+}
+
+// call is one in-flight singleflight build. waiters counts the Get
+// calls blocked on it; when the last one's context ends the build
+// context is cancelled and the enumeration stops promptly.
+type call struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int // guarded by Registry.mu
+	entry   *Entry
+	err     error
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(cfg Config) *Registry {
+	r := &Registry{
+		maxBytes: cfg.MaxBytes,
+		maxCap:   cfg.MaxMembers,
+		buildPar: cfg.BuildParallelism,
+		entries:  make(map[string]*Entry),
+		lru:      list.New(),
+		calls:    make(map[string]*call),
+	}
+	if r.maxBytes <= 0 {
+		r.maxBytes = defaultMaxBytes
+	}
+	if r.maxCap <= 0 {
+		r.maxCap = defaultMaxMembers
+	}
+	if r.buildPar <= 0 {
+		r.buildPar = runtime.GOMAXPROCS(0)
+	}
+	r.buildFn = func(ctx context.Context, spec hpl.UniverseSpec) (*hpl.Checker, error) {
+		return hpl.CheckSpec(spec, hpl.WithContext(ctx), hpl.WithParallelism(r.buildPar))
+	}
+	return r
+}
+
+// clamp returns the canonical spec with its cap clamped to the
+// registry's member limit. The clamped spec is what gets digested, so
+// the cache key is deterministic for a given server configuration.
+func (r *Registry) clamp(spec hpl.UniverseSpec) hpl.UniverseSpec {
+	c := spec.Canonical()
+	if c.Cap <= 0 || c.Cap > r.maxCap {
+		c.Cap = r.maxCap
+	}
+	return c
+}
+
+// Get returns the hot session for the spec, building it on a miss. The
+// bool reports whether the universe was already cached. Concurrent
+// misses on the same digest share exactly one build (singleflight); the
+// build is abandoned — its enumeration cancelled via WithContext — only
+// when the context of the last waiting Get is done. Errors are *Error
+// values carrying HTTP status and code.
+func (r *Registry) Get(ctx context.Context, spec hpl.UniverseSpec) (*Entry, bool, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, false, badSpec(err)
+	}
+	spec = r.clamp(spec)
+	digest := spec.Digest()
+	for {
+		e, cached, err := r.getOnce(ctx, spec, digest)
+		// A Get can lose a race by joining a build in the instant after
+		// its last previous waiter cancelled it; with this Get's own
+		// context still live, the right move is a fresh build, not a
+		// spurious 503.
+		if serr := (*Error)(nil); errors.As(err, &serr) && serr.Code == CodeBuildCancelled && ctx.Err() == nil {
+			continue
+		}
+		return e, cached, err
+	}
+}
+
+func (r *Registry) getOnce(ctx context.Context, spec hpl.UniverseSpec, digest string) (*Entry, bool, error) {
+	r.mu.Lock()
+	if e, ok := r.entries[digest]; ok {
+		r.lru.MoveToFront(e.elem)
+		r.hits++
+		r.mu.Unlock()
+		e.addHit()
+		return e, true, nil
+	}
+	r.misses++
+	c, inflight := r.calls[digest]
+	if !inflight {
+		buildCtx, cancel := context.WithCancel(context.Background())
+		c = &call{done: make(chan struct{}), cancel: cancel}
+		r.calls[digest] = c
+		r.builds++
+		go r.build(buildCtx, c, spec, digest)
+	}
+	c.waiters++
+	r.mu.Unlock()
+
+	select {
+	case <-c.done:
+		return c.entry, false, c.err
+	case <-ctx.Done():
+		// The build may have completed in the same instant; prefer its
+		// result over reporting cancellation.
+		select {
+		case <-c.done:
+			return c.entry, false, c.err
+		default:
+		}
+		r.mu.Lock()
+		c.waiters--
+		last := c.waiters == 0
+		r.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+		return nil, false, ctx.Err()
+	}
+}
+
+// build runs one singleflight enumeration and publishes the result.
+func (r *Registry) build(ctx context.Context, c *call, spec hpl.UniverseSpec, digest string) {
+	defer c.cancel()
+	start := time.Now()
+	ck, err := r.buildFn(ctx, spec)
+
+	var e *Entry
+	switch {
+	case err == nil:
+		bytes := EstimateBytes(ck.Universe())
+		if bytes > r.maxBytes {
+			err = &Error{
+				Status: http.StatusRequestEntityTooLarge,
+				Code:   CodeBudgetExceeded,
+				Message: fmt.Sprintf("universe %s has %d members (~%d MiB), exceeding the service memory budget of %d MiB; lower maxEvents or per-process bounds",
+					digest[:12], ck.Universe().Len(), bytes>>20, r.maxBytes>>20),
+			}
+			break
+		}
+		e = &Entry{
+			Spec:          spec,
+			Digest:        digest,
+			Checker:       ck,
+			Bytes:         bytes,
+			BuildDuration: time.Since(start),
+			BuiltAt:       time.Now(),
+		}
+	case errors.Is(err, hpl.ErrUniverseTooLarge):
+		err = &Error{
+			Status: http.StatusUnprocessableEntity,
+			Code:   CodeUniverseTooLarge,
+			Message: fmt.Sprintf("enumeration of universe %s exceeds the cap of %d members; lower maxEvents or per-process bounds",
+				digest[:12], spec.Canonical().Cap),
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		err = &Error{
+			Status:  http.StatusServiceUnavailable,
+			Code:    CodeBuildCancelled,
+			Message: fmt.Sprintf("build of universe %s was abandoned: %v", digest[:12], err),
+		}
+	default:
+		err = badSpec(err)
+	}
+
+	r.mu.Lock()
+	delete(r.calls, digest)
+	if e != nil {
+		r.insertLocked(e)
+	}
+	c.entry, c.err = e, err
+	r.mu.Unlock()
+	close(c.done)
+}
+
+// insertLocked adds the entry and evicts least-recently-used entries
+// until the cache fits the budget again. The new entry itself is never
+// evicted here (its size was checked against the whole budget already).
+func (r *Registry) insertLocked(e *Entry) {
+	e.elem = r.lru.PushFront(e)
+	r.entries[e.Digest] = e
+	r.bytes += e.Bytes
+	for r.bytes > r.maxBytes && r.lru.Len() > 1 {
+		oldest := r.lru.Back()
+		victim := oldest.Value.(*Entry)
+		if victim == e {
+			break
+		}
+		r.lru.Remove(oldest)
+		delete(r.entries, victim.Digest)
+		r.bytes -= victim.Bytes
+		r.evictions++
+	}
+}
+
+// Cached reports whether the spec's universe is currently resident,
+// without touching LRU order or counters.
+func (r *Registry) Cached(spec hpl.UniverseSpec) bool {
+	digest := r.clamp(spec).Digest()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[digest]
+	return ok
+}
+
+// Stats is a registry-wide snapshot.
+type Stats struct {
+	// Universes counts resident universes; Bytes their estimated total
+	// footprint against the MaxBytes budget.
+	Universes int   `json:"universes"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"maxBytes"`
+	// Builds counts singleflight builds started (not per-waiter), Hits
+	// and Misses cache lookups, Evictions LRU removals.
+	Builds    int64 `json:"builds"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// InflightBuilds counts builds currently running.
+	InflightBuilds int `json:"inflightBuilds"`
+}
+
+// Stats returns a consistent snapshot.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Universes:      len(r.entries),
+		Bytes:          r.bytes,
+		MaxBytes:       r.maxBytes,
+		Builds:         r.builds,
+		Hits:           r.hits,
+		Misses:         r.misses,
+		Evictions:      r.evictions,
+		InflightBuilds: len(r.calls),
+	}
+}
+
+// EstimateBytes estimates the resident footprint of a universe and the
+// engine structures a hot session grows over it: per member, the
+// structural-sharing computation node, hash-index slot and a share of
+// the partition tables, transition graph and truth vectors; per event,
+// the interned projection and hash state. It is an estimate — the cache
+// budget is advisory accounting, not an allocator — but it scales with
+// the real cost drivers (members and total events) and errs high.
+func EstimateBytes(u *hpl.Universe) int64 {
+	var events int64
+	n := u.Len()
+	for i := 0; i < n; i++ {
+		events += int64(u.At(i).Len())
+	}
+	const perMember, perEvent = 192, 48
+	return int64(n)*perMember + events*perEvent
+}

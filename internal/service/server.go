@@ -1,0 +1,229 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hpl"
+)
+
+// Wire types for the HTTP/JSON API. One request addresses one universe
+// (by spec) and carries a batch of formulas, so N related queries cost
+// one cache lookup and share the session's memoized truth vectors.
+
+// CheckRequest is the body of POST /v1/check and /v1/check-temporal.
+type CheckRequest struct {
+	// Universe describes the quantification domain; see hpl.UniverseSpec.
+	Universe hpl.UniverseSpec `json:"universe"`
+	// Formulas are textual formulas (internal/logic grammar) checked in
+	// order against the universe's standard vocabulary.
+	Formulas []string `json:"formulas"`
+}
+
+// CheckResult is the verdict for one formula of a batch.
+type CheckResult struct {
+	Formula string `json:"formula"`
+	// Holding counts members where the formula holds, out of Total.
+	Holding int `json:"holding"`
+	Total   int `json:"total"`
+	// Valid reports whether the formula holds at every member.
+	Valid bool `json:"valid"`
+	// FirstFailure is the index of the first failing member (-1 when
+	// valid) and Witness that member's rendered event sequence.
+	FirstFailure int    `json:"firstFailure"`
+	Witness      string `json:"witness,omitempty"`
+	// AtInit is the model-checking verdict at the initial (null)
+	// computation; only set by /v1/check-temporal.
+	AtInit *bool `json:"atInit,omitempty"`
+	// Error is a per-formula parse error; the batch's other formulas
+	// are unaffected.
+	Error string `json:"error,omitempty"`
+}
+
+// CheckResponse is the body answering a CheckRequest.
+type CheckResponse struct {
+	// Universe is the canonical digest of the (clamped) spec — the
+	// cache key the query was served under.
+	Universe string `json:"universe"`
+	// Members is the universe size; Cached whether it was already hot.
+	Members int           `json:"members"`
+	Cached  bool          `json:"cached"`
+	Results []CheckResult `json:"results"`
+}
+
+// StatsRequest is the body of POST /v1/universe-stats.
+type StatsRequest struct {
+	Universe hpl.UniverseSpec `json:"universe"`
+}
+
+// StatsResponse describes one (possibly just built) cached universe.
+type StatsResponse struct {
+	Universe    string           `json:"universe"`
+	Spec        hpl.UniverseSpec `json:"spec"`
+	Members     int              `json:"members"`
+	Bytes       int64            `json:"bytes"`
+	Cached      bool             `json:"cached"`
+	Hits        int64            `json:"hits"`
+	BuildMillis float64          `json:"buildMillis"`
+	Atoms       []string         `json:"atoms"`
+}
+
+// HealthResponse is the body of GET /v1/health.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Stats
+}
+
+// Limits on a single request, so one client cannot wedge the service.
+const (
+	maxBodyBytes = 1 << 20
+	maxBatchSize = 256
+)
+
+// Server is the HTTP face of a Registry. It implements http.Handler;
+// graceful shutdown is the owning http.Server's Shutdown, which drains
+// in-flight queries before returning.
+type Server struct {
+	reg *Registry
+	mux *http.ServeMux
+}
+
+// NewServer wires the endpoints over the registry.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/check", func(w http.ResponseWriter, r *http.Request) {
+		s.handleCheck(w, r, false)
+	})
+	s.mux.HandleFunc("POST /v1/check-temporal", func(w http.ResponseWriter, r *http.Request) {
+		s.handleCheck(w, r, true)
+	})
+	s.mux.HandleFunc("POST /v1/universe-stats", s.handleUniverseStats)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry returns the server's universe cache.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps an error to a structured JSON response: *Error values
+// keep their status and code, everything else is a 500.
+func writeError(w http.ResponseWriter, err error) {
+	var serr *Error
+	if !errors.As(err, &serr) {
+		serr = &Error{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
+	}
+	writeJSON(w, serr.Status, serr)
+}
+
+// decode reads a bounded JSON body.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return &Error{Status: http.StatusBadRequest, Code: CodeBadRequest, Message: "bad request body: " + err.Error()}
+	}
+	return nil
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request, temporal bool) {
+	var req CheckRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Formulas) == 0 {
+		writeError(w, &Error{Status: http.StatusBadRequest, Code: CodeBadRequest, Message: "no formulas in request"})
+		return
+	}
+	if len(req.Formulas) > maxBatchSize {
+		writeError(w, &Error{Status: http.StatusBadRequest, Code: CodeBadRequest,
+			Message: fmt.Sprintf("batch of %d formulas exceeds the limit of %d", len(req.Formulas), maxBatchSize)})
+		return
+	}
+	e, cached, err := s.reg.Get(r.Context(), req.Universe)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := CheckResponse{
+		Universe: e.Digest,
+		Members:  e.Checker.Universe().Len(),
+		Cached:   cached,
+		Results:  make([]CheckResult, 0, len(req.Formulas)),
+	}
+	for _, input := range req.Formulas {
+		resp.Results = append(resp.Results, s.checkOne(e.Checker, input, temporal))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkOne evaluates one formula of a batch against a hot session. A
+// parse failure is a per-formula error, not a request failure.
+func (s *Server) checkOne(ck *hpl.Checker, input string, temporal bool) CheckResult {
+	out := CheckResult{Formula: input, FirstFailure: -1}
+	fill := func(rep hpl.Report) {
+		out.Holding, out.Total = rep.Holding, rep.Total
+		out.Valid = rep.Valid()
+		out.FirstFailure = rep.FirstFailure
+		if rep.FirstFailure >= 0 {
+			out.Witness = ck.Universe().At(rep.FirstFailure).String()
+		}
+	}
+	if temporal {
+		rep, err := ck.ParseAndCheckTemporal(input)
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		fill(rep.Report)
+		atInit := rep.AtInit
+		out.AtInit = &atInit
+		return out
+	}
+	rep, err := ck.ParseAndCheck(input)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	fill(rep)
+	return out
+}
+
+func (s *Server) handleUniverseStats(w http.ResponseWriter, r *http.Request) {
+	var req StatsRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	e, cached, err := s.reg.Get(r.Context(), req.Universe)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Universe:    e.Digest,
+		Spec:        e.Spec,
+		Members:     e.Checker.Universe().Len(),
+		Bytes:       e.Bytes,
+		Cached:      cached,
+		Hits:        e.Hits(),
+		BuildMillis: float64(e.BuildDuration) / float64(time.Millisecond),
+		Atoms:       e.Checker.Atoms(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Stats: s.reg.Stats()})
+}

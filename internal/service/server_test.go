@@ -1,0 +1,239 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"hpl"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Client) {
+	t.Helper()
+	ts := httptest.NewServer(NewServer(NewRegistry(cfg)))
+	t.Cleanup(ts.Close)
+	return ts, &Client{Base: ts.URL, HTTPClient: ts.Client()}
+}
+
+var testSpec = hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4}
+
+func TestServerCheck(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	resp, err := cl.Check(context.Background(), testSpec,
+		`K{q} "sent(p,m)" -> "sent(p,m)"`, // fact 4: knowledge is true
+		`K{q} "sent(p,m)"`)                // not valid: q starts ignorant
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Errorf("first request reported cached")
+	}
+	if resp.Members == 0 || resp.Universe == "" {
+		t.Errorf("missing universe metadata: %+v", resp)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results for a 2-formula batch", len(resp.Results))
+	}
+	if r := resp.Results[0]; !r.Valid || r.Holding != r.Total || r.Error != "" {
+		t.Errorf("knowledge-implies-truth not valid: %+v", r)
+	}
+	if r := resp.Results[1]; r.Valid || r.FirstFailure < 0 || r.Witness == "" {
+		t.Errorf("invalid formula lacks failure witness: %+v", r)
+	}
+
+	// Second request must hit the hot universe.
+	resp2, err := cl.Check(context.Background(), testSpec, `"sent(p,m)" | !"sent(p,m)"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Cached {
+		t.Errorf("repeat request missed the cache")
+	}
+	if resp2.Universe != resp.Universe {
+		t.Errorf("digest changed between requests: %s vs %s", resp2.Universe, resp.Universe)
+	}
+}
+
+func TestServerCheckTemporal(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	resp, err := cl.CheckTemporal(context.Background(), testSpec,
+		`AG (K{q} "sent(p,m)" -> Once "received(q,m)")`, // Theorem 5 gain
+		`EF K{q} "sent(p,m)"`)                           // q can come to know
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range resp.Results {
+		if r.Error != "" {
+			t.Fatalf("result %d: %s", i, r.Error)
+		}
+		if r.AtInit == nil {
+			t.Fatalf("result %d: temporal endpoint returned no AtInit verdict", i)
+		}
+		if !*r.AtInit {
+			t.Errorf("result %d (%s): does not hold at init", i, r.Formula)
+		}
+	}
+}
+
+// TestServerBatchPartialError checks that one bad formula in a batch
+// fails alone.
+func TestServerBatchPartialError(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	resp, err := cl.Check(context.Background(), testSpec,
+		`"sent(p,m)"`, `K{q "oops`, `"received(q,m)"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Error != "" || resp.Results[2].Error != "" {
+		t.Errorf("good formulas failed: %+v", resp.Results)
+	}
+	if resp.Results[1].Error == "" {
+		t.Errorf("bad formula did not report a parse error")
+	}
+}
+
+func TestServerUniverseStatsAndHealth(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	st, err := cl.UniverseStats(context.Background(), testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Members == 0 || st.Bytes == 0 || len(st.Atoms) == 0 {
+		t.Errorf("stats incomplete: %+v", st)
+	}
+	if st.Cached {
+		t.Errorf("first stats call reported cached")
+	}
+	if !strings.Contains(strings.Join(st.Atoms, " "), "sent(p,m)") {
+		t.Errorf("standard atoms missing: %v", st.Atoms)
+	}
+
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Universes != 1 || h.Bytes != st.Bytes {
+		t.Errorf("health snapshot inconsistent: %+v vs universe bytes %d", h, st.Bytes)
+	}
+}
+
+// TestServerStructuredErrors pins the client-visible 4xx surface:
+// malformed JSON, empty batch, bad spec, cap overrun, budget overrun.
+func TestServerStructuredErrors(t *testing.T) {
+	ts, cl := newTestServer(t, Config{MaxMembers: 10})
+
+	post := func(body string) (int, Error) {
+		resp, err := ts.Client().Post(ts.URL+"/v1/check", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e Error
+		json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, e
+	}
+
+	if code, e := post(`{not json`); code != http.StatusBadRequest || e.Code != CodeBadRequest {
+		t.Errorf("malformed JSON: got %d/%s", code, e.Code)
+	}
+	if code, e := post(`{"universe":{"procs":["p","q"],"maxSends":1},"formulas":[]}`); code != http.StatusBadRequest || e.Code != CodeBadRequest {
+		t.Errorf("empty batch: got %d/%s", code, e.Code)
+	}
+	if code, e := post(`{"universe":{"protocol":"chord","procs":["p"]},"formulas":["x"]}`); code != http.StatusBadRequest || e.Code != CodeBadSpec {
+		t.Errorf("bad spec: got %d/%s", code, e.Code)
+	}
+	// 10-member cap: the 2-proc MaxEvents=4 universe overruns → 422.
+	if _, err := cl.Check(context.Background(), testSpec, `"sent(p,m)"`); !isServiceError(err, http.StatusUnprocessableEntity, CodeUniverseTooLarge) {
+		t.Errorf("cap overrun: got %v", err)
+	}
+
+	// Separate server with a tiny byte budget → 413.
+	_, cl2 := newTestServer(t, Config{MaxBytes: 512})
+	if _, err := cl2.Check(context.Background(), testSpec, `"sent(p,m)"`); !isServiceError(err, http.StatusRequestEntityTooLarge, CodeBudgetExceeded) {
+		t.Errorf("budget overrun: got %v", err)
+	}
+}
+
+func isServiceError(err error, status int, code string) bool {
+	var serr *Error
+	return errors.As(err, &serr) && serr.Status == status && serr.Code == code
+}
+
+// TestServerConcurrentQueries hammers one warm universe with mixed
+// epistemic and temporal batches from many goroutines — the
+// multi-tenant steady state. Run under -race in CI, it checks that the
+// shared Checker session, LRU bookkeeping and hit counters tolerate
+// real query concurrency and that every client sees identical verdicts.
+func TestServerConcurrentQueries(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	spec := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 1, MaxEvents: 4}
+
+	// Warm the universe once so the hammer measures the hot path.
+	if _, err := cl.UniverseStats(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+
+	epistemic := []string{
+		`K{q} "sent(p,m)" -> "sent(p,m)"`,
+		`K{q} K{p} "sent(p,m)" -> K{q} "sent(p,m)"`,
+		`"quiescent" | !"quiescent"`,
+	}
+	temporal := []string{
+		`AG (K{q} "sent(p,m)" -> Once "received(q,m)")`,
+		`EF K{q} "sent(p,m)"`,
+	}
+
+	const goroutines, rounds = 16, 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if g%2 == 0 {
+					resp, err := cl.Check(context.Background(), spec, epistemic...)
+					if err != nil {
+						t.Errorf("check: %v", err)
+						return
+					}
+					for _, res := range resp.Results {
+						if res.Error != "" || !res.Valid {
+							t.Errorf("epistemic verdict flapped: %+v", res)
+							return
+						}
+					}
+				} else {
+					resp, err := cl.CheckTemporal(context.Background(), spec, temporal...)
+					if err != nil {
+						t.Errorf("check-temporal: %v", err)
+						return
+					}
+					for _, res := range resp.Results {
+						if res.Error != "" || res.AtInit == nil || !*res.AtInit {
+							t.Errorf("temporal verdict flapped: %+v", res)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Universes != 1 || h.Builds != 1 {
+		t.Errorf("hammer built extra universes: %+v", h)
+	}
+	if h.Hits < goroutines*rounds {
+		t.Errorf("hit counter lost updates: %d < %d", h.Hits, goroutines*rounds)
+	}
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Load-tests the hpld service and records the results as BENCH_6.json
+# at the repo root: starts a daemon, waits for /v1/health, then drives
+# concurrent mixed epistemic + temporal traffic against one warm
+# universe with cmd/hplbench. Tunables (defaults match the recorded
+# data point; CI uses a short DURATION for a smoke pass):
+#
+#   ./scripts/load.sh                       # 5s per arm, conc 16, batches 1,8
+#   DURATION=1s CONC=8 ./scripts/load.sh
+#
+# ADDR picks the daemon's listen address, OUT the output file.
+set -eu
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:8097}"
+DURATION="${DURATION:-5s}"
+CONC="${CONC:-16}"
+BATCHES="${BATCHES:-1,8}"
+OUT="${OUT:-BENCH_6.json}"
+
+go build -o /tmp/hpld ./cmd/hpld
+/tmp/hpld -addr "$ADDR" &
+HPLD_PID=$!
+trap 'kill "$HPLD_PID" 2>/dev/null || true' EXIT INT TERM
+
+# Wait for the daemon to come up (health endpoint answers 200).
+i=0
+until curl -fsS "http://$ADDR/v1/health" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -ge 50 ]; then
+		echo "load.sh: hpld did not come up on $ADDR" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+go run ./cmd/hplbench -addr "http://$ADDR" \
+	-duration "$DURATION" -conc "$CONC" -batches "$BATCHES" \
+	-out "$OUT" \
+	-note "scripts/load.sh against a live hpld on $ADDR ($(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?') CPUs); warm universe, mixed epistemic/temporal traffic"
+echo "wrote $OUT" >&2

@@ -1,0 +1,210 @@
+package hpl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+
+	"hpl/internal/universe"
+)
+
+// DefaultMaxEvents is the event bound applied when a UniverseSpec (or an
+// enumeration without WithMaxEvents) does not choose one.
+const DefaultMaxEvents = universe.DefaultMaxEvents
+
+// UniverseSpec is a declarative, JSON-serializable description of an
+// enumeration request: which system to enumerate and under which bounds.
+// It is the unit of identity for the hpld service's universe cache — two
+// requests whose specs canonicalize identically share one hot universe —
+// and Digest is the cache key.
+//
+// The zero values of the optional fields mean "default": an empty
+// Protocol is "free", MaxEvents <= 0 is DefaultMaxEvents, empty SendTags
+// is {"m"}, empty InternalTags is {"i"}, and Cap <= 0 leaves the
+// enumeration uncapped (servers clamp it to their own limit).
+type UniverseSpec struct {
+	// Protocol names the system family. Currently only "free" (see
+	// NewFree) is enumerable from a spec.
+	Protocol string `json:"protocol,omitempty"`
+	// Procs are the processes of the system.
+	Procs []ProcID `json:"procs"`
+	// MaxSends bounds the number of send events per process.
+	MaxSends int `json:"maxSends"`
+	// MaxInternal bounds the number of internal events per process.
+	MaxInternal int `json:"maxInternal,omitempty"`
+	// SendTags are the tags a send may carry; default {"m"}.
+	SendTags []string `json:"sendTags,omitempty"`
+	// InternalTags are the tags an internal event may carry; default {"i"}.
+	InternalTags []string `json:"internalTags,omitempty"`
+	// MaxEvents bounds every computation to at most this many events.
+	MaxEvents int `json:"maxEvents,omitempty"`
+	// Cap fails the enumeration with ErrUniverseTooLarge when more than
+	// this many distinct computations would be produced; <= 0 disables.
+	Cap int `json:"cap,omitempty"`
+}
+
+// Canonical returns the spec with every field in normal form: protocol
+// lowercased (empty → "free"), procs and tags trimmed, deduplicated and
+// sorted, defaults made explicit, and negative bounds clamped to zero.
+// Two specs describe the same universe exactly when their canonical
+// forms are equal, which is what makes Digest a sound cache key.
+func (s UniverseSpec) Canonical() UniverseSpec {
+	out := s
+	out.Protocol = strings.ToLower(strings.TrimSpace(s.Protocol))
+	if out.Protocol == "" {
+		out.Protocol = "free"
+	}
+	procs := make([]string, 0, len(s.Procs))
+	for _, p := range s.Procs {
+		procs = append(procs, string(p))
+	}
+	out.Procs = nil
+	for _, p := range canonStrings(procs, nil) {
+		out.Procs = append(out.Procs, ProcID(p))
+	}
+	if out.MaxSends < 0 {
+		out.MaxSends = 0
+	}
+	if out.MaxInternal < 0 {
+		out.MaxInternal = 0
+	}
+	out.SendTags = canonStrings(s.SendTags, []string{"m"})
+	out.InternalTags = canonStrings(s.InternalTags, []string{"i"})
+	if out.MaxEvents <= 0 {
+		out.MaxEvents = DefaultMaxEvents
+	}
+	if out.Cap < 0 {
+		out.Cap = 0
+	}
+	return out
+}
+
+// canonStrings trims, drops empties, sorts and deduplicates; an empty
+// result becomes the default set.
+func canonStrings(in, def []string) []string {
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	slices.Sort(out)
+	out = slices.Compact(out)
+	if len(out) == 0 {
+		return slices.Clone(def)
+	}
+	return out
+}
+
+// Validate reports whether the canonical form of the spec describes an
+// enumerable system.
+func (s UniverseSpec) Validate() error {
+	c := s.Canonical()
+	if c.Protocol != "free" {
+		return fmt.Errorf("hpl: unknown protocol %q (only \"free\" universes can be built from a spec)", c.Protocol)
+	}
+	if len(c.Procs) == 0 {
+		return fmt.Errorf("hpl: spec has no processes")
+	}
+	return nil
+}
+
+// Digest returns a stable hex digest of the canonical spec, suitable as
+// a cache key: semantically identical option sets (reordered processes,
+// duplicate tags, defaults spelled out or omitted) collide, and any
+// semantic difference — protocol name, process set, per-process bounds,
+// MaxEvents, Cap, channel tag options — separates. The encoding
+// length-prefixes every field, so no two canonical specs share a
+// preimage.
+func (s UniverseSpec) Digest() string {
+	c := s.Canonical()
+	h := sha256.New()
+	writeField := func(name string, vals ...string) {
+		fmt.Fprintf(h, "%s/%d", name, len(vals))
+		for _, v := range vals {
+			fmt.Fprintf(h, ":%d,", len(v))
+			io.WriteString(h, v)
+		}
+		io.WriteString(h, ";")
+	}
+	procs := make([]string, len(c.Procs))
+	for i, p := range c.Procs {
+		procs[i] = string(p)
+	}
+	writeField("protocol", c.Protocol)
+	writeField("procs", procs...)
+	writeField("maxSends", fmt.Sprint(c.MaxSends))
+	writeField("maxInternal", fmt.Sprint(c.MaxInternal))
+	writeField("sendTags", c.SendTags...)
+	writeField("internalTags", c.InternalTags...)
+	writeField("maxEvents", fmt.Sprint(c.MaxEvents))
+	writeField("cap", fmt.Sprint(c.Cap))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// System builds the Protocol the canonical spec describes.
+func (s UniverseSpec) System() (Protocol, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	c := s.Canonical()
+	return NewFree(FreeConfig{
+		Procs:        c.Procs,
+		MaxSends:     c.MaxSends,
+		MaxInternal:  c.MaxInternal,
+		SendTags:     c.SendTags,
+		InternalTags: c.InternalTags,
+	}), nil
+}
+
+// EnumOptions returns the enumeration options the canonical spec pins
+// down (event bound and cap); callers append execution options
+// (WithParallelism, WithContext, …), which never change the resulting
+// universe.
+func (s UniverseSpec) EnumOptions() []EnumOption {
+	c := s.Canonical()
+	opts := []EnumOption{WithMaxEvents(c.MaxEvents)}
+	if c.Cap > 0 {
+		opts = append(opts, WithCap(c.Cap))
+	}
+	return opts
+}
+
+// Predicates returns the standard vocabulary of the spec's system: for
+// every process, "sent(p,t)" and "received(p,t)" per send tag and
+// "internal(p,t)" per internal tag, plus "quiescent" (no messages in
+// flight). These are the atoms a service seeds a session with, so
+// clients can write textual formulas without registering predicates.
+func (s UniverseSpec) Predicates() []Predicate {
+	c := s.Canonical()
+	var preds []Predicate
+	for _, p := range c.Procs {
+		for _, t := range c.SendTags {
+			preds = append(preds, SentTag(p, t), ReceivedTag(p, t))
+		}
+		for _, t := range c.InternalTags {
+			preds = append(preds, DidInternal(p, t))
+		}
+	}
+	preds = append(preds, NoMessagesInFlight())
+	return preds
+}
+
+// CheckSpec enumerates the spec's universe and returns a checking
+// session whose vocabulary is pre-seeded with the spec's standard atoms
+// (see Predicates). Execution options (WithParallelism, WithContext,
+// WithProgress, …) are appended after the spec's own bounds.
+func CheckSpec(s UniverseSpec, opts ...EnumOption) (*Checker, error) {
+	sys, err := s.System()
+	if err != nil {
+		return nil, err
+	}
+	ck, err := CheckProtocol(sys, append(s.EnumOptions(), opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	return ck.Define(s.Predicates()...), nil
+}

@@ -1,0 +1,140 @@
+package hpl_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hpl"
+)
+
+// TestSpecDigestCollides pins the cache-key semantics of satellite-grade
+// importance for the service: semantically identical option sets must
+// produce the same digest, so reordered processes, duplicate tags, and
+// defaults spelled out or omitted all land on the same hot universe.
+func TestSpecDigestCollides(t *testing.T) {
+	base := hpl.UniverseSpec{
+		Protocol: "free",
+		Procs:    []hpl.ProcID{"p", "q", "r"},
+		MaxSends: 2, MaxEvents: 6,
+	}
+	same := []hpl.UniverseSpec{
+		{Procs: []hpl.ProcID{"r", "q", "p"}, MaxSends: 2, MaxEvents: 6}, // reordered procs, default protocol
+		{Protocol: "FREE", Procs: []hpl.ProcID{"p", "q", "r", "q"}, MaxSends: 2, MaxEvents: 6},
+		{Protocol: " free ", Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 2, MaxEvents: 6,
+			SendTags: []string{"m", "m"}, InternalTags: []string{"i"}}, // defaults explicit
+		{Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 2, MaxEvents: 6, MaxInternal: -3, Cap: -1}, // clamped
+	}
+	want := base.Digest()
+	for i, s := range same {
+		if got := s.Digest(); got != want {
+			t.Errorf("spec %d: digest %s != base %s, but specs are semantically identical\n%+v", i, got, want, s)
+		}
+	}
+}
+
+// TestSpecDigestSeparates checks that every semantic difference changes
+// the digest.
+func TestSpecDigestSeparates(t *testing.T) {
+	base := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4}
+	diff := map[string]hpl.UniverseSpec{
+		"procs":        {Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 1, MaxEvents: 4},
+		"maxSends":     {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 2, MaxEvents: 4},
+		"maxInternal":  {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxInternal: 1, MaxEvents: 4},
+		"maxEvents":    {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 5},
+		"cap":          {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, Cap: 1000},
+		"sendTags":     {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, SendTags: []string{"a", "b"}},
+		"internalTags": {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, InternalTags: []string{"x"}},
+	}
+	seen := map[string]string{base.Digest(): "base"}
+	for name, s := range diff {
+		d := s.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("specs %q and %q share digest %s but differ semantically", name, prev, d)
+		}
+		seen[d] = name
+	}
+	// Tag *sets* that differ only in ambiguous concatenation must still
+	// separate (the encoding is length-prefixed).
+	a := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, SendTags: []string{"ab", "c"}}
+	b := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, SendTags: []string{"a", "bc"}}
+	if a.Digest() == b.Digest() {
+		t.Errorf("length-prefixing failed: {ab,c} and {a,bc} collide")
+	}
+}
+
+// TestSpecDigestPinned pins one golden digest so accidental changes to
+// the canonical encoding (which would strand every persisted cache key)
+// show up as a test failure rather than silent cache misses.
+func TestSpecDigestPinned(t *testing.T) {
+	s := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4}
+	const want = "0b140f5ecc2b6625397204a293de4046aa2c4d94e9b45235cc4755c778f6508a"
+	if got := s.Digest(); got != want {
+		t.Errorf("canonical digest changed: got %s want %s\n(if intentional, update the pin — cached keys will all miss once)", got, want)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (hpl.UniverseSpec{Procs: []hpl.ProcID{"p"}}).Validate(); err != nil {
+		t.Errorf("minimal spec invalid: %v", err)
+	}
+	if err := (hpl.UniverseSpec{}).Validate(); err == nil {
+		t.Errorf("spec without processes validated")
+	}
+	if err := (hpl.UniverseSpec{Protocol: "chord", Procs: []hpl.ProcID{"p"}}).Validate(); err == nil {
+		t.Errorf("unknown protocol validated")
+	}
+}
+
+// TestCheckSpec checks the spec-to-session path end to end: the universe
+// matches a by-hand CheckProtocol enumeration and the standard atoms
+// parse without extra Define calls.
+func TestCheckSpec(t *testing.T) {
+	spec := hpl.UniverseSpec{Procs: []hpl.ProcID{"q", "p"}, MaxSends: 1, MaxEvents: 4}
+	ck, err := hpl.CheckSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := hpl.CheckProtocol(hpl.NewFree(hpl.FreeConfig{
+		Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1,
+	}), hpl.WithMaxEvents(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Universe().Len() != ref.Universe().Len() {
+		t.Fatalf("spec universe has %d members, by-hand %d", ck.Universe().Len(), ref.Universe().Len())
+	}
+	rep, err := ck.ParseAndCheck(`K{q} "sent(p,m)" -> "sent(p,m)"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Valid() {
+		t.Errorf("knowledge-implies-truth not valid over spec universe")
+	}
+	trep, err := ck.ParseAndCheckTemporal(`AG (K{q} "sent(p,m)" -> Once "received(q,m)")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trep.AtInit {
+		t.Errorf("gain theorem does not hold at init over spec universe")
+	}
+	if _, err := ck.Parse(`"quiescent"`); err != nil {
+		t.Errorf("standard atom missing from spec vocabulary: %v", err)
+	}
+}
+
+// TestSpecJSONRoundTrip guards the wire format: a spec survives
+// marshal/unmarshal with its digest intact.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 2, MaxEvents: 6, Cap: 200000}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got hpl.UniverseSpec
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != s.Digest() {
+		t.Errorf("digest changed across JSON round trip")
+	}
+}
