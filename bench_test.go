@@ -6,6 +6,7 @@
 package hpl_test
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -137,6 +138,131 @@ func BenchmarkEnumerateLarge(b *testing.B) {
 			b.ReportMetric(float64(size), "computations")
 		})
 	}
+}
+
+// snapshotBenchUniverse enumerates the 107k-member MaxEvents=6 universe
+// the snapshot and extension benchmarks exercise — the same universe as
+// BenchmarkEnumerateLarge, so its workers=1 row is the re-enumeration
+// baseline the snapshot load is measured against.
+func snapshotBenchUniverse(b *testing.B) *universe.Universe {
+	b.Helper()
+	u, err := universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
+		Procs:    []trace.ProcID{"p", "q", "r"},
+		MaxSends: 2,
+	}), universe.WithMaxEvents(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if u.Len() < 100000 {
+		b.Fatalf("universe too small for the snapshot benchmarks: %d", u.Len())
+	}
+	return u
+}
+
+// BenchmarkSnapshotWriteLarge measures encoding the 107k-member
+// universe (with its transition graph and a partition table resident)
+// to the versioned binary snapshot format.
+func BenchmarkSnapshotWriteLarge(b *testing.B) {
+	u := snapshotBenchUniverse(b)
+	u.Transitions()
+	u.Partition(u.All())
+	var buf bytes.Buffer
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := universe.WriteSnapshot(&buf, u, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(u.Len()), "computations")
+	b.ReportMetric(float64(buf.Len()), "snapshot-bytes")
+}
+
+// BenchmarkSnapshotLoadLarge measures the cold-start race on the
+// 107k-member universe: both arms end in the same place — a universe
+// with its transition graph and full-set partition table resident,
+// ready to answer the standard query mix — but "enumerate" gets there
+// the way a restart without snapshots does (re-run the protocol, build
+// the tables), while "load" decodes the snapshot, where the tables come
+// back as flat arrays and the projection-key index rebuilds lazily only
+// if a non-member lookup ever needs it. The gap between the arms is
+// what -snapshot-dir buys per restart (expect ≥10×).
+func BenchmarkSnapshotLoadLarge(b *testing.B) {
+	u := snapshotBenchUniverse(b)
+	u.Transitions()
+	u.Partition(u.All())
+	var buf bytes.Buffer
+	if err := universe.WriteSnapshot(&buf, u, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	cfg := universe.FreeConfig{Procs: []trace.ProcID{"p", "q", "r"}, MaxSends: 2}
+	b.Run("enumerate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, err := universe.EnumerateWith(universe.NewFree(cfg), universe.WithMaxEvents(6))
+			if err != nil {
+				b.Fatal(err)
+			}
+			got.Transitions()
+			got.Partition(got.All())
+		}
+		b.ReportMetric(float64(u.Len()), "computations")
+	})
+	b.Run("load", func(b *testing.B) {
+		b.ReportAllocs()
+		var size int
+		for i := 0; i < b.N; i++ {
+			got, _, err := universe.ReadSnapshot(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = got.Len()
+		}
+		if size != u.Len() {
+			b.Fatalf("loaded %d members, want %d", size, u.Len())
+		}
+		b.ReportMetric(float64(size), "computations")
+	})
+}
+
+// BenchmarkExtendLargeBound pushes the bound into the 621k-member
+// MaxEvents=7 territory both ways: enumerating from scratch and
+// extending the cached MaxEvents=6 universe in place — the frontier
+// below the old bound is never re-enumerated, so the extension arm is
+// the marginal cost of the new bound alone.
+func BenchmarkExtendLargeBound(b *testing.B) {
+	cfg := universe.FreeConfig{Procs: []trace.ProcID{"p", "q", "r"}, MaxSends: 2}
+	b.Run("from-scratch-7", func(b *testing.B) {
+		b.ReportAllocs()
+		var size int
+		for i := 0; i < b.N; i++ {
+			u, err := universe.EnumerateWith(universe.NewFree(cfg), universe.WithMaxEvents(7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = u.Len()
+		}
+		b.ReportMetric(float64(size), "computations")
+	})
+	b.Run("extend-6to7", func(b *testing.B) {
+		base := snapshotBenchUniverse(b)
+		b.ResetTimer()
+		b.ReportAllocs()
+		var size int
+		for i := 0; i < b.N; i++ {
+			u, err := universe.Extend(base, universe.WithMaxEvents(7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = u.Len()
+		}
+		if size < 600000 {
+			b.Fatalf("extended universe too small: %d", size)
+		}
+		b.ReportMetric(float64(size), "computations")
+	})
 }
 
 func BenchmarkVectorClocks(b *testing.B) {

@@ -1,12 +1,21 @@
 // Command hplbench is the load-test harness for the hpld service: it
 // drives concurrent mixed epistemic + temporal formula traffic against
 // a warm universe and records sustained queries/sec and latency
-// percentiles as JSON (the repo's BENCH_6.json data point).
+// percentiles as JSON (the service rows of the repo's BENCH_7.json,
+// BENCH_6.json before it).
 //
 // Usage:
 //
 //	hplbench [-addr http://host:port] [-procs p,q,r] [-sends 2] [-events 6]
-//	         [-conc 16] [-duration 5s] [-batches 1,8] [-out BENCH_6.json]
+//	         [-conc 16] [-duration 5s] [-batches 1,8] [-out BENCH_7.json]
+//	         [-cold]
+//
+// -cold measures the cold-start path instead of sustained load: one
+// timed universe-stats query against a daemon that has never seen the
+// universe — time-to-first-answer — and reports how the daemon
+// materialized it ("build", "snapshot", or "extend"). scripts/load.sh
+// runs it twice, against an empty and a populated -snapshot-dir, to
+// record what snapshots buy per restart.
 //
 // With no -addr the harness starts an in-process hpld (same handler,
 // loopback HTTP), so one command measures the full service stack
@@ -47,8 +56,16 @@ type Result struct {
 	CPUs     int          `json:"cpus"`
 	Target   string       `json:"target"` // "in-process" or the remote base URL
 	Universe UniverseInfo `json:"universe"`
-	Arms     []Arm        `json:"arms"`
+	Arms     []Arm        `json:"arms,omitempty"`
+	Cold     *ColdStart   `json:"cold,omitempty"`
 	Note     string       `json:"note,omitempty"`
+}
+
+// ColdStart is the -cold measurement: how long the daemon's very first
+// answer about the universe took, and how it was materialized.
+type ColdStart struct {
+	TTFAMillis float64 `json:"ttfaMillis"`
+	Source     string  `json:"source"`
 }
 
 // UniverseInfo describes the warm universe the load ran against.
@@ -59,6 +76,7 @@ type UniverseInfo struct {
 	MaxEvents   int     `json:"maxEvents"`
 	Members     int     `json:"members"`
 	Bytes       int64   `json:"bytes"`
+	Source      string  `json:"source,omitempty"` // build | snapshot | extend
 	BuildMillis float64 `json:"buildMillis"`
 }
 
@@ -100,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	conc := fs.Int("conc", 16, "concurrent client goroutines")
 	duration := fs.Duration("duration", 5*time.Second, "measured window per arm")
 	batches := fs.String("batches", "1,8", "comma-separated formulas-per-request arms")
+	cold := fs.Bool("cold", false, "measure time-to-first-answer (one universe-stats query), skip the load arms")
 	out := fs.String("out", "", "write the JSON record to this file (default stdout only)")
 	note := fs.String("note", "", "free-form note recorded in the result")
 	if err := fs.Parse(args); err != nil {
@@ -131,29 +150,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cl := &service.Client{Base: target, HTTPClient: &http.Client{Transport: transport}}
 
 	// Warm the universe; the build is paid once and reported, the
-	// measured arms below run entirely against the hot cache.
+	// measured arms below run entirely against the hot cache. With
+	// -cold, this first query IS the measurement: the wall time from
+	// request to first answer on a daemon that has never seen the spec.
 	fmt.Fprintf(stderr, "hplbench: warming universe (%d procs, sends=%d, events=%d) on %s...\n",
 		len(ids), *sends, *events, label)
+	t0 := time.Now()
 	st, err := cl.UniverseStats(context.Background(), spec)
 	if err != nil {
 		fmt.Fprintf(stderr, "hplbench: warm-up failed: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stderr, "hplbench: universe %s hot: %d members, ~%d KiB, built in %.1f ms\n",
-		st.Universe[:12], st.Members, st.Bytes>>10, st.BuildMillis)
+	ttfa := time.Since(t0)
+	fmt.Fprintf(stderr, "hplbench: universe %s hot: %d members, ~%d KiB, materialized by %s in %.1f ms\n",
+		st.Universe[:12], st.Members, st.Bytes>>10, st.Source, st.BuildMillis)
 
-	// Warm the formula mix as well: the first evaluation of each
-	// distinct subformula pays one pass over the universe before its
-	// truth vector is memoized, and the arms below measure the
-	// daemon's steady state, not that one-time cost.
-	epistemic, temporal := formulaMix(ids)
-	if _, err := cl.Check(context.Background(), spec, epistemic...); err != nil {
-		fmt.Fprintf(stderr, "hplbench: formula warm-up failed: %v\n", err)
-		return 1
-	}
-	if _, err := cl.CheckTemporal(context.Background(), spec, temporal...); err != nil {
-		fmt.Fprintf(stderr, "hplbench: formula warm-up failed: %v\n", err)
-		return 1
+	if !*cold {
+		// Warm the formula mix as well: the first evaluation of each
+		// distinct subformula pays one pass over the universe before its
+		// truth vector is memoized, and the arms below measure the
+		// daemon's steady state, not that one-time cost.
+		epistemic, temporal := formulaMix(ids)
+		if _, err := cl.Check(context.Background(), spec, epistemic...); err != nil {
+			fmt.Fprintf(stderr, "hplbench: formula warm-up failed: %v\n", err)
+			return 1
+		}
+		if _, err := cl.CheckTemporal(context.Background(), spec, temporal...); err != nil {
+			fmt.Fprintf(stderr, "hplbench: formula warm-up failed: %v\n", err)
+			return 1
+		}
 	}
 
 	res := Result{
@@ -171,20 +196,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			MaxEvents:   *events,
 			Members:     st.Members,
 			Bytes:       st.Bytes,
+			Source:      st.Source,
 			BuildMillis: st.BuildMillis,
 		},
 	}
-
-	for _, b := range strings.Split(*batches, ",") {
-		batch, err := strconv.Atoi(strings.TrimSpace(b))
-		if err != nil || batch < 1 {
-			fmt.Fprintf(stderr, "hplbench: bad batch size %q\n", b)
-			return 2
+	if *cold {
+		res.Cold = &ColdStart{
+			TTFAMillis: float64(ttfa) / float64(time.Millisecond),
+			Source:     st.Source,
 		}
-		arm := runArm(cl, spec, ids, batch, *conc, *duration)
-		res.Arms = append(res.Arms, arm)
-		fmt.Fprintf(stderr, "hplbench: batch=%d conc=%d: %.0f queries/sec (%.0f req/sec), p50=%.0fµs p99=%.0fµs, %d errors\n",
-			arm.Batch, arm.Concurrency, arm.QPS, arm.RPS, arm.LatencyMicros.P50, arm.LatencyMicros.P99, arm.Errors)
+		fmt.Fprintf(stderr, "hplbench: cold start answered in %.1f ms (source %s)\n",
+			res.Cold.TTFAMillis, res.Cold.Source)
+	}
+
+	if !*cold {
+		for _, b := range strings.Split(*batches, ",") {
+			batch, err := strconv.Atoi(strings.TrimSpace(b))
+			if err != nil || batch < 1 {
+				fmt.Fprintf(stderr, "hplbench: bad batch size %q\n", b)
+				return 2
+			}
+			arm := runArm(cl, spec, ids, batch, *conc, *duration)
+			res.Arms = append(res.Arms, arm)
+			fmt.Fprintf(stderr, "hplbench: batch=%d conc=%d: %.0f queries/sec (%.0f req/sec), p50=%.0fµs p99=%.0fµs, %d errors\n",
+				arm.Batch, arm.Concurrency, arm.QPS, arm.RPS, arm.LatencyMicros.P50, arm.LatencyMicros.P99, arm.Errors)
+		}
 	}
 
 	enc := json.NewEncoder(stdout)

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	hpld [-addr :8090] [-mem-mib 512] [-max-members 500000] [-par 0] [-drain 10s]
+//	hpld [-addr :8090] [-mem-mib 512] [-max-members 500000] [-par 0] [-drain 10s] [-snapshot-dir DIR]
 //
 // Endpoints (see internal/service for the wire types):
 //
@@ -23,6 +23,11 @@
 // would not fit the memory budget a 413 — never a 500 or an OOM.
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // queries for up to -drain.
+//
+// With -snapshot-dir the cache survives restarts: every built universe
+// is persisted as <dir>/<digest>.hplsnap, and after a restart the first
+// query for it is answered by a millisecond disk load instead of a
+// re-enumeration (source "snapshot" in /v1/universe-stats).
 //
 // The companion client mode is `mck -server http://host:port '<formula>'`;
 // cmd/hplbench drives load against a running daemon.
@@ -49,12 +54,19 @@ func main() {
 	maxMembers := fs.Int("max-members", 500000, "per-universe enumeration cap (members)")
 	par := fs.Int("par", 0, "enumeration workers per build (0 = GOMAXPROCS)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight queries")
+	snapDir := fs.String("snapshot-dir", "", "persist universes here and serve cold misses from disk (empty = off)")
 	fs.Parse(os.Args[1:])
 
+	if *snapDir != "" {
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			log.Fatalf("hpld: snapshot dir: %v", err)
+		}
+	}
 	reg := service.NewRegistry(service.Config{
 		MaxBytes:         *memMiB << 20,
 		MaxMembers:       *maxMembers,
 		BuildParallelism: *par,
+		SnapshotDir:      *snapDir,
 	})
 	srv := &http.Server{
 		Addr:    *addr,
@@ -64,6 +76,9 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("hpld: serving on %s (budget %d MiB, cap %d members)", *addr, *memMiB, *maxMembers)
+	if *snapDir != "" {
+		log.Printf("hpld: persisting universes to %s", *snapDir)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -42,6 +42,7 @@ package hpl
 
 import (
 	"context"
+	"io"
 
 	"hpl/internal/diagram"
 	"hpl/internal/fusion"
@@ -169,6 +170,48 @@ func EnumerateWith(p Protocol, opts ...EnumOption) (*Universe, error) {
 // succeed; it panics on error.
 func MustEnumerateWith(p Protocol, opts ...EnumOption) *Universe {
 	return universe.MustEnumerateWith(p, opts...)
+}
+
+// --- Incremental extension & snapshots ---
+
+// ErrCannotExtend reports an ExtendUniverse call on a universe missing
+// what incremental enumeration needs (a bound protocol, a known event
+// bound, or frontier state).
+var ErrCannotExtend = universe.ErrCannotExtend
+
+// Snapshot decode errors, from most to least structural: not a
+// snapshot at all, incompatible codec version, ends mid-structure,
+// fails the checksum or decodes out of range.
+var (
+	ErrSnapshotFormat    = universe.ErrSnapshotFormat
+	ErrSnapshotVersion   = universe.ErrSnapshotVersion
+	ErrSnapshotTruncated = universe.ErrSnapshotTruncated
+	ErrSnapshotCorrupt   = universe.ErrSnapshotCorrupt
+)
+
+// ExtendUniverse enumerates u's protocol at a larger event bound by
+// re-seeding the engine from u's maximal members, enumerating only the
+// new frontier. The result is byte-identical — member order, Partition
+// tables, Transitions — to a from-scratch EnumerateWith at the larger
+// bound. Options are interpreted as for EnumerateWith; u is unchanged.
+func ExtendUniverse(u *Universe, opts ...EnumOption) (*Universe, error) {
+	return universe.Extend(u, opts...)
+}
+
+// WriteSnapshot writes an enumerated universe — members, state table,
+// built partition tables, transition graph — to w in the versioned,
+// checksummed binary snapshot format, keyed by digest (normally a
+// UniverseSpec digest).
+func WriteSnapshot(w io.Writer, u *Universe, digest string) error {
+	return universe.WriteSnapshot(w, u, digest)
+}
+
+// ReadSnapshot loads a universe and its digest key from r, in
+// milliseconds rather than re-enumeration time. The loaded universe
+// answers every query the original did; call Universe.BindProtocol to
+// make it extendable again.
+func ReadSnapshot(r io.Reader) (*Universe, string, error) {
+	return universe.ReadSnapshot(r)
 }
 
 // --- Transitions (temporal substrate) ---

@@ -32,6 +32,35 @@ func TestQuickstartFlow(t *testing.T) {
 	}
 }
 
+// TestExtendStrengthensGainTheorem grows a universe incrementally and
+// re-checks Theorem 5's temporal form at each bound: a larger MaxEvents
+// means longer message chains, so each extension is a strictly stronger
+// witness of the same law.
+func TestExtendStrengthensGainTheorem(t *testing.T) {
+	ck := hpl.MustCheckProtocol(hpl.NewFree(hpl.FreeConfig{
+		Procs:    []hpl.ProcID{"p", "q"},
+		MaxSends: 1,
+		SendTags: []string{"hello"},
+	}), hpl.WithMaxEvents(3))
+	b := hpl.NewAtom(hpl.SentTag("p", "hello"))
+	gain := hpl.AG(hpl.Implies(hpl.Knows(hpl.Singleton("q"), b),
+		hpl.Once(hpl.NewAtom(hpl.ReceivedTag("q", "hello")))))
+
+	u := ck.Universe()
+	for _, bound := range []int{4, 5, 6} {
+		var err error
+		u, err = hpl.ExtendUniverse(u, hpl.WithMaxEvents(bound))
+		if err != nil {
+			t.Fatalf("extend to %d: %v", bound, err)
+		}
+		rep := hpl.NewChecker(u).CheckTemporal(gain)
+		if !rep.AtInit || !rep.Valid() {
+			t.Fatalf("gain theorem must hold at MaxEvents=%d (%d members): %+v",
+				bound, u.Len(), rep)
+		}
+	}
+}
+
 func TestFacadeIsomorphism(t *testing.T) {
 	x := hpl.NewBuilder().Internal("p", "a").Internal("q", "b").MustBuild()
 	y := hpl.NewBuilder().Internal("q", "b").Internal("p", "a").MustBuild()

@@ -16,11 +16,14 @@
 package service
 
 import (
+	"bufio"
 	"container/list"
 	"context"
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -68,6 +71,13 @@ type Config struct {
 	// BuildParallelism is the enumeration worker count per build; <= 0
 	// defaults to GOMAXPROCS.
 	BuildParallelism int
+	// SnapshotDir, when non-empty, persists universes across restarts:
+	// every built (or extended) universe is written to
+	// <dir>/<digest>.hplsnap, and a cold miss is satisfied from disk —
+	// a millisecond load instead of a re-enumeration — before any build
+	// runs. The directory must exist; unreadable or corrupt files are
+	// removed and fall back to a build.
+	SnapshotDir string
 }
 
 const (
@@ -82,6 +92,7 @@ type Registry struct {
 	maxBytes int64
 	maxCap   int
 	buildPar int
+	snapDir  string
 	// buildFn builds a session for a canonical spec; tests substitute
 	// counting/blocking builders.
 	buildFn func(ctx context.Context, spec hpl.UniverseSpec) (*hpl.Checker, error)
@@ -92,12 +103,27 @@ type Registry struct {
 	calls   map[string]*call
 	bytes   int64
 
-	builds, hits, misses, evictions int64
+	builds, hits, misses, evictions          int64
+	snapshotHits, snapshotMisses, snapErrors int64
+	extends                                  int64
 }
+
+// Entry sources: how the cached universe came to be resident.
+const (
+	// SourceBuild: enumerated from scratch by the build function.
+	SourceBuild = "build"
+	// SourceSnapshot: loaded from the snapshot directory without any
+	// enumeration.
+	SourceSnapshot = "snapshot"
+	// SourceExtend: enumerated incrementally from a cached universe of
+	// the same family at a smaller event bound.
+	SourceExtend = "extend"
+)
 
 // Entry is one cached universe with its session and accounting. The
 // fields are immutable after insertion except the registry-managed LRU
-// bookkeeping.
+// bookkeeping and the byte estimate, which is re-charged when an
+// extension starts sharing the entry's structure.
 type Entry struct {
 	// Spec is the canonical spec the universe was built from.
 	Spec hpl.UniverseSpec
@@ -106,16 +132,37 @@ type Entry struct {
 	// Checker is the shared session: concurrent queries reuse its
 	// memoized truth vectors.
 	Checker *hpl.Checker
-	// Bytes is the estimated resident footprint (see EstimateBytes).
-	Bytes int64
-	// BuildDuration is how long the enumeration + session setup took.
+	// Source reports how the universe became resident: SourceBuild,
+	// SourceSnapshot, or SourceExtend.
+	Source string
+	// BuildDuration is how long it took to make the universe resident —
+	// enumeration + session setup for builds and extensions, the disk
+	// load for snapshots.
 	BuildDuration time.Duration
 	// BuiltAt is when the build completed.
 	BuiltAt time.Time
 
-	mu   sync.Mutex
-	hits int64
-	elem *list.Element
+	mu    sync.Mutex
+	bytes int64
+	hits  int64
+	elem  *list.Element
+}
+
+// Bytes reports the entry's estimated resident footprint (see
+// EstimateBytes). When a cached universe becomes the seed of an
+// extension, the extended entry charges their shared structure and the
+// seed is re-charged to its session-only estimate, so the two entries
+// together account the shared prefix tree once.
+func (e *Entry) Bytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bytes
+}
+
+func (e *Entry) setBytes(b int64) {
+	e.mu.Lock()
+	e.bytes = b
+	e.mu.Unlock()
 }
 
 // Hits reports how many cache hits the entry has served.
@@ -148,6 +195,7 @@ func NewRegistry(cfg Config) *Registry {
 		maxBytes: cfg.MaxBytes,
 		maxCap:   cfg.MaxMembers,
 		buildPar: cfg.BuildParallelism,
+		snapDir:  cfg.SnapshotDir,
 		entries:  make(map[string]*Entry),
 		lru:      list.New(),
 		calls:    make(map[string]*call),
@@ -246,11 +294,14 @@ func (r *Registry) getOnce(ctx context.Context, spec hpl.UniverseSpec, digest st
 	}
 }
 
-// build runs one singleflight enumeration and publishes the result.
+// build runs one singleflight materialization and publishes the
+// result. "Materialize" is a three-rung fallback, cheapest first: load
+// a snapshot from disk, extend a cached universe of the same family at
+// a smaller bound, enumerate from scratch.
 func (r *Registry) build(ctx context.Context, c *call, spec hpl.UniverseSpec, digest string) {
 	defer c.cancel()
 	start := time.Now()
-	ck, err := r.buildFn(ctx, spec)
+	ck, source, seedDigest, err := r.materialize(ctx, spec, digest)
 
 	var e *Entry
 	switch {
@@ -269,9 +320,15 @@ func (r *Registry) build(ctx context.Context, c *call, spec hpl.UniverseSpec, di
 			Spec:          spec,
 			Digest:        digest,
 			Checker:       ck,
-			Bytes:         bytes,
+			Source:        source,
 			BuildDuration: time.Since(start),
 			BuiltAt:       time.Now(),
+		}
+		e.bytes = bytes
+		// Persist before publishing: once a waiter sees the entry, a
+		// restart must be able to serve it from disk.
+		if r.snapDir != "" && source != SourceSnapshot {
+			r.writeSnapshot(e)
 		}
 	case errors.Is(err, hpl.ErrUniverseTooLarge):
 		err = &Error{
@@ -294,10 +351,167 @@ func (r *Registry) build(ctx context.Context, c *call, spec hpl.UniverseSpec, di
 	delete(r.calls, digest)
 	if e != nil {
 		r.insertLocked(e)
+		if source == SourceExtend {
+			r.extends++
+			r.rechargeSeedLocked(seedDigest)
+		}
 	}
 	c.entry, c.err = e, err
 	r.mu.Unlock()
 	close(c.done)
+}
+
+// materialize produces the session for a miss by the cheapest means
+// available, reporting how (an entry Source) and, for extensions, the
+// digest of the seed entry whose accounting must be re-charged.
+func (r *Registry) materialize(ctx context.Context, spec hpl.UniverseSpec, digest string) (ck *hpl.Checker, source, seedDigest string, err error) {
+	if r.snapDir != "" {
+		if ck := r.loadSnapshot(spec, digest); ck != nil {
+			return ck, SourceSnapshot, "", nil
+		}
+	}
+	if seed := r.findSeed(spec); seed != nil {
+		ck, err := r.extendFrom(ctx, seed, spec)
+		switch {
+		case err == nil:
+			return ck, SourceExtend, seed.Digest, nil
+		case errors.Is(err, hpl.ErrUniverseTooLarge) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// A full build would only re-derive the same outcome.
+			return nil, SourceExtend, "", err
+		}
+		// Anything else (a seed that cannot extend) falls through to a
+		// full build.
+	}
+	ck, err = r.buildFn(ctx, spec)
+	return ck, SourceBuild, "", err
+}
+
+// familyKey identifies specs that differ only in their event bound —
+// the universes one of which incremental extension can grow into
+// another. The key is the digest of the canonical spec with the bound
+// pinned to an arbitrary fixed value.
+func familyKey(spec hpl.UniverseSpec) string {
+	c := spec.Canonical()
+	c.MaxEvents = 1
+	return c.Digest()
+}
+
+// findSeed returns the cached entry of spec's family with the largest
+// event bound strictly below spec's, or nil. It does not touch LRU
+// order: seeding an extension is not a client hit on the seed.
+func (r *Registry) findSeed(spec hpl.UniverseSpec) *Entry {
+	target := spec.Canonical()
+	fam := familyKey(spec)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best *Entry
+	bestBound := -1
+	for _, e := range r.entries {
+		c := e.Spec.Canonical()
+		if c.MaxEvents >= target.MaxEvents || c.MaxEvents <= bestBound || familyKey(e.Spec) != fam {
+			continue
+		}
+		best, bestBound = e, c.MaxEvents
+	}
+	return best
+}
+
+// extendFrom grows the seed's universe to spec's bound incrementally —
+// enumerating only the frontier beyond the seed's bound — and opens a
+// fresh session over the result. The seed entry is untouched.
+func (r *Registry) extendFrom(ctx context.Context, seed *Entry, spec hpl.UniverseSpec) (*hpl.Checker, error) {
+	opts := append(spec.EnumOptions(),
+		hpl.WithContext(ctx), hpl.WithParallelism(r.buildPar))
+	u, err := hpl.ExtendUniverse(seed.Checker.Universe(), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return hpl.NewChecker(u, spec.Predicates()...), nil
+}
+
+// rechargeSeedLocked re-charges a still-cached extension seed to its
+// session-only estimate: the extended entry now accounts their shared
+// structure (prefix tree, interned events), and double-charging it
+// would evict a neighbor for bytes that exist once.
+func (r *Registry) rechargeSeedLocked(seedDigest string) {
+	seed, ok := r.entries[seedDigest]
+	if !ok {
+		return // evicted while the extension ran; its bytes are gone
+	}
+	recharged := EstimateSessionBytes(seed.Checker.Universe())
+	if old := seed.Bytes(); recharged < old {
+		seed.setBytes(recharged)
+		r.bytes -= old - recharged
+	}
+}
+
+// snapshotPath is the digest-named snapshot file of a universe.
+func (r *Registry) snapshotPath(digest string) string {
+	return filepath.Join(r.snapDir, digest+".hplsnap")
+}
+
+// loadSnapshot satisfies a cold miss from disk, returning nil (and
+// counting a snapshot miss) when no usable snapshot exists. Corrupt,
+// truncated, or mismatched files are removed so the rebuild can replace
+// them. Loads are serialized per digest by the caller's singleflight.
+func (r *Registry) loadSnapshot(spec hpl.UniverseSpec, digest string) *hpl.Checker {
+	miss := func() *hpl.Checker {
+		r.mu.Lock()
+		r.snapshotMisses++
+		r.mu.Unlock()
+		return nil
+	}
+	path := r.snapshotPath(digest)
+	f, err := os.Open(path)
+	if err != nil {
+		return miss()
+	}
+	defer f.Close()
+	u, stored, err := hpl.ReadSnapshot(bufio.NewReaderSize(f, 1<<20))
+	if err != nil || stored != digest {
+		os.Remove(path)
+		return miss()
+	}
+	sys, err := spec.System()
+	if err != nil {
+		return miss()
+	}
+	// Re-bind the protocol so the loaded universe can seed extensions.
+	u.BindProtocol(sys)
+	r.mu.Lock()
+	r.snapshotHits++
+	r.mu.Unlock()
+	return hpl.NewChecker(u, spec.Predicates()...)
+}
+
+// writeSnapshot persists an entry's universe as <digest>.hplsnap via
+// temp-file-and-rename, so readers never observe a partial file.
+// Persistence is best effort: failures are counted, not fatal — the
+// cache stays correct without the disk.
+func (r *Registry) writeSnapshot(e *Entry) {
+	fail := func() {
+		r.mu.Lock()
+		r.snapErrors++
+		r.mu.Unlock()
+	}
+	tmp, err := os.CreateTemp(r.snapDir, "."+e.Digest+".tmp-*")
+	if err != nil {
+		fail()
+		return
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	err = hpl.WriteSnapshot(w, e.Checker.Universe(), e.Digest)
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil || os.Rename(tmp.Name(), r.snapshotPath(e.Digest)) != nil {
+		fail()
+	}
 }
 
 // insertLocked adds the entry and evicts least-recently-used entries
@@ -306,7 +520,7 @@ func (r *Registry) build(ctx context.Context, c *call, spec hpl.UniverseSpec, di
 func (r *Registry) insertLocked(e *Entry) {
 	e.elem = r.lru.PushFront(e)
 	r.entries[e.Digest] = e
-	r.bytes += e.Bytes
+	r.bytes += e.Bytes()
 	for r.bytes > r.maxBytes && r.lru.Len() > 1 {
 		oldest := r.lru.Back()
 		victim := oldest.Value.(*Entry)
@@ -315,7 +529,7 @@ func (r *Registry) insertLocked(e *Entry) {
 		}
 		r.lru.Remove(oldest)
 		delete(r.entries, victim.Digest)
-		r.bytes -= victim.Bytes
+		r.bytes -= victim.Bytes()
 		r.evictions++
 	}
 }
@@ -345,6 +559,15 @@ type Stats struct {
 	Evictions int64 `json:"evictions"`
 	// InflightBuilds counts builds currently running.
 	InflightBuilds int `json:"inflightBuilds"`
+	// SnapshotHits counts cold misses served from the snapshot
+	// directory, SnapshotMisses the misses that fell through to an
+	// extension or build, SnapshotErrors failed best-effort writes.
+	SnapshotHits   int64 `json:"snapshotHits"`
+	SnapshotMisses int64 `json:"snapshotMisses"`
+	SnapshotErrors int64 `json:"snapshotErrors"`
+	// Extends counts universes materialized by incrementally extending a
+	// cached universe of the same family at a smaller event bound.
+	Extends int64 `json:"extends"`
 }
 
 // Stats returns a consistent snapshot.
@@ -360,6 +583,10 @@ func (r *Registry) Stats() Stats {
 		Misses:         r.misses,
 		Evictions:      r.evictions,
 		InflightBuilds: len(r.calls),
+		SnapshotHits:   r.snapshotHits,
+		SnapshotMisses: r.snapshotMisses,
+		SnapshotErrors: r.snapErrors,
+		Extends:        r.extends,
 	}
 }
 
@@ -371,11 +598,29 @@ func (r *Registry) Stats() Stats {
 // budget is advisory accounting, not an allocator — but it scales with
 // the real cost drivers (members and total events) and errs high.
 func EstimateBytes(u *hpl.Universe) int64 {
+	return EstimateStructureBytes(u) + EstimateSessionBytes(u)
+}
+
+// EstimateStructureBytes is the structural half of EstimateBytes: the
+// prefix-tree nodes, interned events and hash index the universe itself
+// owns. When one universe is extended into another they share this
+// structure, so only the larger entry is charged for it.
+func EstimateStructureBytes(u *hpl.Universe) int64 {
 	var events int64
 	n := u.Len()
 	for i := 0; i < n; i++ {
 		events += int64(u.At(i).Len())
 	}
-	const perMember, perEvent = 192, 48
+	const perMember, perEvent = 96, 48
 	return int64(n)*perMember + events*perEvent
+}
+
+// EstimateSessionBytes is the per-session half of EstimateBytes: the
+// partition tables, transition graph and memoized truth vectors a hot
+// session grows per member. An extension seed keeps paying this — its
+// session stays independently queryable — after its structure is
+// re-charged to the extended entry.
+func EstimateSessionBytes(u *hpl.Universe) int64 {
+	const perMember = 96
+	return int64(u.Len()) * perMember
 }

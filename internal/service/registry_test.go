@@ -81,7 +81,7 @@ func TestLRUEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := NewRegistry(Config{MaxBytes: 2*e.Bytes + e.Bytes/2})
+	r := NewRegistry(Config{MaxBytes: 2*e.Bytes() + e.Bytes()/2})
 
 	for _, s := range []hpl.UniverseSpec{specA, specB} {
 		if _, _, err := r.Get(context.Background(), s); err != nil {

@@ -61,14 +61,18 @@ type StatsRequest struct {
 
 // StatsResponse describes one (possibly just built) cached universe.
 type StatsResponse struct {
-	Universe    string           `json:"universe"`
-	Spec        hpl.UniverseSpec `json:"spec"`
-	Members     int              `json:"members"`
-	Bytes       int64            `json:"bytes"`
-	Cached      bool             `json:"cached"`
-	Hits        int64            `json:"hits"`
-	BuildMillis float64          `json:"buildMillis"`
-	Atoms       []string         `json:"atoms"`
+	Universe string           `json:"universe"`
+	Spec     hpl.UniverseSpec `json:"spec"`
+	Members  int              `json:"members"`
+	Bytes    int64            `json:"bytes"`
+	Cached   bool             `json:"cached"`
+	Hits     int64            `json:"hits"`
+	// Source reports how the universe became resident: "build",
+	// "snapshot" (loaded from the snapshot directory), or "extend"
+	// (grown incrementally from a smaller cached bound).
+	Source      string   `json:"source"`
+	BuildMillis float64  `json:"buildMillis"`
+	Atoms       []string `json:"atoms"`
 }
 
 // HealthResponse is the body of GET /v1/health.
@@ -216,9 +220,10 @@ func (s *Server) handleUniverseStats(w http.ResponseWriter, r *http.Request) {
 		Universe:    e.Digest,
 		Spec:        e.Spec,
 		Members:     e.Checker.Universe().Len(),
-		Bytes:       e.Bytes,
+		Bytes:       e.Bytes(),
 		Cached:      cached,
 		Hits:        e.Hits(),
+		Source:      e.Source,
 		BuildMillis: float64(e.BuildDuration) / float64(time.Millisecond),
 		Atoms:       e.Checker.Atoms(),
 	})

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary event encoding: the stable on-disk representation of events
+// used by the universe snapshot codec (internal/universe/snapshot.go).
+// Every string field of an event — its per-process EventID, process,
+// MsgID, peer, and tag — is replaced by a uvarint reference into a
+// shared string table, so a snapshot stores each distinct identifier
+// once no matter how many of the universe's members carry it. The
+// encoding is positional and versioned only through its container: the
+// six fields are written in declaration order (ID, Proc, Kind, Msg,
+// Peer, Tag), and any change to that order is a snapshot format bump,
+// not a silent re-interpretation.
+
+// ErrBadEventEncoding reports a binary event record that cannot be
+// decoded: a truncated varint, an out-of-range string reference, or an
+// invalid event kind.
+var ErrBadEventEncoding = errors.New("trace: bad binary event encoding")
+
+// StringTable interns strings to dense uint32 references for the
+// binary event encoding. The zero value is not ready; use
+// NewStringTable. Not safe for concurrent use.
+type StringTable struct {
+	ids  map[string]uint32
+	strs []string
+}
+
+// NewStringTable returns an empty table whose first reference (0) is
+// always the empty string, so optional event fields (Msg/Peer/Tag of
+// internal events) encode as a single zero byte.
+func NewStringTable() *StringTable {
+	t := &StringTable{ids: make(map[string]uint32)}
+	t.Ref("")
+	return t
+}
+
+// Ref returns the table reference for s, interning it when new.
+func (t *StringTable) Ref(s string) uint32 {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := uint32(len(t.strs))
+	t.ids[s] = id
+	t.strs = append(t.strs, s)
+	return id
+}
+
+// Len reports the number of interned strings.
+func (t *StringTable) Len() int { return len(t.strs) }
+
+// Strings returns the interned strings in reference order. The slice
+// aliases the table and must be treated as read-only.
+func (t *StringTable) Strings() []string { return t.strs }
+
+// AppendEventBinary appends the binary encoding of e to dst, interning
+// its string fields in tab, and returns the extended buffer.
+func AppendEventBinary(dst []byte, e Event, tab *StringTable) []byte {
+	dst = binary.AppendUvarint(dst, uint64(tab.Ref(string(e.ID))))
+	dst = binary.AppendUvarint(dst, uint64(tab.Ref(string(e.Proc))))
+	dst = binary.AppendUvarint(dst, uint64(e.Kind))
+	dst = binary.AppendUvarint(dst, uint64(tab.Ref(string(e.Msg))))
+	dst = binary.AppendUvarint(dst, uint64(tab.Ref(string(e.Peer))))
+	dst = binary.AppendUvarint(dst, uint64(tab.Ref(e.Tag)))
+	return dst
+}
+
+// DecodeEventBinary decodes one event from the front of src against
+// the string table produced at encode time, returning the event and
+// the number of bytes consumed. References and the kind are validated;
+// failures return ErrBadEventEncoding, never panic.
+func DecodeEventBinary(src []byte, strs []string) (Event, int, error) {
+	var e Event
+	off := 0
+	next := func() (string, error) {
+		v, n := binary.Uvarint(src[off:])
+		if n <= 0 {
+			return "", fmt.Errorf("%w: truncated varint at byte %d", ErrBadEventEncoding, off)
+		}
+		off += n
+		if v >= uint64(len(strs)) {
+			return "", fmt.Errorf("%w: string reference %d out of range (table has %d)", ErrBadEventEncoding, v, len(strs))
+		}
+		return strs[v], nil
+	}
+	id, err := next()
+	if err != nil {
+		return e, 0, err
+	}
+	proc, err := next()
+	if err != nil {
+		return e, 0, err
+	}
+	kind, n := binary.Uvarint(src[off:])
+	if n <= 0 {
+		return e, 0, fmt.Errorf("%w: truncated kind at byte %d", ErrBadEventEncoding, off)
+	}
+	off += n
+	if k := Kind(kind); k != KindInternal && k != KindSend && k != KindReceive {
+		return e, 0, fmt.Errorf("%w: kind %d", ErrBadEventEncoding, kind)
+	}
+	msg, err := next()
+	if err != nil {
+		return e, 0, err
+	}
+	peer, err := next()
+	if err != nil {
+		return e, 0, err
+	}
+	tag, err := next()
+	if err != nil {
+		return e, 0, err
+	}
+	e = Event{
+		ID:   EventID(id),
+		Proc: ProcID(proc),
+		Kind: Kind(kind),
+		Msg:  MsgID(msg),
+		Peer: ProcID(peer),
+		Tag:  tag,
+	}
+	return e, off, nil
+}

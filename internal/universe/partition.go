@@ -3,6 +3,7 @@ package universe
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hpl/internal/trace"
 )
@@ -31,6 +32,14 @@ type Partition struct {
 	// keys is the universe-wide projection-key interner the table was
 	// built against.
 	keys *trace.Interner
+
+	// Snapshot-loaded partitions arrive with classID/members only: the
+	// projection-key index would dominate the snapshot (keys are as long
+	// as event sequences), so it is rebuilt lazily on the first
+	// ClassOfKey call instead. u and keyOnce drive that completion; both
+	// are nil/unused for tables built by NewPartition.
+	u       *Universe
+	keyOnce sync.Once
 }
 
 // Set returns P, the process set the partition refines by.
@@ -52,12 +61,29 @@ func (pt *Partition) MembersOf(class int32) []int { return pt.members[class] }
 // ClassOfKey returns the class whose members have the given projection
 // key; ok is false when no member projects to it.
 func (pt *Partition) ClassOfKey(projKey string) (int32, bool) {
+	if pt.u != nil {
+		pt.keyOnce.Do(pt.buildKeys)
+	}
 	id, ok := pt.keys.Lookup(projKey)
 	if !ok {
 		return 0, false
 	}
 	c, ok := pt.byKeyID[id]
 	return c, ok
+}
+
+// buildKeys completes a snapshot-loaded partition's projection-key
+// index. Every member of a class shares one projection key by
+// construction, so one key per class — projected from the class's first
+// member — reconstructs the full index.
+func (pt *Partition) buildKeys() {
+	byKey := make(map[int32]int32, len(pt.members))
+	for c, ms := range pt.members {
+		kid := pt.u.keys.Intern(pt.u.At(ms[0]).ProjectionKey(pt.set))
+		byKey[kid] = int32(c)
+	}
+	pt.keys = pt.u.keys
+	pt.byKeyID = byKey
 }
 
 // NewPartition builds the [P]-partition of the universe without
@@ -133,14 +159,39 @@ func (u *Universe) Partition(p trace.ProcSet) *Partition {
 		v, _ = u.parts.LoadOrStore(k, &partitionCell{})
 	}
 	cell := v.(*partitionCell)
-	cell.once.Do(func() { cell.pt = NewPartition(u, p) })
-	return cell.pt
+	cell.once.Do(func() { cell.pt.Store(NewPartition(u, p)) })
+	return cell.pt.Load()
 }
 
 // partitionCell delays a cached partition's construction until exactly
 // one caller runs it; LoadOrStore may race cells, but every loser
-// discards its empty cell before any build starts.
+// discards its empty cell before any build starts. The table is
+// published through an atomic pointer (inside the once) so concurrent
+// peekers (the snapshot writer) observe completed builds only.
 type partitionCell struct {
 	once sync.Once
-	pt   *Partition
+	pt   atomic.Pointer[Partition]
+}
+
+// partitionsIfBuilt returns the partition tables whose builds have
+// completed, without triggering any. The snapshot writer enumerates
+// built tables through this so it never races a build in progress.
+func (u *Universe) partitionsIfBuilt() []*Partition {
+	var out []*Partition
+	u.parts.Range(func(_, v any) bool {
+		if pt := v.(*partitionCell).pt.Load(); pt != nil {
+			out = append(out, pt)
+		}
+		return true
+	})
+	return out
+}
+
+// installPartition places a snapshot-loaded table into the universe's
+// partition cache; a table already built (or being built) for the same
+// process set wins instead.
+func (u *Universe) installPartition(pt *Partition) {
+	v, _ := u.parts.LoadOrStore(pt.set.Key(), &partitionCell{})
+	cell := v.(*partitionCell)
+	cell.once.Do(func() { cell.pt.Store(pt) })
 }

@@ -21,6 +21,20 @@ func newStateTable() *stateTable {
 	return &stateTable{ids: make(map[string]int32)}
 }
 
+// newStateTableFrom rebuilds a table whose identifiers are exactly the
+// indexes of vecs — the snapshot loader's inverse of vec. The input
+// must be duplicate-free (snapshot writers emit each vector once);
+// intern assigns identifiers sequentially, so interning in order
+// reproduces them.
+func newStateTableFrom(vecs [][]string) *stateTable {
+	st := newStateTable()
+	var buf []byte
+	for _, v := range vecs {
+		_, buf = st.intern(v, buf)
+	}
+	return st
+}
+
 // vec returns the state vector for id. The returned slice is immutable
 // once interned and safe to retain.
 func (st *stateTable) vec(id int32) []string {

@@ -148,7 +148,25 @@ func NewTransitions(u *Universe) *Transitions {
 	} else {
 		resolve(0, n)
 	}
-	// Counting sort the forward lists into one arena, grouped by parent.
+	t.buildForward()
+	// Topological order: ascending event count. Enumerated universes
+	// are already canonically sorted by (length, hash), making identity
+	// (buildForward's default) correct; hand-built (New) universes still
+	// sort.
+	if !u.sorted {
+		sort.SliceStable(t.order, func(a, b int) bool {
+			return u.At(int(t.order[a])).Len() < u.At(int(t.order[b])).Len()
+		})
+	}
+	return t
+}
+
+// buildForward derives the CSR forward adjacency from the parent/label
+// arrays — a counting sort, shared by NewTransitions and the snapshot
+// loader (which persists only the reverse relation) — and initializes
+// the topological order to the identity.
+func (t *Transitions) buildForward() {
+	n := len(t.parent)
 	// Member indexes ascend within each group because j ascends.
 	counts := make([]int32, n+1)
 	for _, p := range t.parent {
@@ -174,24 +192,21 @@ func NewTransitions(u *Universe) *Transitions {
 		t.succLab[next[p]] = t.label[j]
 		next[p]++
 	}
-	// Topological order: ascending event count. Enumerated universes
-	// are already canonically sorted by (length, hash), making this the
-	// identity; hand-built (New) universes still sort.
 	t.order = make([]int32, n)
 	for i := range t.order {
 		t.order[i] = int32(i)
 	}
-	if !u.sorted {
-		sort.SliceStable(t.order, func(a, b int) bool {
-			return u.At(int(t.order[a])).Len() < u.At(int(t.order[b])).Len()
-		})
-	}
-	return t
 }
 
 // Transitions returns the universe's prefix-extension transition graph,
 // building it on first use. Concurrent callers share one build.
 func (u *Universe) Transitions() *Transitions {
-	u.transOnce.Do(func() { u.trans = NewTransitions(u) })
-	return u.trans
+	u.transOnce.Do(func() { u.trans.Store(NewTransitions(u)) })
+	return u.trans.Load()
 }
+
+// transitionsIfBuilt returns the cached graph without building one:
+// non-nil exactly when some caller has completed Transitions (or a
+// snapshot load installed it). The snapshot writer peeks through this
+// so it never races a build in progress.
+func (u *Universe) transitionsIfBuilt() *Transitions { return u.trans.Load() }

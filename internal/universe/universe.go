@@ -18,6 +18,7 @@ import (
 	"errors"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"hpl/internal/trace"
 )
@@ -33,9 +34,13 @@ type Universe struct {
 	// keys are retained: membership and class lookups discriminate on
 	// (hash, length), which separates distinct computations up to the
 	// ~2^-128 collision assumption (see trace.Hash128 and
-	// WithHashVerify).
-	byHash map[trace.Hash128]int32
-	all    trace.ProcSet
+	// WithHashVerify). New builds it eagerly (it doubles as the dedup
+	// pass); newSorted universes build it lazily under hashOnce on first
+	// IndexOf, so enumeration and snapshot loads never pay for an index
+	// the workload may not probe.
+	byHash   map[trace.Hash128]int32
+	hashOnce sync.Once
+	all      trace.ProcSet
 	// sorted records that members are in canonical (length, hash)
 	// order — set by the enumeration engine, and used to skip the
 	// topological re-sort when building Transitions.
@@ -48,17 +53,36 @@ type Universe struct {
 	keys *trace.Interner
 	// trans caches the prefix-extension transition graph; see
 	// Transitions. Built on first use, shared by concurrent evaluators.
+	// The atomic pointer is published inside the once so concurrent
+	// peekers (the snapshot writer) can observe a completed build
+	// without racing one in progress.
 	transOnce sync.Once
-	trans     *Transitions
+	trans     atomic.Pointer[Transitions]
+
+	// proto is the protocol the universe was enumerated from; nil for
+	// hand-built (New) universes and snapshot loads until BindProtocol.
+	proto Protocol
+	// maxEvents is the event bound the universe was enumerated under;
+	// -1 when unknown (hand-built universes). Extend seeds its frontier
+	// from the members of exactly this length.
+	maxEvents int
+	// states interns the per-process local-state vectors of the
+	// enumeration, and memberSV records each member's interned vector —
+	// retained so Extend can re-seed the engine's frontier without
+	// replaying the protocol over every member. Nil for hand-built
+	// universes; Extend reconstructs them by replay in that case.
+	states   *stateTable
+	memberSV []int32
 }
 
 // New builds a universe from the given computations (duplicates by
 // sequence identity are dropped) with D = all.
 func New(comps []*trace.Computation, all trace.ProcSet) *Universe {
 	u := &Universe{
-		byHash: make(map[trace.Hash128]int32, len(comps)),
-		all:    all,
-		keys:   trace.NewInterner(),
+		byHash:    make(map[trace.Hash128]int32, len(comps)),
+		all:       all,
+		keys:      trace.NewInterner(),
+		maxEvents: -1,
 	}
 	for _, c := range comps {
 		if _, dup := u.byHash[c.Hash()]; dup {
@@ -68,6 +92,31 @@ func New(comps []*trace.Computation, all trace.ProcSet) *Universe {
 		u.comps = append(u.comps, c)
 	}
 	return u
+}
+
+// newSorted wraps members that are already in canonical (length, hash)
+// order and known distinct — the enumeration engine's and the snapshot
+// loader's output. It skips New's dedup pass; the hash index is built
+// lazily on first IndexOf.
+func newSorted(comps []*trace.Computation, all trace.ProcSet) *Universe {
+	return &Universe{
+		comps:     comps,
+		all:       all,
+		sorted:    true,
+		keys:      trace.NewInterner(),
+		maxEvents: -1,
+	}
+}
+
+func (u *Universe) buildHashIndex() {
+	if u.byHash != nil {
+		return
+	}
+	idx := make(map[trace.Hash128]int32, len(u.comps))
+	for i, c := range u.comps {
+		idx[c.Hash()] = int32(i)
+	}
+	u.byHash = idx
 }
 
 // Len reports the number of distinct computations.
@@ -82,6 +131,7 @@ func (u *Universe) All() trace.ProcSet { return u.all }
 // IndexOf returns the index of the computation (by sequence identity), or
 // -1 when it is not a member.
 func (u *Universe) IndexOf(c *trace.Computation) int {
+	u.hashOnce.Do(u.buildHashIndex)
 	if i, ok := u.byHash[c.Hash()]; ok && u.comps[i].Len() == c.Len() {
 		return int(i)
 	}
@@ -134,6 +184,22 @@ func (u *Universe) Computations() []*trace.Computation {
 	copy(cp, u.comps)
 	return cp
 }
+
+// Protocol returns the protocol the universe was enumerated from, or
+// nil for hand-built universes and snapshot loads that have not been
+// re-bound with BindProtocol.
+func (u *Universe) Protocol() Protocol { return u.proto }
+
+// MaxEvents returns the event bound the universe was enumerated under,
+// or -1 when unknown (hand-built universes).
+func (u *Universe) MaxEvents() int { return u.maxEvents }
+
+// BindProtocol attaches the protocol a snapshot-loaded universe was
+// originally enumerated from, enabling Extend. The caller is
+// responsible for passing the same protocol (the snapshot stores the
+// spec digest, not the protocol itself); binding a different one makes
+// Extend produce garbage, exactly as lying to NewChecker would.
+func (u *Universe) BindProtocol(p Protocol) { u.proto = p }
 
 // Action is a spontaneous protocol step: a send or an internal event.
 type Action struct {

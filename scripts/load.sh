@@ -1,14 +1,21 @@
 #!/usr/bin/env sh
-# Load-tests the hpld service and records the results as BENCH_6.json
-# at the repo root: starts a daemon, waits for /v1/health, then drives
-# concurrent mixed epistemic + temporal traffic against one warm
-# universe with cmd/hplbench. Tunables (defaults match the recorded
-# data point; CI uses a short DURATION for a smoke pass):
+# Load-tests the hpld service and records the results at the repo root
+# (BENCH_7_service.json by default — BENCH_7.json is owned by
+# scripts/bench.sh): starts a daemon with a snapshot directory,
+# measures cold-start time-to-first-answer twice — first against the
+# empty directory (the first answer pays the enumeration) and then
+# against the populated one after a daemon restart (the first answer is
+# a disk load) — and finally drives concurrent mixed epistemic +
+# temporal traffic against one warm universe with cmd/hplbench.
+# Tunables (defaults match the recorded data point; CI uses a short
+# DURATION for a smoke pass):
 #
 #   ./scripts/load.sh                       # 5s per arm, conc 16, batches 1,8
 #   DURATION=1s CONC=8 ./scripts/load.sh
 #
-# ADDR picks the daemon's listen address, OUT the output file.
+# ADDR picks the daemon's listen address, OUT the output file, SNAPDIR
+# the snapshot directory (default: a fresh temp dir, so the first cold
+# arm is genuinely cold).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,26 +23,59 @@ ADDR="${ADDR:-127.0.0.1:8097}"
 DURATION="${DURATION:-5s}"
 CONC="${CONC:-16}"
 BATCHES="${BATCHES:-1,8}"
-OUT="${OUT:-BENCH_6.json}"
+OUT="${OUT:-BENCH_7_service.json}"
+SNAPDIR="${SNAPDIR:-$(mktemp -d)}"
 
 go build -o /tmp/hpld ./cmd/hpld
-/tmp/hpld -addr "$ADDR" &
-HPLD_PID=$!
-trap 'kill "$HPLD_PID" 2>/dev/null || true' EXIT INT TERM
+go build -o /tmp/hplbench ./cmd/hplbench
 
-# Wait for the daemon to come up (health endpoint answers 200).
-i=0
-until curl -fsS "http://$ADDR/v1/health" >/dev/null 2>&1; do
-	i=$((i + 1))
-	if [ "$i" -ge 50 ]; then
-		echo "load.sh: hpld did not come up on $ADDR" >&2
-		exit 1
-	fi
-	sleep 0.1
-done
+HPLD_PID=
+stop_daemon() {
+	[ -n "$HPLD_PID" ] || return 0
+	kill "$HPLD_PID" 2>/dev/null || true
+	wait "$HPLD_PID" 2>/dev/null || true
+	HPLD_PID=
+}
+trap stop_daemon EXIT INT TERM
 
-go run ./cmd/hplbench -addr "http://$ADDR" \
+start_daemon() {
+	/tmp/hpld -addr "$ADDR" -snapshot-dir "$SNAPDIR" &
+	HPLD_PID=$!
+	# Wait for the daemon to come up (health endpoint answers 200).
+	i=0
+	until curl -fsS "http://$ADDR/v1/health" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 50 ]; then
+			echo "load.sh: hpld did not come up on $ADDR" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+cold_millis() {
+	/tmp/hplbench -addr "http://$ADDR" -cold |
+		sed -n 's/.*"ttfaMillis": *\([0-9.]*\).*/\1/p'
+}
+
+# Cold arm 1: empty snapshot dir — the first answer pays the build
+# (and persists the universe for the next arm).
+start_daemon
+COLD_BUILD=$(cold_millis)
+stop_daemon
+
+# Cold arm 2: daemon restart over the populated dir — the first answer
+# is a snapshot load.
+start_daemon
+COLD_SNAP=$(cold_millis)
+stop_daemon
+
+echo "load.sh: cold start ${COLD_BUILD} ms without snapshots, ${COLD_SNAP} ms from $SNAPDIR" >&2
+
+# Sustained-load arms against one warm universe.
+start_daemon
+/tmp/hplbench -addr "http://$ADDR" \
 	-duration "$DURATION" -conc "$CONC" -batches "$BATCHES" \
 	-out "$OUT" \
-	-note "scripts/load.sh against a live hpld on $ADDR ($(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?') CPUs); warm universe, mixed epistemic/temporal traffic"
+	-note "scripts/load.sh against a live hpld on $ADDR ($(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?') CPUs); warm universe, mixed epistemic/temporal traffic; cold-start time-to-first-answer: ${COLD_BUILD} ms build vs ${COLD_SNAP} ms snapshot load after restart"
 echo "wrote $OUT" >&2
