@@ -140,6 +140,58 @@ func BenchmarkEnumerateLarge(b *testing.B) {
 	}
 }
 
+// BenchmarkEnumerateSymmetry is the orbit-reduction ablation: the same
+// three-process free system enumerated in full and as a symmetry
+// quotient under the full interchange group, at the 16.9k (MaxEvents=5)
+// and 107k (MaxEvents=6) bounds. Each row reports both the member count
+// it materialized and the full-universe count it stands for
+// (full-members), so the recorded BENCH_8.json rows carry the reduction
+// ratio — 107,593 → 17,933 (6.00×) at MaxEvents=6 — next to the time
+// saved. The quotient arms pay per-child canonicalization against the
+// parent's stabilizer, so the speedup is below the member ratio; the
+// win compounds through every downstream pass (partitions, truth
+// vectors, temporal sweeps) that now touches one member per orbit.
+func BenchmarkEnumerateSymmetry(b *testing.B) {
+	cfg := universe.FreeConfig{Procs: []trace.ProcID{"p", "q", "r"}, MaxSends: 2}
+	grp := universe.InferSymmetry(universe.NewFree(cfg))
+	if grp.Trivial() {
+		b.Fatal("free protocol did not declare its interchange group")
+	}
+	for _, me := range []int{5, 6} {
+		b.Run(fmt.Sprintf("full/events=%d", me), func(b *testing.B) {
+			b.ReportAllocs()
+			var size int
+			for i := 0; i < b.N; i++ {
+				u, err := universe.EnumerateWith(universe.NewFree(cfg), universe.WithMaxEvents(me))
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = u.Len()
+			}
+			b.ReportMetric(float64(size), "computations")
+			b.ReportMetric(float64(size), "full-members")
+		})
+		b.Run(fmt.Sprintf("quotient/events=%d", me), func(b *testing.B) {
+			b.ReportAllocs()
+			var u *universe.Universe
+			for i := 0; i < b.N; i++ {
+				var err error
+				u, err = universe.EnumerateWith(universe.NewFree(cfg),
+					universe.WithMaxEvents(me),
+					universe.WithSymmetry(grp))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !u.IsQuotient() || u.FullSize() <= int64(u.Len()) {
+				b.Fatalf("quotient did not reduce: %d members for %d full", u.Len(), u.FullSize())
+			}
+			b.ReportMetric(float64(u.Len()), "computations")
+			b.ReportMetric(float64(u.FullSize()), "full-members")
+		})
+	}
+}
+
 // snapshotBenchUniverse enumerates the 107k-member MaxEvents=6 universe
 // the snapshot and extension benchmarks exercise — the same universe as
 // BenchmarkEnumerateLarge, so its workers=1 row is the re-enumeration

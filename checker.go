@@ -119,6 +119,19 @@ func (c *Checker) Valid(f Formula) bool { return c.ev.Valid(f) }
 // of f at every member (§4.2).
 func (c *Checker) LocalTo(f Formula, p ProcSet) bool { return c.ev.LocalTo(f, p) }
 
+// ValidateSymmetric checks that f is evaluable over the session's
+// universe: on a symmetry quotient (see WithSymmetry) every atom and
+// every knowledge operator must be invariant under the quotient's
+// group, or an *AsymmetryError describes the first offending part. On
+// a full universe every formula validates. ParseAndCheck and
+// ParseAndCheckTemporal run this automatically; Check and Valid do not
+// (their signatures carry no error) and instead panic from the
+// evaluation core on an asymmetric formula — validate first when the
+// formula is not statically known to be symmetric.
+func (c *Checker) ValidateSymmetric(f Formula) error {
+	return c.ev.ValidateSymmetric(f)
+}
+
 // Report summarizes one formula checked over the whole universe.
 type Report struct {
 	// Formula is the checked formula.
@@ -130,6 +143,13 @@ type Report struct {
 	// FirstFailure is the index of the first member where the formula
 	// fails, or -1 when it is valid.
 	FirstFailure int
+	// FullTotal and FullHolding are Total and Holding re-expressed over
+	// the full (unquotiented) universe: on a symmetry quotient each
+	// member is weighted by its orbit size, so the counts compare
+	// directly with a full-universe run; on a full universe they simply
+	// repeat Total and Holding.
+	FullTotal   int64
+	FullHolding int64
 }
 
 // Valid reports whether the formula held at every member.
@@ -137,10 +157,19 @@ func (r Report) Valid() bool { return r.FirstFailure < 0 }
 
 // Check evaluates f at every member and summarizes the result. The
 // evaluation is set-at-a-time: one truth vector over the whole
-// universe, counted and scanned word-parallel.
+// universe, counted and scanned word-parallel. On a symmetry quotient
+// f must be invariant under the quotient's group (the evaluation core
+// panics with an *AsymmetryError otherwise — see ValidateSymmetric).
 func (c *Checker) Check(f Formula) Report {
 	holding, firstFailure := c.ev.Summary(f)
-	return Report{Formula: f, Total: c.u.Len(), Holding: holding, FirstFailure: firstFailure}
+	rep := Report{Formula: f, Total: c.u.Len(), Holding: holding, FirstFailure: firstFailure}
+	rep.FullTotal = c.u.FullSize()
+	if c.u.IsQuotient() {
+		rep.FullHolding = c.ev.CountWeighted(f)
+	} else {
+		rep.FullHolding = int64(holding)
+	}
+	return rep
 }
 
 // TruthVector returns f's truth value at every member, in member order.
@@ -185,6 +214,9 @@ func (c *Checker) ParseAndCheckTemporal(input string) (TemporalReport, error) {
 	if err != nil {
 		return TemporalReport{}, err
 	}
+	if err := c.ev.ValidateSymmetric(f); err != nil {
+		return TemporalReport{}, err
+	}
 	return c.CheckTemporal(f), nil
 }
 
@@ -193,6 +225,9 @@ func (c *Checker) ParseAndCheckTemporal(input string) (TemporalReport, error) {
 func (c *Checker) ParseAndCheck(input string) (Report, error) {
 	f, err := c.Parse(input)
 	if err != nil {
+		return Report{}, err
+	}
+	if err := c.ev.ValidateSymmetric(f); err != nil {
 		return Report{}, err
 	}
 	return c.Check(f), nil

@@ -7,8 +7,15 @@
 // Usage:
 //
 //	hplbench [-addr http://host:port] [-procs p,q,r] [-sends 2] [-events 6]
-//	         [-conc 16] [-duration 5s] [-batches 1,8] [-out BENCH_7.json]
-//	         [-cold]
+//	         [-conc 16] [-duration 5s] [-batches 1,8] [-out BENCH_8.json]
+//	         [-cold] [-symmetry]
+//
+// -symmetry requests the full process-interchange quotient of the
+// universe instead of the full enumeration (spec symmetry "full"), and
+// swaps the query pool for symmetric formulas — the only ones a
+// quotient can answer. The recorded universe block then shows the
+// quotient's member count; the same run against the full spec is the
+// orbit-reduction comparison scripts/load.sh records.
 //
 // -cold measures the cold-start path instead of sustained load: one
 // timed universe-stats query against a daemon that has never seen the
@@ -78,6 +85,11 @@ type UniverseInfo struct {
 	Bytes       int64   `json:"bytes"`
 	Source      string  `json:"source,omitempty"` // build | snapshot | extend
 	BuildMillis float64 `json:"buildMillis"`
+	// Symmetry and FullMembers carry the daemon's orbit accounting when
+	// the spec requested a quotient: the group's class structure and the
+	// full-universe size the Members stand for.
+	Symmetry    string `json:"symmetry,omitempty"`
+	FullMembers int64  `json:"fullMembers,omitempty"`
 }
 
 // Arm is one measured configuration: `Batch` formulas per request at
@@ -119,6 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	duration := fs.Duration("duration", 5*time.Second, "measured window per arm")
 	batches := fs.String("batches", "1,8", "comma-separated formulas-per-request arms")
 	cold := fs.Bool("cold", false, "measure time-to-first-answer (one universe-stats query), skip the load arms")
+	symmetry := fs.Bool("symmetry", false, "serve the full-interchange symmetry quotient and drive symmetric formulas")
 	out := fs.String("out", "", "write the JSON record to this file (default stdout only)")
 	note := fs.String("note", "", "free-form note recorded in the result")
 	if err := fs.Parse(args); err != nil {
@@ -132,6 +145,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	spec := hpl.UniverseSpec{Procs: ids, MaxSends: *sends, MaxEvents: *events}
+	if *symmetry {
+		spec.Symmetry = "full"
+	}
 
 	target := *addr
 	label := target
@@ -170,7 +186,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// distinct subformula pays one pass over the universe before its
 		// truth vector is memoized, and the arms below measure the
 		// daemon's steady state, not that one-time cost.
-		epistemic, temporal := formulaMix(ids)
+		epistemic, temporal := formulaMix(ids, *symmetry)
 		if _, err := cl.Check(context.Background(), spec, epistemic...); err != nil {
 			fmt.Fprintf(stderr, "hplbench: formula warm-up failed: %v\n", err)
 			return 1
@@ -198,6 +214,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Bytes:       st.Bytes,
 			Source:      st.Source,
 			BuildMillis: st.BuildMillis,
+			Symmetry:    st.Symmetry,
+			FullMembers: st.FullMembers,
 		},
 	}
 	if *cold {
@@ -216,7 +234,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "hplbench: bad batch size %q\n", b)
 				return 2
 			}
-			arm := runArm(cl, spec, ids, batch, *conc, *duration)
+			arm := runArm(cl, spec, ids, *symmetry, batch, *conc, *duration)
 			res.Arms = append(res.Arms, arm)
 			fmt.Fprintf(stderr, "hplbench: batch=%d conc=%d: %.0f queries/sec (%.0f req/sec), p50=%.0fµs p99=%.0fµs, %d errors\n",
 				arm.Batch, arm.Concurrency, arm.QPS, arm.RPS, arm.LatencyMicros.P50, arm.LatencyMicros.P99, arm.Errors)
@@ -248,8 +266,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // formulaMix returns the query pool over the spec's processes: repeat
 // formulas dominate (they are memo hits, the cache's design load) with
-// the paper's own theorems as the temporal share.
-func formulaMix(ids []hpl.ProcID) (epistemic, temporal []string) {
+// the paper's own theorems as the temporal share. With symmetric set,
+// the pool holds only formulas invariant under process interchange —
+// tag-level atoms, knowledge over the whole process set, common
+// knowledge — since a quotient universe rejects anything that names a
+// single process.
+func formulaMix(ids []hpl.ProcID, symmetric bool) (epistemic, temporal []string) {
+	if symmetric {
+		all := make([]string, len(ids))
+		for i, id := range ids {
+			all[i] = string(id)
+		}
+		k := "K{" + strings.Join(all, ",") + "}"
+		epistemic = []string{
+			`"anyReceived(m)" -> "anySent(m)"`,
+			k + ` "anySent(m)" -> "anySent(m)"`,
+			k + ` ("anyReceived(m)" -> "anySent(m)")`,
+			`C ("anyReceived(m)" -> "anySent(m)")`,
+			`"quiescent" | !"quiescent"`,
+		}
+		temporal = []string{
+			`AG ("anyReceived(m)" -> "anySent(m)")`,
+			`EF "anySent(m)"`,
+			`A[!"anyReceived(m)" U ("anySent(m)" | !EF "anyReceived(m)")]`,
+		}
+		return epistemic, temporal
+	}
 	p, q := string(ids[0]), string(ids[len(ids)-1])
 	epistemic = []string{
 		fmt.Sprintf(`K{%s} "sent(%s,m)" -> "sent(%s,m)"`, q, p, p),
@@ -267,8 +309,8 @@ func formulaMix(ids []hpl.ProcID) (epistemic, temporal []string) {
 }
 
 // runArm hammers the warm universe for the window and aggregates.
-func runArm(cl *service.Client, spec hpl.UniverseSpec, ids []hpl.ProcID, batch, conc int, window time.Duration) Arm {
-	epistemic, temporal := formulaMix(ids)
+func runArm(cl *service.Client, spec hpl.UniverseSpec, ids []hpl.ProcID, symmetric bool, batch, conc int, window time.Duration) Arm {
+	epistemic, temporal := formulaMix(ids, symmetric)
 
 	type workerStats struct {
 		requests, queries, errors, epi, temp int64

@@ -160,6 +160,41 @@ func WithProgress(fn func(EnumProgress)) EnumOption { return universe.WithProgre
 // on a mismatch. A debug option: collisions have probability ~2^-128.
 func WithHashVerify() EnumOption { return universe.WithHashVerify() }
 
+// --- Symmetry reduction ---
+
+// Symmetry is a group of process renamings a protocol is invariant
+// under, declared as classes of interchangeable processes. Enumerating
+// WithSymmetry keeps one canonical representative per renaming orbit —
+// a quotient universe — with each member's orbit size recorded, so
+// symmetric questions cost a fraction of the full universe.
+type Symmetry = universe.Symmetry
+
+// NewSymmetry declares the group generated by freely permuting each
+// class of interchangeable processes. Classes must be disjoint;
+// singleton classes are dropped. The group order is capped at 8!.
+func NewSymmetry(classes ...[]ProcID) (*Symmetry, error) { return universe.NewSymmetry(classes...) }
+
+// FullSymmetry declares all of the given processes interchangeable.
+func FullSymmetry(procs ...ProcID) (*Symmetry, error) { return universe.FullSymmetry(procs...) }
+
+// InferSymmetry returns the symmetry a protocol declares for itself
+// (free systems declare all processes interchangeable), or nil.
+func InferSymmetry(p Protocol) *Symmetry { return universe.InferSymmetry(p) }
+
+// WithSymmetry enumerates the quotient of the universe under the group:
+// only orbit-canonical computations are kept, with Universe.OrbitSize
+// recording how many full-universe members each stands for and
+// Universe.FullSize the total. The protocol must be invariant under the
+// group (classes with differing Init are rejected; step-rule invariance
+// is the caller's assertion). Quotients evaluate symmetric formulas
+// only — see Checker.ValidateSymmetric and AsymmetryError.
+func WithSymmetry(g *Symmetry) EnumOption { return universe.WithSymmetry(g) }
+
+// AsymmetryError reports a formula rejected on a symmetry quotient
+// because some part of it distinguishes processes the quotient's group
+// identifies.
+type AsymmetryError = knowledge.AsymmetryError
+
 // EnumerateWith exhaustively generates the protocol's computations
 // under the given options.
 func EnumerateWith(p Protocol, opts ...EnumOption) (*Universe, error) {
@@ -376,6 +411,18 @@ func TokenAt(p, initialHolder ProcID, tag string) Predicate {
 // NoMessagesInFlight holds when every sent message has been received —
 // quiescence, the termination detector's target fact.
 func NoMessagesInFlight() Predicate { return knowledge.NoMessagesInFlight() }
+
+// AnySentTag holds when some process has sent a message tagged tag —
+// the renaming-invariant closure of SentTag, usable on any quotient.
+func AnySentTag(tag string) Predicate { return knowledge.AnySentTag(tag) }
+
+// AnyReceivedTag holds when some process has received a message tagged
+// tag.
+func AnyReceivedTag(tag string) Predicate { return knowledge.AnyReceivedTag(tag) }
+
+// AnyDidInternal holds when some process performed an internal event
+// tagged tag.
+func AnyDidInternal(tag string) Predicate { return knowledge.AnyDidInternal(tag) }
 
 // --- Formula language (package logic) ---
 

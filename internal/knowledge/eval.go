@@ -50,13 +50,29 @@ func (e *Evaluator) Universe() *universe.Universe { return e.u }
 
 // Holds evaluates f at computation x, which must be a member of the
 // universe (knowledge quantifies over the universe, so evaluating at a
-// non-member would silently use an incomplete class).
+// non-member would silently use an incomplete class). On a symmetry
+// quotient, f must additionally be invariant under the quotient's group
+// — see ValidateSymmetric — or an *AsymmetryError is returned.
 func (e *Evaluator) Holds(f Formula, x *trace.Computation) (bool, error) {
+	if err := e.ValidateSymmetric(f); err != nil {
+		return false, err
+	}
 	i := e.u.IndexOf(x)
 	if i < 0 {
 		return false, fmt.Errorf("knowledge: computation %q is not in the universe", x.Key())
 	}
 	return e.HoldsAt(f, i), nil
+}
+
+// ValidateSymmetric checks that f is evaluable over the evaluator's
+// universe: on a symmetry quotient every atom and every knowledge
+// operator must respect the quotient's group (see the package-level
+// ValidateSymmetric); on a full universe every formula validates. The
+// non-error-returning query paths (HoldsAt, Valid, Summary) enforce the
+// same requirement with a panic from the evaluation core — call this
+// first to turn it into an error.
+func (e *Evaluator) ValidateSymmetric(f Formula) error {
+	return ValidateSymmetric(f, e.u.Symmetry())
 }
 
 // MustHolds is Holds for members; it panics when x is not a member.
@@ -89,6 +105,23 @@ func (e *Evaluator) TruthVector(f Formula) []bool {
 func (e *Evaluator) Summary(f Formula) (holding, firstFailure int) {
 	v := e.vectorOf(f)
 	return v.count(), v.firstClear(e.u.Len())
+}
+
+// CountWeighted reports at how many members of the FULL universe f
+// holds: on a symmetry quotient each member counts with its orbit size
+// (a G-invariant formula holds at a representative exactly when it
+// holds across its whole orbit), on a full universe it equals
+// Summary's holding count. This is what makes quotient counts
+// comparable with full-universe counts.
+func (e *Evaluator) CountWeighted(f Formula) int64 {
+	v := e.vectorOf(f)
+	var n int64
+	for i := 0; i < e.u.Len(); i++ {
+		if v.get(i) {
+			n += e.u.OrbitSize(i)
+		}
+	}
+	return n
 }
 
 // Valid reports whether f holds at every member of the universe.
@@ -179,6 +212,16 @@ func (e *Evaluator) vector(id int32) bitset {
 // worker pool. Chunk boundaries are multiples of 64 so each worker owns
 // whole words of the shared bitset.
 func (e *Evaluator) atomVector(p Predicate) bitset {
+	// Backstop for the non-error-returning query paths: an asymmetric
+	// predicate sampled at orbit representatives would yield orbit-
+	// dependent garbage, never a slightly-off answer worth returning.
+	if s := e.u.Symmetry(); !p.SymmetricUnder(s) {
+		panic(&AsymmetryError{
+			Part:   fmt.Sprintf("predicate %q", p.Name()),
+			Group:  s.Key(),
+			Reason: "declare it Symmetric(), give it a FixedOn() support the group fixes, or evaluate on the full universe",
+		})
+	}
 	n := e.u.Len()
 	v := newBitset(n)
 	const minChunk = 2048
@@ -217,6 +260,19 @@ func (e *Evaluator) atomVector(p Predicate) bitset {
 // none do, so the work is linear in the universe rather than quadratic
 // in class sizes as in the per-member paths.
 func (e *Evaluator) knowsVector(p trace.ProcSet, fv bitset) bitset {
+	// Backstop for the non-error-returning query paths: when P splits a
+	// symmetry class, the [P]-classes of a quotient are not unions of
+	// orbits and the all-reduce below computes no meaningful modality.
+	// (The common-knowledge fixpoint is exempt: it iterates the twisted
+	// singleton partitions directly, which is sound — see
+	// newQuotientPartition in package universe.)
+	if s := e.u.Symmetry(); s != nil && !s.Invariant(p) {
+		panic(&AsymmetryError{
+			Part:   fmt.Sprintf("knowledge operator %s knows …", p),
+			Group:  s.Key(),
+			Reason: "the process set splits a symmetry class; use a union of whole classes or evaluate on the full universe",
+		})
+	}
 	pt := e.u.Partition(p)
 	out := newBitset(e.u.Len())
 	for c := int32(0); c < int32(pt.NumClasses()); c++ {

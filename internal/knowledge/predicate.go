@@ -14,10 +14,30 @@ import (
 // independent events. CheckWellFormed verifies this over a universe.
 //
 // Names must uniquely identify semantics: the evaluator memoizes by name.
+//
+// Symmetry metadata: evaluating over a symmetry quotient (see
+// universe.WithSymmetry) requires every predicate to be invariant under
+// the quotient's group — a quotient member stands for its whole renaming
+// orbit, so a predicate that distinguishes orbit members has no
+// well-defined value there. A predicate declares how it behaves under
+// renaming with Symmetric (invariant under every renaming) or FixedOn
+// (depends only on the named processes, hence invariant under any
+// renaming fixing them); predicates declaring neither are rejected on
+// quotients with an AsymmetryError. The stock library is pre-annotated.
 type Predicate struct {
 	name string
 	fn   func(*trace.Computation) bool
+	// symKind records the declared renaming behaviour; support lists the
+	// processes a symFixed predicate depends on.
+	symKind uint8
+	support []trace.ProcID
 }
+
+const (
+	symUnknown uint8 = iota // no declaration: rejected on quotients
+	symAll                  // invariant under every process renaming
+	symFixed                // invariant under renamings fixing support
+)
 
 // NewPredicate builds a predicate from a name and an evaluation function.
 func NewPredicate(name string, fn func(*trace.Computation) bool) Predicate {
@@ -29,6 +49,43 @@ func (p Predicate) Name() string { return p.name }
 
 // Holds evaluates the predicate at the computation.
 func (p Predicate) Holds(c *trace.Computation) bool { return p.fn(c) }
+
+// Symmetric declares the predicate invariant under every process
+// renaming — σ·x satisfies it exactly when x does, for any renaming σ —
+// making it evaluable on any symmetry quotient. The declaration is the
+// caller's assertion; the quotient-vs-full differential tests are the
+// safety net for the stock library.
+func (p Predicate) Symmetric() Predicate {
+	p.symKind = symAll
+	p.support = nil
+	return p
+}
+
+// FixedOn declares that the predicate's value depends only on the
+// events of the named processes, so it is invariant under every
+// renaming that fixes them pointwise. It is evaluable on a quotient
+// exactly when the quotient's group fixes all of them.
+func (p Predicate) FixedOn(procs ...trace.ProcID) Predicate {
+	p.symKind = symFixed
+	p.support = append([]trace.ProcID(nil), procs...)
+	return p
+}
+
+// SymmetricUnder reports whether the predicate's declared renaming
+// behaviour guarantees invariance under every element of s. Undeclared
+// predicates are never symmetric under a nontrivial group.
+func (p Predicate) SymmetricUnder(s *universe.Symmetry) bool {
+	if s.Trivial() {
+		return true
+	}
+	switch p.symKind {
+	case symAll:
+		return true
+	case symFixed:
+		return s.FixesAll(p.support...)
+	}
+	return false
+}
 
 // CheckWellFormed verifies the model requirement that the predicate is
 // invariant under [D]-isomorphism across the universe's members.
@@ -56,7 +113,7 @@ func SentTag(p trace.ProcID, tag string) Predicate {
 			}
 		}
 		return false
-	})
+	}).FixedOn(p)
 }
 
 // ReceivedTag holds when p has received at least one message tagged tag.
@@ -69,7 +126,7 @@ func ReceivedTag(p trace.ProcID, tag string) Predicate {
 			}
 		}
 		return false
-	})
+	}).FixedOn(p)
 }
 
 // DidInternal holds when p has performed an internal event tagged tag.
@@ -82,7 +139,7 @@ func DidInternal(p trace.ProcID, tag string) Predicate {
 			}
 		}
 		return false
-	})
+	}).FixedOn(p)
 }
 
 // EventCountAtLeast holds when the members of P have performed at least n
@@ -90,7 +147,7 @@ func DidInternal(p trace.ProcID, tag string) Predicate {
 func EventCountAtLeast(p trace.ProcSet, n int) Predicate {
 	return NewPredicate(fmt.Sprintf("count(%s)>=%s", p.Key(), strconv.Itoa(n)), func(c *trace.Computation) bool {
 		return len(c.Projection(p)) >= n
-	})
+	}).FixedOn(p.IDs()...)
 }
 
 // TokenAt holds when p currently holds the token in a token-passing
@@ -116,7 +173,7 @@ func TokenAt(p trace.ProcID, initialHolder trace.ProcID, tag string) Predicate {
 			return recv == sent
 		}
 		return recv == sent+1
-	})
+	}).FixedOn(p)
 }
 
 // NoMessagesInFlight holds when every sent message has been received.
@@ -125,10 +182,54 @@ func TokenAt(p trace.ProcID, initialHolder trace.ProcID, tag string) Predicate {
 func NoMessagesInFlight() Predicate {
 	return NewPredicate("quiescent", func(c *trace.Computation) bool {
 		return len(c.InFlight()) == 0
-	})
+	}).Symmetric()
 }
 
 // Constant returns the constant predicate with the given value.
 func Constant(v bool) Predicate {
-	return NewPredicate("const("+strconv.FormatBool(v)+")", func(*trace.Computation) bool { return v })
+	return NewPredicate("const("+strconv.FormatBool(v)+")", func(*trace.Computation) bool { return v }).Symmetric()
+}
+
+// AnySentTag holds when some process has sent a message tagged tag. It
+// is the existential closure of SentTag over the processes and, unlike
+// SentTag, is invariant under every renaming — the natural way to phrase
+// send-observations on a symmetry quotient.
+func AnySentTag(tag string) Predicate {
+	return NewPredicate("anySent("+tag+")", func(c *trace.Computation) bool {
+		for i := 0; i < c.Len(); i++ {
+			e := c.At(i)
+			if e.Kind == trace.KindSend && e.Tag == tag {
+				return true
+			}
+		}
+		return false
+	}).Symmetric()
+}
+
+// AnyReceivedTag holds when some process has received a message tagged
+// tag; the renaming-invariant closure of ReceivedTag.
+func AnyReceivedTag(tag string) Predicate {
+	return NewPredicate("anyReceived("+tag+")", func(c *trace.Computation) bool {
+		for i := 0; i < c.Len(); i++ {
+			e := c.At(i)
+			if e.Kind == trace.KindReceive && e.Tag == tag {
+				return true
+			}
+		}
+		return false
+	}).Symmetric()
+}
+
+// AnyDidInternal holds when some process has performed an internal
+// event tagged tag; the renaming-invariant closure of DidInternal.
+func AnyDidInternal(tag string) Predicate {
+	return NewPredicate("anyInternal("+tag+")", func(c *trace.Computation) bool {
+		for i := 0; i < c.Len(); i++ {
+			e := c.At(i)
+			if e.Kind == trace.KindInternal && e.Tag == tag {
+				return true
+			}
+		}
+		return false
+	}).Symmetric()
 }

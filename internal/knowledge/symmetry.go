@@ -1,0 +1,129 @@
+package knowledge
+
+import (
+	"fmt"
+
+	"hpl/internal/universe"
+)
+
+// AsymmetryError reports a formula that cannot be evaluated over a
+// symmetry quotient: some part of it distinguishes processes the
+// quotient's group identifies. Each quotient member stands for a whole
+// renaming orbit, so only G-invariant formulas have well-defined truth
+// values there; everything else must be checked on the full universe
+// (or the group shrunk until the formula becomes invariant).
+type AsymmetryError struct {
+	// Part renders the offending atom or subformula.
+	Part string
+	// Group is the quotient group's Key().
+	Group string
+	// Reason explains what the part would have to declare or satisfy.
+	Reason string
+}
+
+func (e *AsymmetryError) Error() string {
+	return fmt.Sprintf("knowledge: %s is not symmetric under %s: %s", e.Part, e.Group, e.Reason)
+}
+
+// ValidateSymmetric checks that f is invariant under s, the
+// precondition for evaluating f over an s-quotient:
+//
+//   - every atom must declare invariance (Predicate.Symmetric) or a
+//     support the group fixes (Predicate.FixedOn);
+//   - every knowledge or sure operator's process set must be a union of
+//     s-orbits (Symmetry.Invariant) — (P knows b) for a P that splits an
+//     orbit is a different proposition at each orbit member;
+//   - boolean, temporal and common-knowledge operators preserve
+//     invariance and only recurse.
+//
+// A nil or trivial group validates everything. The first offending part
+// is reported as an *AsymmetryError.
+func ValidateSymmetric(f Formula, s *universe.Symmetry) error {
+	if s.Trivial() {
+		return nil
+	}
+	switch f := f.(type) {
+	case ConstF:
+		return nil
+	case Atom:
+		if f.Pred.SymmetricUnder(s) {
+			return nil
+		}
+		return &AsymmetryError{
+			Part:   fmt.Sprintf("predicate %q", f.Pred.Name()),
+			Group:  s.Key(),
+			Reason: "declare it Symmetric(), give it a FixedOn() support the group fixes, or evaluate on the full universe",
+		}
+	case NotF:
+		return ValidateSymmetric(f.F, s)
+	case AndF:
+		if err := ValidateSymmetric(f.L, s); err != nil {
+			return err
+		}
+		return ValidateSymmetric(f.R, s)
+	case OrF:
+		if err := ValidateSymmetric(f.L, s); err != nil {
+			return err
+		}
+		return ValidateSymmetric(f.R, s)
+	case ImpliesF:
+		if err := ValidateSymmetric(f.L, s); err != nil {
+			return err
+		}
+		return ValidateSymmetric(f.R, s)
+	case KnowsF:
+		if !s.Invariant(f.P) {
+			return &AsymmetryError{
+				Part:   fmt.Sprintf("knowledge operator %s knows …", f.P),
+				Group:  s.Key(),
+				Reason: "the process set splits a symmetry class; use a union of whole classes or evaluate on the full universe",
+			}
+		}
+		return ValidateSymmetric(f.F, s)
+	case SureF:
+		if !s.Invariant(f.P) {
+			return &AsymmetryError{
+				Part:   fmt.Sprintf("sure operator %s sure …", f.P),
+				Group:  s.Key(),
+				Reason: "the process set splits a symmetry class; use a union of whole classes or evaluate on the full universe",
+			}
+		}
+		return ValidateSymmetric(f.F, s)
+	case CommonF:
+		// Common knowledge quantifies over all processes — a union of
+		// orbits by construction — so only the body needs checking.
+		return ValidateSymmetric(f.F, s)
+	case EXF:
+		return ValidateSymmetric(f.F, s)
+	case AXF:
+		return ValidateSymmetric(f.F, s)
+	case EFF:
+		return ValidateSymmetric(f.F, s)
+	case AFF:
+		return ValidateSymmetric(f.F, s)
+	case EGF:
+		return ValidateSymmetric(f.F, s)
+	case AGF:
+		return ValidateSymmetric(f.F, s)
+	case EUF:
+		if err := ValidateSymmetric(f.L, s); err != nil {
+			return err
+		}
+		return ValidateSymmetric(f.R, s)
+	case AUF:
+		if err := ValidateSymmetric(f.L, s); err != nil {
+			return err
+		}
+		return ValidateSymmetric(f.R, s)
+	case EYF:
+		return ValidateSymmetric(f.F, s)
+	case AYF:
+		return ValidateSymmetric(f.F, s)
+	case OnceF:
+		return ValidateSymmetric(f.F, s)
+	case HistF:
+		return ValidateSymmetric(f.F, s)
+	default:
+		return fmt.Errorf("knowledge: unknown formula type %T", f)
+	}
+}

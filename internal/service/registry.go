@@ -611,8 +611,19 @@ func EstimateStructureBytes(u *hpl.Universe) int64 {
 	for i := 0; i < n; i++ {
 		events += int64(u.At(i).Len())
 	}
-	const perMember, perEvent = 96, 48
-	return int64(n)*perMember + events*perEvent
+	// perMember covers the prefix-tree node and member-slice slot,
+	// perEvent the interned event and hash state. perHashSlot charges the
+	// member-hash index (a map[Hash128]int32 bucket entry): the universe
+	// builds it lazily on the first IndexOf, but every query session
+	// triggers that within its first Holds call, so a hot entry always
+	// carries it and the cache must account for it up front.
+	const perMember, perHashSlot, perEvent = 96, 40, 48
+	b := int64(n)*(perMember+perHashSlot) + events*perEvent
+	if u.IsQuotient() {
+		// Orbit-size table: one int64 per member.
+		b += int64(n) * 8
+	}
+	return b
 }
 
 // EstimateSessionBytes is the per-session half of EstimateBytes: the

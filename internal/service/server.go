@@ -35,6 +35,12 @@ type CheckResult struct {
 	// valid) and Witness that member's rendered event sequence.
 	FirstFailure int    `json:"firstFailure"`
 	Witness      string `json:"witness,omitempty"`
+	// FullHolding and FullTotal re-express Holding and Total over the
+	// full universe when the spec requested a symmetry quotient (each
+	// member weighted by its orbit size); omitted for full universes,
+	// where they would repeat Holding and Total.
+	FullHolding int64 `json:"fullHolding,omitempty"`
+	FullTotal   int64 `json:"fullTotal,omitempty"`
 	// AtInit is the model-checking verdict at the initial (null)
 	// computation; only set by /v1/check-temporal.
 	AtInit *bool `json:"atInit,omitempty"`
@@ -67,6 +73,14 @@ type StatsResponse struct {
 	Bytes    int64            `json:"bytes"`
 	Cached   bool             `json:"cached"`
 	Hits     int64            `json:"hits"`
+	// Symmetry is the quotient group's class structure (e.g. "{p,q,r}")
+	// when the universe is a symmetry quotient; empty for full
+	// universes. FullMembers is then the size of the full universe the
+	// quotient stands for (the sum of all orbit sizes) and MaxOrbit the
+	// largest single orbit.
+	Symmetry    string `json:"symmetry,omitempty"`
+	FullMembers int64  `json:"fullMembers,omitempty"`
+	MaxOrbit    int64  `json:"maxOrbit,omitempty"`
 	// Source reports how the universe became resident: "build",
 	// "snapshot" (loaded from the snapshot directory), or "extend"
 	// (grown incrementally from a smaller cached bound).
@@ -184,6 +198,9 @@ func (s *Server) checkOne(ck *hpl.Checker, input string, temporal bool) CheckRes
 		if rep.FirstFailure >= 0 {
 			out.Witness = ck.Universe().At(rep.FirstFailure).String()
 		}
+		if ck.Universe().IsQuotient() {
+			out.FullHolding, out.FullTotal = rep.FullHolding, rep.FullTotal
+		}
 	}
 	if temporal {
 		rep, err := ck.ParseAndCheckTemporal(input)
@@ -216,7 +233,7 @@ func (s *Server) handleUniverseStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Universe:    e.Digest,
 		Spec:        e.Spec,
 		Members:     e.Checker.Universe().Len(),
@@ -226,7 +243,17 @@ func (s *Server) handleUniverseStats(w http.ResponseWriter, r *http.Request) {
 		Source:      e.Source,
 		BuildMillis: float64(e.BuildDuration) / float64(time.Millisecond),
 		Atoms:       e.Checker.Atoms(),
-	})
+	}
+	if u := e.Checker.Universe(); u.IsQuotient() {
+		resp.Symmetry = u.Symmetry().Key()
+		resp.FullMembers = u.FullSize()
+		for i := 0; i < u.Len(); i++ {
+			if s := u.OrbitSize(i); s > resp.MaxOrbit {
+				resp.MaxOrbit = s
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -60,6 +60,53 @@ func TestServerCheck(t *testing.T) {
 	}
 }
 
+// TestServerQuotientUniverse serves a symmetry-reduced universe: the
+// quotient is cached under its own digest, symmetric formulas answer
+// with orbit-weighted counts, asymmetric ones fail per-formula with the
+// asymmetry detail, and /v1/universe-stats reports the orbit numbers.
+func TestServerQuotientUniverse(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	spec := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 1, MaxEvents: 4, Symmetry: "full"}
+	resp, err := cl.Check(context.Background(), spec,
+		`"anyReceived(m)" -> "anySent(m)"`,
+		`K{q} "sent(p,m)"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := resp.Results[0]; !r.Valid || r.Error != "" || r.FullTotal <= int64(r.Total) || r.FullHolding != r.FullTotal {
+		t.Errorf("symmetric formula on quotient: %+v", r)
+	}
+	if r := resp.Results[1]; r.Error == "" || !strings.Contains(r.Error, "not symmetric") {
+		t.Errorf("asymmetric formula must fail per-formula with the asymmetry detail: %+v", r)
+	}
+	full := spec
+	full.Symmetry = "none"
+	fresp, err := cl.Check(context.Background(), full, `"anyReceived(m)" -> "anySent(m)"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresp.Universe == resp.Universe {
+		t.Errorf("quotient and full universes share a cache key")
+	}
+	if got, want := resp.Results[0].FullTotal, int64(fresp.Members); got != want {
+		t.Errorf("orbit sizes sum to %d, full universe has %d", got, want)
+	}
+	st, err := cl.UniverseStats(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Symmetry == "" || st.FullMembers != int64(fresp.Members) || st.MaxOrbit < 2 {
+		t.Errorf("quotient stats missing orbit accounting: %+v", st)
+	}
+	fst, err := cl.UniverseStats(context.Background(), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst.Symmetry != "" || fst.FullMembers != 0 {
+		t.Errorf("full universe stats must omit orbit fields: %+v", fst)
+	}
+}
+
 func TestServerCheckTemporal(t *testing.T) {
 	_, cl := newTestServer(t, Config{})
 	resp, err := cl.CheckTemporal(context.Background(), testSpec,

@@ -89,6 +89,61 @@ func TestColdStartServedFromSnapshot(t *testing.T) {
 	}
 }
 
+// TestQuotientSnapshotRestart is the restart contract for symmetry
+// quotients: a quotient universe persists under its own digest (the
+// version-2 snapshot with group and orbit sizes), a fresh registry
+// serves it from disk without building, and the loaded session keeps
+// both the orbit accounting and the asymmetric-formula rejection.
+func TestQuotientSnapshotRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 1, MaxEvents: 4, Symmetry: "full"}
+	warm := NewRegistry(Config{SnapshotDir: dir})
+	first, _, err := warm.Get(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Checker.Universe().IsQuotient() {
+		t.Fatal("quotient spec built a full universe")
+	}
+
+	cold := NewRegistry(Config{SnapshotDir: dir})
+	cold.buildFn = func(ctx context.Context, spec hpl.UniverseSpec) (*hpl.Checker, error) {
+		return nil, errors.New("quotient restart fell back to a build")
+	}
+	e, _, err := cold.Get(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Source != SourceSnapshot {
+		t.Errorf("source = %q, want %q", e.Source, SourceSnapshot)
+	}
+	u, w := e.Checker.Universe(), first.Checker.Universe()
+	if !u.IsQuotient() || !u.Symmetry().Equal(w.Symmetry()) {
+		t.Fatalf("loaded universe lost its group: quotient=%v", u.IsQuotient())
+	}
+	if u.Len() != w.Len() || u.FullSize() != w.FullSize() {
+		t.Errorf("loaded quotient %d/%d members, built %d/%d",
+			u.Len(), u.FullSize(), w.Len(), w.FullSize())
+	}
+	for i := 0; i < u.Len(); i++ {
+		if u.OrbitSize(i) != w.OrbitSize(i) {
+			t.Fatalf("member %d orbit size %d, built %d", i, u.OrbitSize(i), w.OrbitSize(i))
+		}
+	}
+	rep, err := e.Checker.ParseAndCheck(`"anyReceived(m)" -> "anySent(m)"`)
+	if err != nil || !rep.Valid() {
+		t.Errorf("symmetric formula on restored quotient: valid=%v err=%v", rep.Valid(), err)
+	}
+	wantRep, err := first.Checker.ParseAndCheck(`"anyReceived(m)" -> "anySent(m)"`)
+	if err != nil || rep.FullHolding != wantRep.FullHolding {
+		t.Errorf("weighted counts diverge after restart: %d vs %d (err=%v)", rep.FullHolding, wantRep.FullHolding, err)
+	}
+	var asym *hpl.AsymmetryError
+	if _, err := e.Checker.ParseAndCheck(`"sent(p,m)"`); !errors.As(err, &asym) {
+		t.Errorf("restored quotient must keep rejecting asymmetric formulas, got %v", err)
+	}
+}
+
 // TestCorruptSnapshotFallsBackToBuild checks the degraded path: a
 // corrupt snapshot file is removed, the miss falls through to a normal
 // build, and the rebuilt universe re-persists a valid snapshot.

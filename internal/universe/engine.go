@@ -43,10 +43,14 @@ import (
 // replay-based reference enumerator.
 
 // enode is one work item of the frontier: a computation plus its
-// interned local-state vector.
+// interned local-state vector. Under WithSymmetry it also carries the
+// computation's support mask — bit i set when procs[i] appears as the
+// Proc or Peer of some event — which identifies the node's stabilizer
+// (the pointwise stabilizer of the support) and hence its orbit size.
 type enode struct {
 	comp *trace.Computation
 	sv   int32
+	mask uint64
 }
 
 // dedupShard is one lock-striped open-addressing table of the global
@@ -68,6 +72,12 @@ type engine struct {
 	eventIDs [][]trace.EventID
 	msgIDs   [][]trace.MsgID
 	states   *stateTable
+
+	// grp is the compiled symmetry group under WithSymmetry, nil
+	// otherwise. When set, expand keeps only the orbit-canonical child
+	// of each sibling orbit (see symCanonical), so the engine emits one
+	// representative per renaming orbit.
+	grp *symGroup
 
 	// noEmitLen marks the seed horizon of an extension run: nodes of
 	// that length or shorter are expanded but neither claimed nor
@@ -118,6 +128,10 @@ type worker struct {
 	steps   map[stepsKey][]Action
 	stepSV  map[actKey]int32
 	delivSV map[delivKey]int32
+	// stabCache caches, per support mask, the non-identity group
+	// elements fixing every supported process — the stabilizer expand
+	// filters children against. Nil unless the engine has a group.
+	stabCache map[uint64][]int32
 
 	svScratch []string
 	buf       []byte
@@ -174,6 +188,25 @@ func enumerate(p Protocol, cfg config, seed *seedState) (*Universe, error) {
 	for i, id := range procs {
 		procIdx[id] = int32(i)
 	}
+	grp, err := newSymGroup(cfg.sym, procs, procIdx)
+	if err != nil {
+		return nil, err
+	}
+	if grp != nil {
+		// The root (empty computation) must be stabilized by the whole
+		// group, which reduces to equal initial states within each class.
+		// Equivariance of Steps/AfterStep/Deliver cannot be checked here
+		// and remains the caller's assertion.
+		for _, cl := range cfg.sym.classes {
+			init0 := p.Init(cl[0])
+			for _, q := range cl[1:] {
+				if p.Init(q) != init0 {
+					return nil, fmt.Errorf("universe: symmetry class %v is not interchangeable: Init(%s)=%q but Init(%s)=%q",
+						cl, cl[0], init0, q, p.Init(q))
+				}
+			}
+		}
+	}
 	// The ID tables are capped: a pathological WithMaxEvents (user
 	// flags reach it) must not allocate maxEvents strings per process
 	// up front when the reachable universe is far smaller. Positions
@@ -211,6 +244,7 @@ func enumerate(p Protocol, cfg config, seed *seedState) (*Universe, error) {
 		eventIDs:  eventIDs,
 		msgIDs:    msgIDs,
 		states:    states,
+		grp:       grp,
 		noEmitLen: -1,
 		shards:    make([]dedupShard, nshards),
 		outs:      make([][]enode, cfg.parallelism),
@@ -230,7 +264,11 @@ func enumerate(p Protocol, cfg config, seed *seedState) (*Universe, error) {
 		e.emitted.Store(int64(seed.base.Len()))
 		for i := 0; i < seed.base.Len(); i++ {
 			if c := seed.base.At(i); c.Len() == seed.base.maxEvents {
-				e.queue = append(e.queue, enode{comp: c, sv: seed.svs[i]})
+				nd := enode{comp: c, sv: seed.svs[i]}
+				if grp != nil {
+					nd.mask = e.supportMask(c)
+				}
+				e.queue = append(e.queue, nd)
 			}
 		}
 	} else {
@@ -248,7 +286,7 @@ func enumerate(p Protocol, cfg config, seed *seedState) (*Universe, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			e.run(&worker{
+			wk := &worker{
 				e:       e,
 				id:      w,
 				evCount: make([]int32, n),
@@ -257,7 +295,11 @@ func enumerate(p Protocol, cfg config, seed *seedState) (*Universe, error) {
 				steps:   make(map[stepsKey][]Action),
 				stepSV:  make(map[actKey]int32),
 				delivSV: make(map[delivKey]int32),
-			})
+			}
+			if grp != nil {
+				wk.stabCache = make(map[uint64][]int32)
+			}
+			e.run(wk)
 		}(w)
 	}
 	wg.Wait()
@@ -317,6 +359,25 @@ func enumerate(p Protocol, cfg config, seed *seedState) (*Universe, error) {
 	u.maxEvents = cfg.maxEvents
 	u.states = states
 	u.memberSV = svs
+	if grp != nil {
+		// Quotient bookkeeping: each member's orbit size, and the full
+		// universe's cardinality as their sum — the exact count a
+		// from-scratch run without the group would have produced.
+		orbs := make([]int64, 0, baseLen+len(fresh))
+		if seed != nil {
+			orbs = append(orbs, seed.base.orbitSize...)
+		}
+		for _, nd := range fresh {
+			orbs = append(orbs, grp.orbitSize(nd.mask))
+		}
+		var full int64
+		for _, o := range orbs {
+			full += o
+		}
+		u.sym = cfg.sym
+		u.orbitSize = orbs
+		u.fullSize = full
+	}
 	return u, nil
 }
 
@@ -453,18 +514,24 @@ func (w *worker) expand(nd enode, children *[]enode) error {
 			Peer: send.Proc,
 			Tag:  send.Tag,
 		}
-		*children = append(*children, enode{comp: w.arena.Extend(c, ev), sv: csv})
+		// Receive children need no canonicity check: the message's sender
+		// and addressee both already appear in the parent's support (the
+		// send event carries them as Proc and Peer), so every stabilizer
+		// element fixes the receive event — its sibling orbit is itself.
+		*children = append(*children, enode{comp: w.arena.Extend(c, ev), sv: csv, mask: nd.mask | 1<<uint(dst)})
 	}
 	// Spontaneous steps.
 	for pi := range e.procs {
 		pid := e.procs[pi]
 		for ai, a := range w.stepActions(nd.sv, int32(pi)) {
 			var ev trace.Event
+			qi := int32(-1)
 			switch a.Kind {
 			case trace.KindSend:
 				if _, ok := e.procIdx[a.To]; !ok || a.To == pid {
 					return fmt.Errorf("universe: protocol %T: invalid send %s→%s", e.p, pid, a.To)
 				}
+				qi = e.procIdx[a.To]
 				ev = trace.Event{
 					ID:   e.eventID(int32(pi), w.evCount[pi]),
 					Proc: pid,
@@ -483,10 +550,103 @@ func (w *worker) expand(nd enode, children *[]enode) error {
 			default:
 				return fmt.Errorf("universe: protocol %T emitted action of kind %v", e.p, a.Kind)
 			}
-			*children = append(*children, enode{comp: w.arena.Extend(c, ev), sv: w.stepChild(nd.sv, int32(pi), ai, a)})
+			mask := nd.mask | 1<<uint(pi)
+			if qi >= 0 {
+				mask |= 1 << uint(qi)
+			}
+			if e.grp != nil && !w.symCanonical(c, nd.mask, ev, int32(pi), qi, w.evCount[pi], w.nextMsg[pi]) {
+				continue
+			}
+			*children = append(*children, enode{comp: w.arena.Extend(c, ev), sv: w.stepChild(nd.sv, int32(pi), ai, a), mask: mask})
 		}
 	}
 	return nil
+}
+
+// symCanonical reports whether extending parent (whose support is mask)
+// by ev yields the orbit-canonical child. The siblings competing with
+// c+ev are exactly {c + σ·ev : σ ∈ Stab(c)} — applying a stabilizer
+// element fixes the prefix and renames only the new event — and the
+// canonical one is the child with the least hash. σ·ev keeps ev's
+// sequence numbers: σ stabilizes the parent, so the per-process event
+// and send counts at σ's images equal those at the originals.
+//
+// pi and qi are the proc indexes of ev.Proc and ev.Peer (qi < 0 when
+// there is no peer that can move); k is ev's per-process sequence
+// number and j the per-sender message sequence number for sends.
+func (w *worker) symCanonical(parent *trace.Computation, mask uint64, ev trace.Event, pi, qi, k, j int32) bool {
+	e := w.e
+	stab := w.stabFor(mask)
+	if len(stab) == 0 {
+		return true
+	}
+	newBits := uint64(1) << uint(pi)
+	if qi >= 0 {
+		newBits |= 1 << uint(qi)
+	}
+	var h trace.Hash128
+	hashed := false
+	for _, gi := range stab {
+		if e.grp.moved[gi]&newBits == 0 {
+			continue // σ fixes the new event: the sibling is c+ev itself
+		}
+		if !hashed {
+			h = parent.Hash().ExtendEvent(ev)
+			hashed = true
+		}
+		perm := e.grp.perms[gi]
+		sev := ev
+		spi := perm[pi]
+		sev.Proc = e.procs[spi]
+		sev.ID = e.eventID(spi, k)
+		if ev.Kind == trace.KindSend {
+			sev.Msg = e.msgID(spi, j)
+			sev.Peer = e.procs[perm[qi]]
+		}
+		// Strict less: on the ~2^-128 event of a full hash tie between
+		// distinct siblings both survive, and the dedup tables (plus
+		// WithHashVerify) own that case as they do for the full universe.
+		if parent.Hash().ExtendEvent(sev).Less(h) {
+			return false
+		}
+	}
+	return true
+}
+
+// stabFor returns the non-identity group elements fixing every process
+// in mask — the stabilizer of any computation with that support —
+// through the worker-local cache.
+func (w *worker) stabFor(mask uint64) []int32 {
+	if s, ok := w.stabCache[mask]; ok {
+		return s
+	}
+	g := w.e.grp
+	s := make([]int32, 0, len(g.perms)-1)
+	for gi := 1; gi < len(g.perms); gi++ {
+		if g.moved[gi]&mask == 0 {
+			s = append(s, int32(gi))
+		}
+	}
+	w.stabCache[mask] = s
+	return s
+}
+
+// supportMask recomputes a computation's support mask by walking its
+// chain; the engine uses it only to seed extension frontiers (fresh
+// nodes carry masks incrementally).
+func (e *engine) supportMask(c *trace.Computation) uint64 {
+	var mask uint64
+	for node := c; ; {
+		ev, ok := node.Last()
+		if !ok {
+			return mask
+		}
+		mask |= 1 << uint(e.procIdx[ev.Proc])
+		if ev.Peer != "" {
+			mask |= 1 << uint(e.procIdx[ev.Peer])
+		}
+		node = node.Parent()
+	}
 }
 
 // loadChain recovers the expansion state of c into the worker's scratch

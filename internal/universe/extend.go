@@ -34,6 +34,18 @@ func Extend(u *Universe, opts ...Option) (*Universe, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	// Symmetry must agree between the seed and the extension: the seed's
+	// members are orbit representatives only under its own group, so
+	// extending under a different group (or quotienting a full seed)
+	// would mix canonical forms. An extension without WithSymmetry
+	// inherits the seed's group.
+	if cfg.sym == nil {
+		cfg.sym = u.sym
+	} else if u.sym == nil {
+		return nil, fmt.Errorf("%w: cannot quotient a full universe by %s; re-enumerate with WithSymmetry", ErrCannotExtend, cfg.sym.Key())
+	} else if !cfg.sym.Equal(u.sym) {
+		return nil, fmt.Errorf("%w: symmetry %s differs from the universe's %s", ErrCannotExtend, cfg.sym.Key(), u.sym.Key())
+	}
 	switch {
 	case u.proto == nil:
 		return nil, fmt.Errorf("%w: no protocol bound (hand-built universe, or snapshot load before BindProtocol)", ErrCannotExtend)

@@ -46,9 +46,25 @@ type freeProtocol struct {
 // NewFree returns the Protocol of the free system described by cfg.
 func NewFree(cfg FreeConfig) Protocol { return freeProtocol{cfg: cfg.withDefaults()} }
 
-var _ Protocol = freeProtocol{}
+var (
+	_ Protocol          = freeProtocol{}
+	_ SymmetricProtocol = freeProtocol{}
+)
 
 func (f freeProtocol) Procs() []trace.ProcID { return f.cfg.Procs }
+
+// Symmetry declares every process of a free system interchangeable:
+// Init is uniform and Steps/AfterStep/Deliver mention processes only
+// through the full process list, so any renaming maps computations to
+// computations. Returns nil when the system is too large for symmetry
+// reduction (more than 8 processes).
+func (f freeProtocol) Symmetry() *Symmetry {
+	s, err := FullSymmetry(f.cfg.Procs...)
+	if err != nil {
+		return nil
+	}
+	return s
+}
 
 func (f freeProtocol) Init(trace.ProcID) string { return "s0,i0" }
 

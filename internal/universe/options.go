@@ -31,6 +31,9 @@ type config struct {
 	progressEvery int
 	// hashVerify makes dedup double-check hash hits against full keys.
 	hashVerify bool
+	// sym quotients the enumeration by a process-symmetry group; nil
+	// (or a trivial group) enumerates the full universe.
+	sym *Symmetry
 }
 
 func defaultConfig() config {
@@ -106,6 +109,26 @@ func WithProgress(fn func(Progress)) Option {
 // that want the assumption proven rather than assumed.
 func WithHashVerify() Option {
 	return func(c *config) { c.hashVerify = true }
+}
+
+// WithSymmetry quotients the enumeration by the process-symmetry group
+// g: only one canonical representative of each renaming orbit is
+// emitted, with its orbit size recorded (Universe.OrbitSize), so the
+// universe shrinks by up to Order(g) while weighted counts stay exact.
+// The protocol must actually have the symmetry — equal Init within each
+// class is checked at enumeration time, equivariance of
+// Steps/AfterStep/Deliver is the caller's assertion (use
+// InferSymmetry for protocols that declare their own). Formulas
+// evaluated over the quotient must be symmetric; the knowledge layer
+// rejects asymmetric ones with a structured error. A nil or trivial g
+// is a no-op.
+func WithSymmetry(g *Symmetry) Option {
+	return func(c *config) {
+		if g.Trivial() {
+			g = nil
+		}
+		c.sym = g
+	}
 }
 
 // withProgressEvery tunes the callback interval; exported options keep

@@ -92,6 +92,9 @@ func (pt *Partition) buildKeys() {
 // NewPartition exists for the partition-table ablation benchmark and
 // for tests that need a fresh table.
 func NewPartition(u *Universe, p trace.ProcSet) *Partition {
+	if u.sym != nil {
+		return newQuotientPartition(u, p)
+	}
 	n := u.Len()
 	pt := &Partition{
 		set:     p,
@@ -145,6 +148,72 @@ func NewPartition(u *Universe, p trace.ProcSet) *Partition {
 	for i, c := range pt.classID {
 		pt.members[c] = append(pt.members[c], i)
 	}
+	return pt
+}
+
+// newQuotientPartition builds the [P]-partition of a symmetry quotient.
+// Quotient members stand for whole renaming orbits, so the relation has
+// to be read through the orbits: member j is related to projection key
+// k exactly when SOME renaming σ·y_j projects to k. Each member is
+// therefore listed under the projection key of σ·y_j for every group
+// element σ — "twisted" listings — so classes may overlap; a member's
+// own class (ClassOf) is the one keyed by its identity projection.
+//
+// For an invariant P (the only kind knowledge.Evaluator admits for K_P;
+// see Symmetry.Invariant) any two classes sharing a member coincide as
+// sets — renaming permutes the full [P]-classes and preserves orbits —
+// which is what keeps the per-class all-reduce in the knowledge engine
+// sound without modification. For non-invariant P (the per-process
+// singletons the common-knowledge fixpoint iterates over) overlapping
+// classes encode exactly the relation-through-renaming the quotient
+// fixpoint needs: evicting a twisted class corresponds to evicting via
+// some renamed process's relation, all of which D contains.
+func newQuotientPartition(u *Universe, p trace.ProcSet) *Partition {
+	n := u.Len()
+	pt := &Partition{
+		set:     p,
+		classID: make([]int32, n),
+		byKeyID: make(map[int32]int32),
+		keys:    u.keys,
+	}
+	elems := u.sym.elements()
+	var classes [][]int
+	var arena trace.Arena
+	kidBuf := make([]int32, 0, len(elems)+1)
+	for i := 0; i < n; i++ {
+		c := u.At(i)
+		kidBuf = append(kidBuf[:0], u.keys.Intern(c.ProjectionKey(p)))
+		for _, sigma := range elems {
+			rc := trace.Empty()
+			for e := 0; e < c.Len(); e++ {
+				rc = arena.Extend(rc, renameEvent(c.At(e), sigma))
+			}
+			kid := u.keys.Intern(rc.ProjectionKey(p))
+			dup := false
+			for _, k := range kidBuf {
+				if k == kid {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				kidBuf = append(kidBuf, kid)
+			}
+		}
+		for j, kid := range kidBuf {
+			cl, ok := pt.byKeyID[kid]
+			if !ok {
+				cl = int32(len(classes))
+				pt.byKeyID[kid] = cl
+				classes = append(classes, nil)
+			}
+			if j == 0 {
+				pt.classID[i] = cl
+			}
+			classes[cl] = append(classes[cl], i)
+		}
+	}
+	pt.members = classes
 	return pt
 }
 

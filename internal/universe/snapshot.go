@@ -52,6 +52,11 @@ import (
 //	           projection-key index is NOT stored (keys are as long as
 //	           event sequences); loaded tables rebuild it lazily from
 //	           one member per class on first ClassOfKey.
+//	symmetry — version 2 (symmetry quotients) only: the group's class
+//	           count, then per class its size and proc string refs,
+//	           then one orbit size per member. Quotients always write
+//	           zero partition tables (their overlapping twisted class
+//	           listings are rebuilt on demand instead).
 var (
 	// ErrSnapshotFormat reports input that is not a universe snapshot.
 	ErrSnapshotFormat = errors.New("universe: not a universe snapshot")
@@ -66,8 +71,15 @@ var (
 )
 
 const (
-	snapshotMagic   = "HPLSNP"
-	snapshotVersion = 1
+	snapshotMagic = "HPLSNP"
+	// snapshotVersion is the codec for full universes; symmetry
+	// quotients (WithSymmetry) write snapshotVersionSym, which appends a
+	// symmetry section — the group's classes and the per-member orbit
+	// sizes — after the partitions section. Full universes keep writing
+	// version 1 byte-identically, so pre-symmetry snapshots and readers
+	// interoperate with this build on everything but quotients.
+	snapshotVersion    = 1
+	snapshotVersionSym = 2
 )
 
 var snapshotCRC = crc64.MakeTable(crc64.ECMA)
@@ -81,6 +93,9 @@ var snapshotCRC = crc64.MakeTable(crc64.ECMA)
 func WriteSnapshot(w io.Writer, u *Universe, digest string) error {
 	if u.maxEvents < 0 || u.states == nil || len(u.memberSV) != u.Len() || !u.sorted {
 		return fmt.Errorf("universe: snapshot requires an enumerated universe")
+	}
+	if u.sym != nil && len(u.orbitSize) != u.Len() {
+		return fmt.Errorf("universe: snapshot requires orbit sizes for every member of a quotient universe")
 	}
 	tab := trace.NewStringTable()
 	var body []byte
@@ -155,8 +170,15 @@ func WriteSnapshot(w io.Writer, u *Universe, digest string) error {
 	}
 
 	// Built partition tables, ordered by process-set key: sync.Map
-	// iteration order must not leak into the bytes.
+	// iteration order must not leak into the bytes. Quotient partitions
+	// are never persisted: their overlapping "twisted" class listings
+	// cannot be reconstructed from classID alone (the lazy ClassOfKey
+	// completion assumes one key per class), so quotient loads rebuild
+	// tables on demand — quotients are small enough that this is cheap.
 	parts := u.partitionsIfBuilt()
+	if u.sym != nil {
+		parts = nil
+	}
 	sort.Slice(parts, func(i, j int) bool { return parts[i].set.Key() < parts[j].set.Key() })
 	body = binary.AppendUvarint(body, uint64(len(parts)))
 	for _, pt := range parts {
@@ -168,6 +190,24 @@ func WriteSnapshot(w io.Writer, u *Universe, digest string) error {
 		body = binary.AppendUvarint(body, uint64(len(pt.members)))
 		for _, c := range pt.classID {
 			body = binary.AppendUvarint(body, uint64(c))
+		}
+	}
+
+	// Symmetry section (version 2 only): the group's classes and the
+	// per-member orbit sizes. The full-universe cardinality is their
+	// sum, recomputed at load.
+	version := byte(snapshotVersion)
+	if u.sym != nil {
+		version = snapshotVersionSym
+		body = binary.AppendUvarint(body, uint64(len(u.sym.classes)))
+		for _, cl := range u.sym.classes {
+			body = binary.AppendUvarint(body, uint64(len(cl)))
+			for _, p := range cl {
+				body = binary.AppendUvarint(body, uint64(tab.Ref(string(p))))
+			}
+		}
+		for _, o := range u.orbitSize {
+			body = binary.AppendUvarint(body, uint64(o))
 		}
 	}
 
@@ -186,7 +226,7 @@ func WriteSnapshot(w io.Writer, u *Universe, digest string) error {
 
 	hdr := make([]byte, 0, len(snapshotMagic)+9)
 	hdr = append(hdr, snapshotMagic...)
-	hdr = append(hdr, snapshotVersion)
+	hdr = append(hdr, version)
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(payload)))
 	if _, err := w.Write(hdr); err != nil {
 		return err
@@ -215,8 +255,9 @@ func ReadSnapshot(r io.Reader) (*Universe, string, error) {
 	if string(hdr[:len(snapshotMagic)]) != snapshotMagic {
 		return nil, "", fmt.Errorf("%w: bad magic %q", ErrSnapshotFormat, hdr[:len(snapshotMagic)])
 	}
-	if v := hdr[len(snapshotMagic)]; v != snapshotVersion {
-		return nil, "", fmt.Errorf("%w: version %d (this build reads %d)", ErrSnapshotVersion, v, snapshotVersion)
+	version := hdr[len(snapshotMagic)]
+	if version != snapshotVersion && version != snapshotVersionSym {
+		return nil, "", fmt.Errorf("%w: version %d (this build reads %d and %d)", ErrSnapshotVersion, version, snapshotVersion, snapshotVersionSym)
 	}
 	plen := binary.LittleEndian.Uint64(hdr[len(snapshotMagic)+1:])
 	if plen > math.MaxInt64-8 {
@@ -376,6 +417,44 @@ func ReadSnapshot(r io.Reader) (*Universe, string, error) {
 			members: members,
 			u:       u,
 		})
+	}
+
+	// Symmetry section (version 2 only).
+	if version == snapshotVersionSym && sr.err == nil {
+		classes := make([][]trace.ProcID, 0, sr.count(sr.rem()))
+		for n := cap(classes); len(classes) < n && sr.err == nil; {
+			cl := make([]trace.ProcID, 0, sr.count(sr.rem()))
+			for k := cap(cl); len(cl) < k && sr.err == nil; {
+				cl = append(cl, trace.ProcID(sr.str(strs)))
+			}
+			classes = append(classes, cl)
+		}
+		orbs := make([]int64, 0, nmem)
+		for i := 0; i < nmem && sr.err == nil; i++ {
+			o := sr.uvarint()
+			if o == 0 || o > uint64(math.MaxInt64) {
+				sr.fail("member %d: orbit size %d out of range", i, o)
+				break
+			}
+			orbs = append(orbs, int64(o))
+		}
+		if sr.err == nil {
+			sym, err := NewSymmetry(classes...)
+			switch {
+			case err != nil:
+				sr.fail("symmetry section: %v", err)
+			case sym.Trivial():
+				sr.fail("symmetry section declares a trivial group")
+			default:
+				var full int64
+				for _, o := range orbs {
+					full += o
+				}
+				u.sym = sym
+				u.orbitSize = orbs
+				u.fullSize = full
+			}
+		}
 	}
 	if sr.err == nil && sr.rem() != 0 {
 		sr.fail("%d bytes of trailing data", sr.rem())

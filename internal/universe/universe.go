@@ -73,6 +73,15 @@ type Universe struct {
 	// universes; Extend reconstructs them by replay in that case.
 	states   *stateTable
 	memberSV []int32
+
+	// sym is the process-symmetry group the universe was quotiented by
+	// (WithSymmetry); nil for full universes. Quotient members are the
+	// orbit-canonical representatives, orbitSize[i] is the number of
+	// full-universe members in member i's renaming orbit, and fullSize
+	// is their sum — the cardinality the full enumeration would have.
+	sym       *Symmetry
+	orbitSize []int64
+	fullSize  int64
 }
 
 // New builds a universe from the given computations (duplicates by
@@ -189,6 +198,33 @@ func (u *Universe) Computations() []*trace.Computation {
 // nil for hand-built universes and snapshot loads that have not been
 // re-bound with BindProtocol.
 func (u *Universe) Protocol() Protocol { return u.proto }
+
+// Symmetry returns the process-symmetry group the universe was
+// quotiented by (see WithSymmetry), or nil for full universes.
+func (u *Universe) Symmetry() *Symmetry { return u.sym }
+
+// IsQuotient reports whether the universe is a symmetry quotient: its
+// members are orbit-canonical representatives rather than the full
+// computation set.
+func (u *Universe) IsQuotient() bool { return u.sym != nil }
+
+// OrbitSize returns the number of full-universe computations in member
+// i's renaming orbit; 1 for every member of a full universe.
+func (u *Universe) OrbitSize(i int) int64 {
+	if u.orbitSize == nil {
+		return 1
+	}
+	return u.orbitSize[i]
+}
+
+// FullSize returns the cardinality of the full universe: Len() for full
+// universes, the sum of the members' orbit sizes for quotients.
+func (u *Universe) FullSize() int64 {
+	if u.sym == nil {
+		return int64(len(u.comps))
+	}
+	return u.fullSize
+}
 
 // MaxEvents returns the event bound the universe was enumerated under,
 // or -1 when unknown (hand-built universes).

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# Runs the enumeration, snapshot, and incremental-extension benchmarks
-# and records the results as BENCH_7.json at the repo root, so the perf
-# trajectory has version-controlled data points. BENCHTIME tunes
-# accuracy vs runtime (default 3x; CI uses 1x for a smoke pass):
+# Runs the enumeration, symmetry-quotient, snapshot, and
+# incremental-extension benchmarks and records the results as
+# BENCH_8.json at the repo root, so the perf trajectory has
+# version-controlled data points. BENCHTIME tunes accuracy vs runtime
+# (default 3x; CI uses 1x for a smoke pass):
 #
 #   ./scripts/bench.sh            # 3 iterations per benchmark
 #   BENCHTIME=10x ./scripts/bench.sh
@@ -13,8 +14,10 @@
 # to the sequential time and the "parallel speedup" they record is
 # noise. So the script detects the CPU count: with one CPU it skips the
 # multi-worker rows and says so in the recorded note; CI runs the full
-# matrix in its bench-smoke job where more cores exist. The snapshot
-# and extension rows are single-threaded and always run.
+# matrix in its bench-smoke job where more cores exist. The symmetry,
+# snapshot, and extension rows are single-threaded and always run —
+# EnumerateSymmetry's full-vs-quotient arms record the orbit reduction
+# (members vs full-members metrics) regardless of core count.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,7 +28,7 @@ case "${GOMAXPROCS:-}" in
 esac
 
 if [ "$CPUS" -le 1 ]; then
-	BENCH='Enumerate/workers=1$|Snapshot|Extend'
+	BENCH='EnumerateSymmetry|Enumerate.*/workers=1$|Snapshot|Extend'
 	CPU_NOTE="1 CPU available: multi-worker rows skipped (workers>1 on one core measures scheduler overhead, not scaling); CI's bench-smoke job records the full worker matrix."
 else
 	BENCH='Enumerate|Snapshot|Extend'
@@ -35,6 +38,6 @@ echo "bench.sh: $CPU_NOTE" >&2
 
 go test -run 'XXX' -bench "$BENCH" -benchmem -benchtime "${BENCHTIME:-3x}" . |
 	tee /dev/stderr |
-	go run ./cmd/benchjson -out BENCH_7.json \
-		-note "PR-7 incremental extension + persistent snapshots. $CPU_NOTE Headline rows: SnapshotLoadLarge/load vs /enumerate is the cold-start race on the 107k-member universe — both arms end with transition graph and full partition resident, which is what -snapshot-dir buys a restart (expect >=10x); ExtendLargeBound/extend-6to7 vs /from-scratch-7 is the 621,673-member MaxEvents=7 universe materialized incrementally vs enumerated whole (one further Extend step reaches 3,131,593 members at MaxEvents=8 in ~14 s on this box). The lazy member-hash index this PR added also sped bare enumeration, so the PR-5 EnumerateLarge row is faster here than in BENCH_5.json."
-echo "wrote BENCH_7.json" >&2
+	go run ./cmd/benchjson -out BENCH_8.json \
+		-note "PR-8 symmetry-reduced universes. $CPU_NOTE Headline rows: EnumerateSymmetry/quotient vs /full is the orbit reduction under the full 3-process interchange group — at MaxEvents=6 the quotient materializes 17,933 canonical members standing for all 107,593 (6.00x fewer members, ~6x less enumeration time and memory; see the computations vs full-members metrics), and every downstream pass (partitions, truth vectors, temporal sweeps) shrinks by the same factor. SnapshotLoadLarge/load vs /enumerate remains the cold-start race on the 107k-member full universe (expect >=10x); ExtendLargeBound/extend-6to7 vs /from-scratch-7 the incremental 621,673-member extension."
+echo "wrote BENCH_8.json" >&2

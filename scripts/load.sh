@@ -1,21 +1,25 @@
 #!/usr/bin/env sh
 # Load-tests the hpld service and records the results at the repo root
-# (BENCH_7_service.json by default — BENCH_7.json is owned by
+# (BENCH_8_service.json by default — BENCH_8.json is owned by
 # scripts/bench.sh): starts a daemon with a snapshot directory,
 # measures cold-start time-to-first-answer twice — first against the
 # empty directory (the first answer pays the enumeration) and then
 # against the populated one after a daemon restart (the first answer is
-# a disk load) — and finally drives concurrent mixed epistemic +
-# temporal traffic against one warm universe with cmd/hplbench.
+# a disk load) — then drives concurrent mixed epistemic + temporal
+# traffic against one warm universe with cmd/hplbench, and finally
+# repeats the sustained arms against the symmetry quotient of the same
+# spec (hplbench -symmetry, symmetric formula pool) into a second
+# record, so the service rows carry the full-vs-quotient comparison.
 # Tunables (defaults match the recorded data point; CI uses a short
 # DURATION for a smoke pass):
 #
 #   ./scripts/load.sh                       # 5s per arm, conc 16, batches 1,8
 #   DURATION=1s CONC=8 ./scripts/load.sh
 #
-# ADDR picks the daemon's listen address, OUT the output file, SNAPDIR
-# the snapshot directory (default: a fresh temp dir, so the first cold
-# arm is genuinely cold).
+# ADDR picks the daemon's listen address, OUT the output file (the
+# quotient arms land next to it with a .sym.json suffix), SNAPDIR the
+# snapshot directory (default: a fresh temp dir, so the first cold arm
+# is genuinely cold).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,7 +27,8 @@ ADDR="${ADDR:-127.0.0.1:8097}"
 DURATION="${DURATION:-5s}"
 CONC="${CONC:-16}"
 BATCHES="${BATCHES:-1,8}"
-OUT="${OUT:-BENCH_7_service.json}"
+OUT="${OUT:-BENCH_8_service.json}"
+SYMOUT="${SYMOUT:-${OUT%.json}.sym.json}"
 SNAPDIR="${SNAPDIR:-$(mktemp -d)}"
 
 go build -o /tmp/hpld ./cmd/hpld
@@ -72,10 +77,17 @@ stop_daemon
 
 echo "load.sh: cold start ${COLD_BUILD} ms without snapshots, ${COLD_SNAP} ms from $SNAPDIR" >&2
 
-# Sustained-load arms against one warm universe.
+# Sustained-load arms against one warm universe, then the same arms
+# against its symmetry quotient (one daemon holds both: they cache
+# under different digests).
 start_daemon
 /tmp/hplbench -addr "http://$ADDR" \
 	-duration "$DURATION" -conc "$CONC" -batches "$BATCHES" \
 	-out "$OUT" \
 	-note "scripts/load.sh against a live hpld on $ADDR ($(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?') CPUs); warm universe, mixed epistemic/temporal traffic; cold-start time-to-first-answer: ${COLD_BUILD} ms build vs ${COLD_SNAP} ms snapshot load after restart"
 echo "wrote $OUT" >&2
+/tmp/hplbench -addr "http://$ADDR" -symmetry \
+	-duration "$DURATION" -conc "$CONC" -batches "$BATCHES" \
+	-out "$SYMOUT" \
+	-note "scripts/load.sh symmetry-quotient arm on $ADDR: same spec under the full process-interchange group (members stand for fullMembers computations), symmetric formula pool; compare against the full-universe record in $OUT"
+echo "wrote $SYMOUT" >&2

@@ -44,6 +44,11 @@ type UniverseSpec struct {
 	// Cap fails the enumeration with ErrUniverseTooLarge when more than
 	// this many distinct computations would be produced; <= 0 disables.
 	Cap int `json:"cap,omitempty"`
+	// Symmetry selects symmetry reduction: "none" (or empty) enumerates
+	// the full universe, "full" enumerates the quotient under the group
+	// interchanging all processes (free systems are fully symmetric).
+	// Quotients serve symmetric formulas only — see WithSymmetry.
+	Symmetry string `json:"symmetry,omitempty"`
 }
 
 // Canonical returns the spec with every field in normal form: protocol
@@ -79,6 +84,10 @@ func (s UniverseSpec) Canonical() UniverseSpec {
 	if out.Cap < 0 {
 		out.Cap = 0
 	}
+	out.Symmetry = strings.ToLower(strings.TrimSpace(s.Symmetry))
+	if out.Symmetry == "" {
+		out.Symmetry = "none"
+	}
 	return out
 }
 
@@ -108,6 +117,17 @@ func (s UniverseSpec) Validate() error {
 	}
 	if len(c.Procs) == 0 {
 		return fmt.Errorf("hpl: spec has no processes")
+	}
+	switch c.Symmetry {
+	case "none":
+	case "full":
+		// FullSymmetry caps the group order at 8! — larger process sets
+		// must enumerate unreduced.
+		if len(c.Procs) > 8 {
+			return fmt.Errorf("hpl: symmetry \"full\" supports at most 8 processes, spec has %d", len(c.Procs))
+		}
+	default:
+		return fmt.Errorf("hpl: unknown symmetry %q (want \"none\" or \"full\")", c.Symmetry)
 	}
 	return nil
 }
@@ -142,6 +162,13 @@ func (s UniverseSpec) Digest() string {
 	writeField("internalTags", c.InternalTags...)
 	writeField("maxEvents", fmt.Sprint(c.MaxEvents))
 	writeField("cap", fmt.Sprint(c.Cap))
+	// The symmetry field joined the spec after digests were already
+	// pinned in caches and snapshots; folding it in only when reduction
+	// is requested keeps every pre-symmetry digest stable while still
+	// separating quotient requests from full ones.
+	if c.Symmetry != "none" {
+		writeField("symmetry", c.Symmetry)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -170,14 +197,25 @@ func (s UniverseSpec) EnumOptions() []EnumOption {
 	if c.Cap > 0 {
 		opts = append(opts, WithCap(c.Cap))
 	}
+	if c.Symmetry == "full" {
+		// Validate has bounded the process count, so the group builds;
+		// a nil group (construction failure) would make WithSymmetry a
+		// no-op rather than silently quotienting by the wrong group.
+		if g, err := universe.FullSymmetry(c.Procs...); err == nil {
+			opts = append(opts, WithSymmetry(g))
+		}
+	}
 	return opts
 }
 
 // Predicates returns the standard vocabulary of the spec's system: for
 // every process, "sent(p,t)" and "received(p,t)" per send tag and
-// "internal(p,t)" per internal tag, plus "quiescent" (no messages in
-// flight). These are the atoms a service seeds a session with, so
-// clients can write textual formulas without registering predicates.
+// "internal(p,t)" per internal tag; per tag the process-agnostic
+// "anySent(t)", "anyReceived(t)" and "anyInternal(t)"; plus "quiescent"
+// (no messages in flight). These are the atoms a service seeds a
+// session with, so clients can write textual formulas without
+// registering predicates. The any-atoms and "quiescent" are symmetric,
+// so they remain usable when the spec requests a symmetry quotient.
 func (s UniverseSpec) Predicates() []Predicate {
 	c := s.Canonical()
 	var preds []Predicate
@@ -188,6 +226,12 @@ func (s UniverseSpec) Predicates() []Predicate {
 		for _, t := range c.InternalTags {
 			preds = append(preds, DidInternal(p, t))
 		}
+	}
+	for _, t := range c.SendTags {
+		preds = append(preds, AnySentTag(t), AnyReceivedTag(t))
+	}
+	for _, t := range c.InternalTags {
+		preds = append(preds, AnyDidInternal(t))
 	}
 	preds = append(preds, NoMessagesInFlight())
 	return preds

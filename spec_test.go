@@ -2,6 +2,7 @@ package hpl_test
 
 import (
 	"encoding/json"
+	"errors"
 	"testing"
 
 	"hpl"
@@ -23,6 +24,7 @@ func TestSpecDigestCollides(t *testing.T) {
 		{Protocol: " free ", Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 2, MaxEvents: 6,
 			SendTags: []string{"m", "m"}, InternalTags: []string{"i"}}, // defaults explicit
 		{Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 2, MaxEvents: 6, MaxInternal: -3, Cap: -1}, // clamped
+		{Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 2, MaxEvents: 6, Symmetry: "NONE "},        // pre-symmetry digests stay stable
 	}
 	want := base.Digest()
 	for i, s := range same {
@@ -44,6 +46,7 @@ func TestSpecDigestSeparates(t *testing.T) {
 		"cap":          {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, Cap: 1000},
 		"sendTags":     {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, SendTags: []string{"a", "b"}},
 		"internalTags": {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, InternalTags: []string{"x"}},
+		"symmetry":     {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, Symmetry: "full"},
 	}
 	seen := map[string]string{base.Digest(): "base"}
 	for name, s := range diff {
@@ -82,6 +85,67 @@ func TestSpecValidate(t *testing.T) {
 	}
 	if err := (hpl.UniverseSpec{Protocol: "chord", Procs: []hpl.ProcID{"p"}}).Validate(); err == nil {
 		t.Errorf("unknown protocol validated")
+	}
+	if err := (hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q"}, Symmetry: "Full "}).Validate(); err != nil {
+		t.Errorf("full symmetry invalid: %v", err)
+	}
+	if err := (hpl.UniverseSpec{Procs: []hpl.ProcID{"p"}, Symmetry: "orbit"}).Validate(); err == nil {
+		t.Errorf("unknown symmetry validated")
+	}
+	nine := hpl.UniverseSpec{Symmetry: "full"}
+	for _, p := range []hpl.ProcID{"a", "b", "c", "d", "e", "f", "g", "h", "i"} {
+		nine.Procs = append(nine.Procs, p)
+	}
+	if err := nine.Validate(); err == nil {
+		t.Errorf("full symmetry over nine processes validated (group order exceeds 8!)")
+	}
+}
+
+// TestCheckSpecSymmetry runs the spec-to-session path with symmetry
+// reduction: the quotient session must be smaller than the full one,
+// account for every full member by orbit weight, and agree on symmetric
+// formulas while rejecting asymmetric ones with a structured error.
+func TestCheckSpecSymmetry(t *testing.T) {
+	spec := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 1, MaxEvents: 5}
+	quoSpec := spec
+	quoSpec.Symmetry = "full"
+	if quoSpec.Digest() == spec.Digest() {
+		t.Fatal("quotient spec must not share the full spec's cache key")
+	}
+	full, err := hpl.CheckSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quo, err := hpl.CheckSpec(quoSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quo.Universe().IsQuotient() || quo.Universe().Len() >= full.Universe().Len() {
+		t.Fatalf("quotient %d members vs full %d", quo.Universe().Len(), full.Universe().Len())
+	}
+	if quo.Universe().FullSize() != int64(full.Universe().Len()) {
+		t.Fatalf("orbit sizes sum to %d, full universe has %d", quo.Universe().FullSize(), full.Universe().Len())
+	}
+	qrep, err := quo.ParseAndCheck(`"anyReceived(m)" -> "anySent(m)"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frep, err := full.ParseAndCheck(`"anyReceived(m)" -> "anySent(m)"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qrep.Valid() != frep.Valid() || qrep.FullHolding != frep.FullHolding || qrep.FullTotal != frep.FullTotal {
+		t.Fatalf("verdicts diverge: quotient %+v, full %+v", qrep, frep)
+	}
+	var asym *hpl.AsymmetryError
+	if _, err := quo.ParseAndCheck(`K{q} "sent(p,m)"`); !errors.As(err, &asym) {
+		t.Fatalf("asymmetric formula on quotient must fail with *AsymmetryError, got %v", err)
+	}
+	if _, err := quo.ParseAndCheckTemporal(`AG "sent(p,m)"`); !errors.As(err, &asym) {
+		t.Fatalf("asymmetric temporal formula must fail with *AsymmetryError, got %v", err)
+	}
+	if _, err := full.ParseAndCheck(`K{q} "sent(p,m)"`); err != nil {
+		t.Fatalf("full session must accept process-specific formulas: %v", err)
 	}
 }
 
