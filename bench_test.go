@@ -14,6 +14,7 @@ import (
 	"hpl/internal/experiments"
 	"hpl/internal/failure"
 	"hpl/internal/knowledge"
+	"hpl/internal/obs"
 	"hpl/internal/protocols/diffusing"
 	"hpl/internal/protocols/tokenbus"
 	"hpl/internal/termination"
@@ -138,6 +139,35 @@ func BenchmarkEnumerateLarge(b *testing.B) {
 			b.ReportMetric(float64(size), "computations")
 		})
 	}
+}
+
+// BenchmarkEnumerateLargeTraced is the workers=1 arm of
+// BenchmarkEnumerateLarge with a build trace attached and per-phase
+// histograms recording — the observability overhead gate. Tracing is
+// meant to be cheap enough to leave on in production (span timestamps
+// only at phase boundaries, per-node costs batched into worker-local
+// counters), and the recorded BENCH rows hold it to that: this row must
+// stay within ~2% of the untraced workers=1 row.
+func BenchmarkEnumerateLargeTraced(b *testing.B) {
+	cfg := universe.FreeConfig{Procs: []trace.ProcID{"p", "q", "r"}, MaxSends: 2}
+	b.Run("workers=1", func(b *testing.B) {
+		b.ReportAllocs()
+		var size int
+		for i := 0; i < b.N; i++ {
+			u, err := universe.EnumerateWith(universe.NewFree(cfg),
+				universe.WithMaxEvents(6),
+				universe.WithParallelism(1),
+				universe.WithTrace(obs.NewTrace()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			size = u.Len()
+		}
+		if size < 100000 {
+			b.Fatalf("universe too small for the large-bound benchmark: %d", size)
+		}
+		b.ReportMetric(float64(size), "computations")
+	})
 }
 
 // BenchmarkEnumerateSymmetry is the orbit-reduction ablation: the same

@@ -1,8 +1,11 @@
 // Command hplbench is the load-test harness for the hpld service: it
 // drives concurrent mixed epistemic + temporal formula traffic against
 // a warm universe and records sustained queries/sec and latency
-// percentiles as JSON (the service rows of the repo's BENCH_7.json,
-// BENCH_6.json before it).
+// percentiles as JSON (the service rows of the repo's BENCH_*_service
+// records). Each arm is bracketed by a scrape of the daemon's
+// GET /metrics, so the record carries both the client-observed and the
+// server-observed latency percentiles — when they diverge, the gap is
+// client queueing, not service time.
 //
 // Usage:
 //
@@ -103,9 +106,14 @@ type Arm struct {
 	Errors        int64   `json:"errors"`
 	QPS           float64 `json:"qps"`           // queries (formulas) per second
 	RPS           float64 `json:"rps"`           // HTTP requests per second
-	LatencyMicros Latency `json:"latencyMicros"` // per-request latency
-	Epistemic     int64   `json:"epistemic"`
-	Temporal      int64   `json:"temporal"`
+	LatencyMicros Latency `json:"latencyMicros"` // per-request latency, client-observed
+	// ServerLatencyMicros is the same window as measured by the daemon
+	// itself: percentiles reconstructed from the /metrics latency
+	// histogram deltas bracketing the arm. Absent when the target does
+	// not serve /metrics.
+	ServerLatencyMicros *Latency `json:"serverLatencyMicros,omitempty"`
+	Epistemic           int64    `json:"epistemic"`
+	Temporal            int64    `json:"temporal"`
 }
 
 // Latency is a percentile summary in microseconds.
@@ -234,10 +242,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "hplbench: bad batch size %q\n", b)
 				return 2
 			}
+			before, scrapeErr := scrapeMetrics(cl.HTTPClient, target)
 			arm := runArm(cl, spec, ids, *symmetry, batch, *conc, *duration)
+			if scrapeErr == nil {
+				if after, err := scrapeMetrics(cl.HTTPClient, target); err == nil {
+					arm.ServerLatencyMicros = serverLatency(before, after)
+				}
+			}
 			res.Arms = append(res.Arms, arm)
 			fmt.Fprintf(stderr, "hplbench: batch=%d conc=%d: %.0f queries/sec (%.0f req/sec), p50=%.0fµs p99=%.0fµs, %d errors\n",
 				arm.Batch, arm.Concurrency, arm.QPS, arm.RPS, arm.LatencyMicros.P50, arm.LatencyMicros.P99, arm.Errors)
+			if sl := arm.ServerLatencyMicros; sl != nil {
+				fmt.Fprintf(stderr, "hplbench:   server-side: p50=%.0fµs p99=%.0fµs (from /metrics histogram deltas)\n",
+					sl.P50, sl.P99)
+			}
 		}
 	}
 

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricsSnapshot is one parse of the daemon's GET /metrics exposition:
+// every sample line ("name{labels} value"), keyed by the full series
+// string.
+type metricsSnapshot map[string]float64
+
+func scrapeMetrics(hc *http.Client, base string) (metricsSnapshot, error) {
+	resp, err := hc.Get(strings.TrimRight(base, "/") + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	snap := metricsSnapshot{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		snap[line[:i]] = v
+	}
+	return snap, sc.Err()
+}
+
+// serverLatency reconstructs the arm's per-request latency percentiles
+// from the daemon's own hpld_http_request_seconds histograms: the
+// cumulative bucket deltas between the two scrapes bracketing the arm,
+// merged across the two check endpoints (they share bucket bounds).
+// Unlike the client-side numbers, these exclude client queueing and
+// the harness's own scheduling, so they are the server-side truth the
+// BENCH_*_service records previously lacked. Percentiles are linearly
+// interpolated inside the winning bucket; the +Inf bucket reports its
+// lower bound. Returns nil when the window saw no requests (e.g. the
+// daemon predates /metrics).
+func serverLatency(before, after metricsSnapshot) *Latency {
+	const pfx = `hpld_http_request_seconds_bucket{endpoint="`
+	cum := map[float64]float64{}
+	for series, v := range after {
+		if !strings.HasPrefix(series, pfx) {
+			continue
+		}
+		rest := series[len(pfx):]
+		j := strings.Index(rest, `",le="`)
+		if j < 0 {
+			continue
+		}
+		if ep := rest[:j]; ep != "/v1/check" && ep != "/v1/check-temporal" {
+			continue
+		}
+		leStr := strings.TrimSuffix(rest[j+len(`",le="`):], `"}`)
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			f, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				continue
+			}
+			le = f
+		}
+		cum[le] += v - before[series]
+	}
+	les := make([]float64, 0, len(cum))
+	for le := range cum {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	if len(les) == 0 || cum[math.Inf(1)] <= 0 {
+		return nil
+	}
+	total := cum[math.Inf(1)]
+
+	pct := func(p float64) float64 {
+		rank := p * total
+		prevLe, prevCum := 0.0, 0.0
+		for _, le := range les {
+			c := cum[le]
+			if c >= rank {
+				if math.IsInf(le, 1) {
+					return prevLe * 1e6
+				}
+				inBucket := c - prevCum
+				frac := 1.0
+				if inBucket > 0 {
+					frac = (rank - prevCum) / inBucket
+				}
+				return (prevLe + frac*(le-prevLe)) * 1e6
+			}
+			prevLe, prevCum = le, c
+		}
+		return prevLe * 1e6
+	}
+	return &Latency{P50: pct(0.50), P95: pct(0.95), P99: pct(0.99), Max: pct(1)}
+}

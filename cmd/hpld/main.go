@@ -10,13 +10,25 @@
 // Usage:
 //
 //	hpld [-addr :8090] [-mem-mib 512] [-max-members 500000] [-par 0] [-drain 10s] [-snapshot-dir DIR]
+//	     [-slow-query 1s] [-access-log] [-pprof-addr 127.0.0.1:6060]
 //
 // Endpoints (see internal/service for the wire types):
 //
 //	POST /v1/check           {universe, formulas[]} → per-formula validity over the universe
 //	POST /v1/check-temporal  {universe, formulas[]} → verdicts at the initial computation
 //	POST /v1/universe-stats  {universe}             → members, bytes, build time, atoms
-//	GET  /v1/health                                 → registry snapshot
+//	GET  /v1/health                                 → process vitals + registry snapshot
+//	GET  /metrics                                   → Prometheus text exposition
+//
+// Observability: /metrics exposes the process-wide metric registry —
+// engine build phases, evaluator memo traffic, registry cache outcomes,
+// and per-endpoint request counters and latency histograms. Check
+// requests slower than -slow-query are logged to stderr as JSON lines
+// with the spec digest and formula batch (0 disables); -access-log adds
+// one JSON line per request (off by default: at tens of thousands of
+// requests per second the log becomes the bottleneck being measured).
+// -pprof-addr serves net/http/pprof on a separate listener, kept off
+// the public address so profiling is never exposed with the API.
 //
 // Oversized requests degrade gracefully: a spec whose enumeration
 // overruns the member cap gets a structured 422, one whose universe
@@ -39,6 +51,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux for -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,6 +68,9 @@ func main() {
 	par := fs.Int("par", 0, "enumeration workers per build (0 = GOMAXPROCS)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight queries")
 	snapDir := fs.String("snapshot-dir", "", "persist universes here and serve cold misses from disk (empty = off)")
+	slowQuery := fs.Duration("slow-query", time.Second, "log check requests slower than this as JSON lines on stderr (0 = off)")
+	accessLog := fs.Bool("access-log", false, "log every request as a JSON line on stderr")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this side address (empty = off)")
 	fs.Parse(os.Args[1:])
 
 	if *snapDir != "" {
@@ -68,9 +84,27 @@ func main() {
 		BuildParallelism: *par,
 		SnapshotDir:      *snapDir,
 	})
+	opts := []service.ServerOption{
+		service.WithLogWriter(os.Stderr),
+		service.WithSlowQueryLog(*slowQuery),
+	}
+	if *accessLog {
+		opts = append(opts, service.WithAccessLog())
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: service.NewServer(reg),
+		Handler: service.NewServer(reg, opts...),
+	}
+
+	if *pprofAddr != "" {
+		// The pprof import registers on http.DefaultServeMux; serving it
+		// on its own listener keeps profiling off the public API address.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("hpld: pprof listener: %v", err)
+			}
+		}()
+		log.Printf("hpld: pprof on http://%s/debug/pprof/", *pprofAddr)
 	}
 
 	errc := make(chan error, 1)

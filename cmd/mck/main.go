@@ -5,14 +5,17 @@
 // Usage:
 //
 //	mck [-procs p,q] [-sends 1] [-events 4] [-par 4] [-timeout 30s]
-//	    [-progress] [-valid] [-temporal] [-server http://host:port]
+//	    [-progress] [-trace] [-valid] [-temporal] [-server http://host:port]
 //	    'K{q} "sent(p,m)"'
 //
 // Atoms available in the vocabulary: "sent(<proc>,m)" and
 // "received(<proc>,m)" for every process. The formula grammar is
 // documented in internal/logic. -par enumerates the universe on several
 // workers, -timeout aborts enumeration cleanly, and -progress reports
-// engine snapshots on stderr. -temporal switches to model-checking
+// engine snapshots on stderr. -trace prints a per-phase time breakdown
+// of the build and evaluation (frontier expansion, canonicalization,
+// partition and transition construction, symmetry filtering) on stderr
+// after the verdict. -temporal switches to model-checking
 // semantics: the formula — which may use the CTL operators EX, AX, EF,
 // AF, EG, AG, E[· U ·], A[· U ·] and the past operators EY, AY, Once,
 // Hist — is decided at the initial (null) computation over the
@@ -60,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	par := fs.Int("par", 1, "enumeration worker count")
 	timeout := fs.Duration("timeout", 0, "abort enumeration after this long (0 = no limit)")
 	progress := fs.Bool("progress", false, "report enumeration progress on stderr")
+	traceFlag := fs.Bool("trace", false, "print a per-phase build/eval time breakdown on stderr")
 	valid := fs.Bool("valid", false, "report only whether the formula holds at every computation")
 	temporal := fs.Bool("temporal", false, "model-check the formula at the initial (null) computation over the prefix-extension transition graph")
 	server := fs.String("server", "", "forward the query to a running hpld daemon at this base URL instead of enumerating locally")
@@ -102,6 +106,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts = append(opts, hpl.WithProgress(func(p hpl.EnumProgress) {
 			fmt.Fprintf(stderr, "mck: explored %d computations (frontier %d)\n", p.Explored, p.Frontier)
 		}))
+	}
+	if *traceFlag {
+		tr := hpl.NewTrace()
+		opts = append(opts, hpl.WithTrace(tr))
+		// Deferred so the breakdown also covers phases that run lazily
+		// during evaluation (partition and transition construction).
+		defer func() {
+			fmt.Fprintf(stderr, "mck: phase breakdown:\n%s", tr.String())
+		}()
 	}
 
 	ck, err := hpl.CheckProtocol(hpl.NewFree(hpl.FreeConfig{

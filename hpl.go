@@ -49,6 +49,7 @@ import (
 	"hpl/internal/iso"
 	"hpl/internal/knowledge"
 	"hpl/internal/logic"
+	"hpl/internal/obs"
 	"hpl/internal/trace"
 	"hpl/internal/universe"
 )
@@ -159,6 +160,26 @@ func WithProgress(fn func(EnumProgress)) EnumOption { return universe.WithProgre
 // against full canonical keys, failing with universe.ErrHashCollision
 // on a mismatch. A debug option: collisions have probability ~2^-128.
 func WithHashVerify() EnumOption { return universe.WithHashVerify() }
+
+// Trace accumulates named per-phase wall times for a build (frontier
+// expansion, canonical sort, partition/transition construction,
+// snapshot encode, symmetry filtering). Attach one with WithTrace and
+// print Trace.String for the breakdown (`mck -trace` does exactly
+// this). A nil *Trace is valid everywhere and records nothing.
+type Trace = obs.Trace
+
+// TracePhase is one accumulated phase of a Trace.
+type TracePhase = obs.PhaseStat
+
+// NewTrace returns an empty build trace for WithTrace.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// WithTrace attaches tr to the enumeration: the engine's phases land in
+// it, and it rides on the resulting universe so later lazily built
+// structures (partition tables, the transition graph, snapshot encodes)
+// join the same breakdown. Cheap enough to leave on in production; the
+// same data feeds the process-wide /metrics exposition either way.
+func WithTrace(tr *Trace) EnumOption { return universe.WithTrace(tr) }
 
 // --- Symmetry reduction ---
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"hpl/internal/temporal"
 	"hpl/internal/trace"
@@ -158,10 +159,13 @@ func (e *Evaluator) vectorOf(f Formula) bitset {
 // re-fetch after a nested evaluation, by construction.
 func (e *Evaluator) vector(id int32) bitset {
 	if int(id) < len(e.vecs) && e.vecs[id] != nil {
+		memoHits.Inc()
 		return e.vecs[id]
 	}
+	memoMisses.Inc()
 	nd := e.in.nodes[id]
 	n := e.u.Len()
+	start := time.Now()
 	var v bitset
 	switch nd.kind {
 	case inConst:
@@ -199,6 +203,7 @@ func (e *Evaluator) vector(id int32) bitset {
 	default:
 		panic(fmt.Sprintf("knowledge: unknown interned node kind %d", nd.kind))
 	}
+	evalKind[nd.kind].ObserveDuration(time.Since(start))
 	if int(id) >= len(e.vecs) {
 		grown := make([]bitset, len(e.in.nodes))
 		copy(grown, e.vecs)

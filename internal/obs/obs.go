@@ -1,0 +1,337 @@
+// Package obs is the repository's dependency-free observability layer:
+// atomic counters, gauges, and fixed-bucket histograms collected in a
+// Registry that renders the Prometheus text exposition format, plus a
+// lightweight Span/Trace API (trace.go) for named build phases.
+//
+// The paper this repository reproduces asks what processes can know
+// about a distributed system from what they observe; this package is
+// the system observing itself. The enumeration engine, the knowledge
+// and temporal evaluators, the service registry, and the HTTP server
+// all record into the package-level Default registry, which cmd/hpld
+// serves on GET /metrics — so every performance claim about the hot
+// paths has a server-side number behind it, not just a client-side
+// stopwatch.
+//
+// Everything here is safe for concurrent use and allocation-free on the
+// hot observation paths: Counter.Add and Gauge.Set are single atomics,
+// Histogram.Observe is one binary search plus two atomics. Metric
+// construction (Registry.Counter and friends) takes locks and may
+// allocate; callers cache the returned handle in a package variable and
+// observe through it.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default is the process-wide registry the instrumented packages record
+// into and cmd/hpld exposes on /metrics.
+var Default = NewRegistry()
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n is a programmer error and is ignored.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (resident bytes, goroutines,
+// in-flight requests).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: observation counts per upper
+// bound (plus an implicit +Inf bucket), a running sum, and a total
+// count, all atomics. Bounds are immutable after construction.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// newHistogram builds a histogram over ascending bucket upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds, the Prometheus base
+// unit for time.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reads the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// TimeBuckets is the default latency bucket ladder, in seconds: 100µs to
+// 10s, roughly 2.5x per step — wide enough for both a 5µs memo-hit query
+// (first bucket) and a full universe build (top buckets).
+var TimeBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets is the default ladder for small-count distributions
+// (batch sizes): powers of two up to the service's batch limit.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// metricKind discriminates family types in a registry.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name with its help text and every labeled child.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histograms only
+
+	mu      sync.Mutex
+	order   []string       // label strings in registration order
+	metrics map[string]any // label string -> *Counter | *Gauge | *Histogram
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. It implements http.Handler, so a registry can
+// be mounted directly as a /metrics endpoint. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// labelString renders "k1,v1,k2,v2,…" pairs as a canonical Prometheus
+// label block, sorted by key; empty for no labels. Panics on an odd
+// number of strings — metric registration is programmer-written, so a
+// malformed call is a bug to surface, not an error to thread.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// getFamily fetches or registers a family, checking kind consistency.
+func (r *Registry) getFamily(name, help string, kind metricKind, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, metrics: make(map[string]any)}
+		r.fams[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// child fetches or creates the labeled child of a family.
+func (f *family) child(ls string, mk func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.metrics[ls]; ok {
+		return m
+	}
+	m := mk()
+	f.metrics[ls] = m
+	f.order = append(f.order, ls)
+	return m
+}
+
+// Counter registers (or fetches) a counter. Labels are alternating
+// key, value pairs; the same name+labels always returns the same
+// handle, so packages can call this at init and cache the result.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	f := r.getFamily(name, help, kindCounter, nil)
+	return f.child(labelString(labels), func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	f := r.getFamily(name, help, kindGauge, nil)
+	return f.child(labelString(labels), func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or fetches) a histogram over the given ascending
+// bucket upper bounds (+Inf is implicit). All children of one family
+// share the first registration's bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	f := r.getFamily(name, help, kindHistogram, bounds)
+	return f.child(labelString(labels), func() any { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name, children
+// in registration order. Values are read atomically but not as one
+// consistent cut — standard for a scrape.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		order := append([]string(nil), f.order...)
+		metrics := make([]any, len(order))
+		for i, ls := range order {
+			metrics[i] = f.metrics[ls]
+		}
+		f.mu.Unlock()
+
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for i, ls := range order {
+			switch m := metrics[i].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ls, m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ls, m.Value())
+			case *Histogram:
+				writeHistogram(&b, f.name, ls, m)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram child: cumulative _bucket series
+// with an le label merged into the child's labels, then _sum and _count.
+func writeHistogram(b *strings.Builder, name, ls string, h *Histogram) {
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLE(ls, le), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, ls, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, ls, h.Count())
+}
+
+// mergeLE appends the le label to an existing (possibly empty) label
+// block.
+func mergeLE(ls, le string) string {
+	if ls == "" {
+		return `{le="` + le + `"}`
+	}
+	return ls[:len(ls)-1] + `,le="` + le + `"}`
+}
+
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// ServeHTTP renders the registry, making it mountable as a /metrics
+// endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WritePrometheus(w)
+}

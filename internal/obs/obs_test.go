@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentHammer drives counters, gauges, and histograms from
+// many goroutines at once; run under -race this is the data-race proof
+// for the hot observation paths, and the totals check that no update is
+// lost.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "hammered ops")
+	g := r.Gauge("hammer_inflight", "hammered gauge")
+	h := r.Histogram("hammer_seconds", "hammered latencies", TimeBuckets)
+
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Same-name registration from every goroutine must return
+			// the shared handles.
+			c2 := r.Counter("hammer_total", "hammered ops")
+			h2 := r.Histogram("hammer_seconds", "hammered latencies", TimeBuckets)
+			for i := 0; i < perWorker; i++ {
+				c2.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h2.Observe(0.001 * float64(w+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	// Sum of 5000*(0.001+0.002+...+0.008) = 5000*0.036 = 180, CAS loop
+	// must not have dropped increments.
+	wantSum := float64(perWorker) * 0.036
+	if s := h.Sum(); s < wantSum*0.999 || s > wantSum*1.001 {
+		t.Errorf("histogram sum = %g, want ~%g", s, wantSum)
+	}
+}
+
+// TestPrometheusExposition pins the exact text exposition bytes for a
+// small registry: HELP/TYPE lines, name ordering, label sorting and
+// escaping, cumulative histogram buckets with merged le labels.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "last by name").Add(3)
+	r.Counter("aa_total", "first by name", "endpoint", "/v1/check", "code", "200").Add(7)
+	r.Counter("aa_total", "first by name", "endpoint", "/v1/check", "code", "400").Inc()
+	r.Gauge("mm_bytes", "a gauge").Set(-5)
+	h := r.Histogram("hh_seconds", "a histogram", []float64{0.5, 1}, "op", `say "hi"\now`)
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_total first by name
+# TYPE aa_total counter
+aa_total{code="200",endpoint="/v1/check"} 7
+aa_total{code="400",endpoint="/v1/check"} 1
+# HELP hh_seconds a histogram
+# TYPE hh_seconds histogram
+hh_seconds_bucket{op="say \"hi\"\\now",le="0.5"} 1
+hh_seconds_bucket{op="say \"hi\"\\now",le="1"} 2
+hh_seconds_bucket{op="say \"hi\"\\now",le="+Inf"} 3
+hh_seconds_sum{op="say \"hi\"\\now"} 3
+hh_seconds_count{op="say \"hi\"\\now"} 3
+# HELP mm_bytes a gauge
+# TYPE mm_bytes gauge
+mm_bytes -5
+# HELP zz_total last by name
+# TYPE zz_total counter
+zz_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge_seconds", "edges", []float64{1, 2})
+	h.Observe(1) // on a bound: counts in that bucket (le is <=)
+	h.Observe(1.5)
+	h.Observe(99)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, line := range []string{
+		`edge_seconds_bucket{le="1"} 1`,
+		`edge_seconds_bucket{le="2"} 2`,
+		`edge_seconds_bucket{le="+Inf"} 3`,
+		`edge_seconds_count 3`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+}
+
+// TestTraceNilSafe checks the nil-trace contract instrumented code
+// relies on: spans still measure, Add is a no-op, Phases/String behave.
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("phase")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Errorf("nil-trace span duration = %v, want > 0", d)
+	}
+	tr.Add("phase", time.Second)
+	if got := tr.Phases(); got != nil {
+		t.Errorf("nil trace Phases = %v, want nil", got)
+	}
+	if got := (&Trace{}).String(); !strings.Contains(got, "no phases") {
+		t.Errorf("empty trace String = %q", got)
+	}
+	if d := (Span{}).End(); d != 0 {
+		t.Errorf("zero span End = %v, want 0", d)
+	}
+}
+
+func TestTraceAccumulates(t *testing.T) {
+	tr := NewTrace()
+	tr.Add("expand", 3*time.Second)
+	tr.Add("expand", time.Second)
+	tr.AddN("dedup", 10, 2*time.Second)
+	sp := tr.Start("canonicalize")
+	sp.End()
+
+	phases := tr.Phases()
+	if len(phases) != 3 {
+		t.Fatalf("phases = %v, want 3 entries", phases)
+	}
+	// First-recorded order.
+	if phases[0].Name != "expand" || phases[1].Name != "dedup" || phases[2].Name != "canonicalize" {
+		t.Errorf("phase order = %v", phases)
+	}
+	if phases[0].Count != 2 || phases[0].Duration != 4*time.Second {
+		t.Errorf("expand = %+v, want count 2 duration 4s", phases[0])
+	}
+	if phases[1].Count != 10 || phases[1].Duration != 2*time.Second {
+		t.Errorf("dedup = %+v, want count 10 duration 2s", phases[1])
+	}
+
+	s := tr.String()
+	for _, want := range []string{"expand", "dedup", "canonicalize", "share", "sum"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	// Longest-duration-first rendering.
+	if strings.Index(s, "expand") > strings.Index(s, "dedup") {
+		t.Errorf("String() not sorted by duration:\n%s", s)
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Add("p", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	ph := tr.Phases()
+	if len(ph) != 1 || ph[0].Count != 8000 {
+		t.Errorf("phases = %v, want one entry with count 8000", ph)
+	}
+}
+
+func TestRegistryServeHTTPContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	rec := &responseRecorder{header: make(http.Header)}
+	r.ServeHTTP(rec, nil)
+	if ct := rec.header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.body.String(), "x_total 1") {
+		t.Errorf("body = %q", rec.body.String())
+	}
+}
+
+// responseRecorder is a minimal http.ResponseWriter; avoids importing
+// net/http/httptest into the package's test binary for one check.
+type responseRecorder struct {
+	header http.Header
+	body   strings.Builder
+	code   int
+}
+
+func (r *responseRecorder) Header() http.Header         { return r.header }
+func (r *responseRecorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+func (r *responseRecorder) WriteHeader(code int)        { r.code = code }

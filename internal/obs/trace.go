@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace accumulates named phase timings for one logical operation (a
+// universe build, a batched check). A nil *Trace is valid everywhere
+// and records nothing, so instrumented code never branches on whether
+// tracing is on: `defer tr.Start("phase").End()` works either way, and
+// Span.End still returns the measured duration for feeding a global
+// histogram.
+type Trace struct {
+	mu     sync.Mutex
+	order  []string
+	phases map[string]*PhaseStat
+}
+
+// PhaseStat is the accumulated cost of one named phase.
+type PhaseStat struct {
+	Name     string
+	Count    int64
+	Duration time.Duration
+}
+
+// NewTrace builds an empty trace.
+func NewTrace() *Trace {
+	return &Trace{phases: make(map[string]*PhaseStat)}
+}
+
+// Add records one occurrence of a phase with the given duration. Nil
+// receiver is a no-op.
+func (t *Trace) Add(name string, d time.Duration) { t.AddN(name, 1, d) }
+
+// AddN records n occurrences of a phase totalling d. Nil receiver is a
+// no-op.
+func (t *Trace) AddN(name string, n int64, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps, ok := t.phases[name]
+	if !ok {
+		ps = &PhaseStat{Name: name}
+		t.phases[name] = ps
+		t.order = append(t.order, name)
+	}
+	ps.Count += n
+	ps.Duration += d
+}
+
+// Span is an in-progress phase timing started by Trace.Start. The zero
+// value is inert.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+}
+
+// Start opens a span for a named phase. It is valid on a nil Trace: the
+// span still captures the start time, so End returns a real duration —
+// callers can observe it into a global histogram whether or not a
+// per-operation trace is attached.
+func (t *Trace) Start(name string) Span {
+	return Span{tr: t, name: name, start: time.Now()}
+}
+
+// End closes the span, records it into its trace (if any), and returns
+// the elapsed duration.
+func (sp Span) End() time.Duration {
+	if sp.start.IsZero() {
+		return 0
+	}
+	d := time.Since(sp.start)
+	sp.tr.Add(sp.name, d)
+	return d
+}
+
+// Phases returns the accumulated stats in first-recorded order. Nil
+// receiver returns nil.
+func (t *Trace) Phases() []PhaseStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseStat, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, *t.phases[name])
+	}
+	return out
+}
+
+// String renders an aligned per-phase breakdown, longest duration
+// first, with each phase's share of the summed time — the format
+// `mck -trace` prints. Nil or empty traces render as "(no phases
+// recorded)".
+func (t *Trace) String() string {
+	phases := t.Phases()
+	if len(phases) == 0 {
+		return "(no phases recorded)\n"
+	}
+	sort.SliceStable(phases, func(i, j int) bool {
+		return phases[i].Duration > phases[j].Duration
+	})
+	var total time.Duration
+	nameW := len("phase")
+	for _, ps := range phases {
+		total += ps.Duration
+		if len(ps.Name) > nameW {
+			nameW = len(ps.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %12s  %8s  %6s\n", nameW, "phase", "total", "count", "share")
+	for _, ps := range phases {
+		share := 0.0
+		if total > 0 {
+			share = float64(ps.Duration) / float64(total) * 100
+		}
+		fmt.Fprintf(&b, "%-*s  %12s  %8d  %5.1f%%\n",
+			nameW, ps.Name, ps.Duration.Round(time.Microsecond), ps.Count, share)
+	}
+	fmt.Fprintf(&b, "%-*s  %12s\n", nameW, "sum", total.Round(time.Microsecond))
+	return b.String()
+}

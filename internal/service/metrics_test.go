@@ -1,0 +1,224 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hpl"
+)
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// seriesValue extracts one exact series ("name{labels}") from an
+// exposition dump; 0 when absent.
+func seriesValue(text, series string) float64 {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// TestMetricsMoveOnBatchedCheck is the tentpole's server assertion: a
+// batched check request against a fresh universe moves the engine,
+// registry, and HTTP metric families visible on GET /metrics.
+func TestMetricsMoveOnBatchedCheck(t *testing.T) {
+	ts, cl := newTestServer(t, Config{})
+	before := scrape(t, ts)
+
+	spec := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 5}
+	if _, err := cl.Check(context.Background(), spec,
+		`K{q} "sent(p,m)" -> "sent(p,m)"`,
+		`K{q} "sent(p,m)"`,
+		`"sent(p,m)" | !"sent(p,m)"`); err != nil {
+		t.Fatal(err)
+	}
+	after := scrape(t, ts)
+
+	// obs.Default is process-wide and other tests also drive it, so
+	// every assertion is a delta between this test's own scrapes.
+	for _, series := range []string{
+		`hpld_http_requests_total{code="200",endpoint="/v1/check"}`,
+		`hpld_http_request_seconds_count{endpoint="/v1/check"}`,
+		`hpld_batch_size_count{endpoint="/v1/check"}`,
+		`hpld_registry_lookups_total{result="miss"}`,
+		`hpld_registry_materializations_total{outcome="ok",source="build"}`,
+		`hpl_build_phase_seconds_count{phase="expand"}`,
+		`hpl_build_phase_seconds_count{phase="partition"}`,
+		`hpl_engine_builds_total`,
+		`hpl_eval_memo_misses_total`,
+	} {
+		if d := seriesValue(after, series) - seriesValue(before, series); d <= 0 {
+			t.Errorf("series %s did not move (delta %g)", series, d)
+		}
+	}
+	// The 3-formula batch lands in the <=4 batch-size bucket.
+	bucket := `hpld_batch_size_bucket{endpoint="/v1/check",le="4"}`
+	if d := seriesValue(after, bucket) - seriesValue(before, bucket); d != 1 {
+		t.Errorf("batch bucket delta = %g, want 1", d)
+	}
+	// Resident-universe gauge reflects the cached build.
+	if v := seriesValue(after, `hpld_registry_universes`); v < 1 {
+		t.Errorf("hpld_registry_universes = %g, want >= 1", v)
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+
+	// Client-provided IDs echo back.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/health", nil)
+	req.Header.Set("X-Request-ID", "client-chose-this")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-chose-this" {
+		t.Errorf("X-Request-ID = %q, want client-chose-this", got)
+	}
+
+	// Absent IDs are minted, distinct per request.
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		resp, err := ts.Client().Get(ts.URL + "/v1/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-ID")
+		if id == "" || seen[id] {
+			t.Errorf("minted ID %q empty or repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var buf syncBuffer
+	srv := NewServer(NewRegistry(Config{}),
+		WithLogWriter(&buf), WithSlowQueryLog(time.Nanosecond))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	cl := &Client{Base: ts.URL, HTTPClient: ts.Client()}
+
+	if _, err := cl.Check(context.Background(), testSpec, `"sent(p,m)"`); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if line == "" {
+		t.Fatal("no slow-query line logged at a 1ns threshold")
+	}
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(line, "\n", 2)[0]), &entry); err != nil {
+		t.Fatalf("slow-query line is not JSON: %v\n%s", err, line)
+	}
+	if entry["level"] != "slow_query" || entry["universe"] == "" || entry["requestId"] == "" {
+		t.Errorf("slow-query entry missing fields: %v", entry)
+	}
+	if ms, ok := entry["millis"].(float64); !ok || ms <= 0 {
+		t.Errorf("slow-query millis = %v", entry["millis"])
+	}
+	if fs, ok := entry["formulas"].([]any); !ok || len(fs) != 1 {
+		t.Errorf("slow-query formulas = %v", entry["formulas"])
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf syncBuffer
+	srv := NewServer(NewRegistry(Config{}),
+		WithLogWriter(&buf), WithAccessLog())
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(buf.String(), "\n", 2)[0]), &entry); err != nil {
+		t.Fatalf("access line is not JSON: %v\n%s", err, buf.String())
+	}
+	if entry["level"] != "access" || entry["path"] != "/v1/health" || entry["status"] != float64(200) {
+		t.Errorf("access entry = %v", entry)
+	}
+}
+
+func TestHealthVitals(t *testing.T) {
+	ts, _ := newTestServer(t, Config{})
+	resp, err := ts.Client().Get(ts.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h["uptime_seconds"].(float64); !ok {
+		t.Errorf("health missing uptime_seconds: %v", h)
+	}
+	if g, ok := h["goroutines"].(float64); !ok || g <= 0 {
+		t.Errorf("health goroutines = %v", h["goroutines"])
+	}
+	if b, ok := h["heapInuseBytes"].(float64); !ok || b <= 0 {
+		t.Errorf("health heapInuseBytes = %v", h["heapInuseBytes"])
+	}
+	if h["status"] != "ok" {
+		t.Errorf("health status = %v", h["status"])
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing log lines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

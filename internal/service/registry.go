@@ -257,10 +257,12 @@ func (r *Registry) getOnce(ctx context.Context, spec hpl.UniverseSpec, digest st
 		r.lru.MoveToFront(e.elem)
 		r.hits++
 		r.mu.Unlock()
+		regLookupHits.Inc()
 		e.addHit()
 		return e, true, nil
 	}
 	r.misses++
+	regLookupMisses.Inc()
 	c, inflight := r.calls[digest]
 	if !inflight {
 		buildCtx, cancel := context.WithCancel(context.Background())
@@ -268,6 +270,8 @@ func (r *Registry) getOnce(ctx context.Context, spec hpl.UniverseSpec, digest st
 		r.calls[digest] = c
 		r.builds++
 		go r.build(buildCtx, c, spec, digest)
+	} else {
+		regJoins.Inc()
 	}
 	c.waiters++
 	r.mu.Unlock()
@@ -347,6 +351,15 @@ func (r *Registry) build(ctx context.Context, c *call, spec hpl.UniverseSpec, di
 		err = badSpec(err)
 	}
 
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	materializations(source, outcome).Inc()
+	if e != nil {
+		materializeSeconds(source).ObserveDuration(e.BuildDuration)
+	}
+
 	r.mu.Lock()
 	delete(r.calls, digest)
 	if e != nil {
@@ -355,10 +368,18 @@ func (r *Registry) build(ctx context.Context, c *call, spec hpl.UniverseSpec, di
 			r.extends++
 			r.rechargeSeedLocked(seedDigest)
 		}
+		r.updateGaugesLocked()
 	}
 	c.entry, c.err = e, err
 	r.mu.Unlock()
 	close(c.done)
+}
+
+// updateGaugesLocked refreshes the residency gauges after any mutation
+// of the cache's contents or accounting.
+func (r *Registry) updateGaugesLocked() {
+	regBytesGauge.Set(r.bytes)
+	regUniversesGauge.Set(int64(len(r.entries)))
 }
 
 // materialize produces the session for a miss by the cheapest means
@@ -531,6 +552,7 @@ func (r *Registry) insertLocked(e *Entry) {
 		delete(r.entries, victim.Digest)
 		r.bytes -= victim.Bytes()
 		r.evictions++
+		regEvictions.Inc()
 	}
 }
 

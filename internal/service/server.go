@@ -4,10 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hpl"
+	"hpl/internal/obs"
 )
 
 // Wire types for the HTTP/JSON API. One request addresses one universe
@@ -89,10 +95,50 @@ type StatsResponse struct {
 	Atoms       []string `json:"atoms"`
 }
 
-// HealthResponse is the body of GET /v1/health.
+// HealthResponse is the body of GET /v1/health: liveness, process
+// vitals, and the registry's cache statistics.
 type HealthResponse struct {
 	Status string `json:"status"`
+	// UptimeSeconds is time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Version is the main module version with the VCS revision when the
+	// build carries one (debug.ReadBuildInfo); GoVersion the toolchain.
+	Version   string `json:"version,omitempty"`
+	GoVersion string `json:"goVersion,omitempty"`
+	// Goroutines and HeapInuseBytes are point-in-time process vitals —
+	// enough to spot a leak from a health probe without opening pprof.
+	Goroutines     int    `json:"goroutines"`
+	HeapInuseBytes uint64 `json:"heapInuseBytes"`
 	Stats
+}
+
+// buildVersion renders the running binary's version from build info:
+// module version, plus the VCS revision (shortened) and dirty marker
+// when stamped.
+func buildVersion() (version, goVersion string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", ""
+	}
+	version = bi.Main.Version
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		version += " (" + rev + dirty + ")"
+	}
+	return version, bi.GoVersion
 }
 
 // Limits on a single request, so one client cannot wedge the service.
@@ -103,15 +149,61 @@ const (
 
 // Server is the HTTP face of a Registry. It implements http.Handler;
 // graceful shutdown is the owning http.Server's Shutdown, which drains
-// in-flight queries before returning.
+// in-flight queries before returning. Every request is wrapped in the
+// observability middleware: per-endpoint request counters and latency
+// histograms, an in-flight gauge, X-Request-ID propagation, and the
+// optional structured access and slow-query logs.
 type Server struct {
 	reg *Registry
 	mux *http.ServeMux
+
+	started   time.Time
+	version   string
+	goVersion string
+
+	// slowQuery is the latency threshold above which check requests are
+	// logged with their spec digest and formulas; 0 disables.
+	slowQuery time.Duration
+	// logMu serializes JSON log lines (access + slow-query) onto logW.
+	logMu     sync.Mutex
+	logW      io.Writer
+	accessLog bool
+	nextReqID atomic.Uint64
 }
 
-// NewServer wires the endpoints over the registry.
-func NewServer(reg *Registry) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux()}
+// ServerOption configures optional Server behavior.
+type ServerOption func(*Server)
+
+// WithSlowQueryLog logs check requests slower than threshold — the
+// request ID, spec digest, batch, and latency — as one JSON line on the
+// server's log writer. threshold <= 0 disables.
+func WithSlowQueryLog(threshold time.Duration) ServerOption {
+	return func(s *Server) { s.slowQuery = threshold }
+}
+
+// WithAccessLog emits one structured JSON line per finished request on
+// the server's log writer.
+func WithAccessLog() ServerOption {
+	return func(s *Server) { s.accessLog = true }
+}
+
+// WithLogWriter directs the access and slow-query logs; the default is
+// no output unless a writer is set (cmd/hpld points it at stderr or a
+// file).
+func WithLogWriter(w io.Writer) ServerOption {
+	return func(s *Server) { s.logW = w }
+}
+
+// NewServer wires the endpoints over the registry. The Prometheus
+// exposition of the process-wide obs registry — engine build phases,
+// evaluator memo traffic, registry cache outcomes, and this server's
+// own request metrics — is mounted on GET /metrics.
+func NewServer(reg *Registry, opts ...ServerOption) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux(), started: time.Now()}
+	s.version, s.goVersion = buildVersion()
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("POST /v1/check", func(w http.ResponseWriter, r *http.Request) {
 		s.handleCheck(w, r, false)
 	})
@@ -120,10 +212,85 @@ func NewServer(reg *Registry) *Server {
 	})
 	s.mux.HandleFunc("POST /v1/universe-stats", s.handleUniverseStats)
 	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.Handle("GET /metrics", obs.Default)
 	return s
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// endpointLabel normalizes a request path to a bounded metric label:
+// the known routes verbatim, everything else "other" so scans cannot
+// inflate label cardinality.
+func endpointLabel(path string) string {
+	switch path {
+	case "/v1/check", "/v1/check-temporal", "/v1/universe-stats", "/v1/health", "/metrics":
+		return path
+	}
+	return "other"
+}
+
+// statusWriter captures the response status and size for metrics and
+// the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	endpoint := endpointLabel(r.URL.Path)
+	httpInflight.Add(1)
+	defer httpInflight.Add(-1)
+
+	// Propagate the client's request ID or mint one; handlers and the
+	// logs see the same ID via the response header.
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = fmt.Sprintf("hpld-%d-%d", s.started.UnixNano()&0xffffff, s.nextReqID.Add(1))
+	}
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	sw.Header().Set("X-Request-ID", id)
+
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	d := time.Since(start)
+
+	httpRequests(endpoint, sw.code).Inc()
+	httpLatency(endpoint).ObserveDuration(d)
+	if s.accessLog && s.logW != nil {
+		s.logJSON(map[string]any{
+			"ts":        start.UTC().Format(time.RFC3339Nano),
+			"level":     "access",
+			"requestId": id,
+			"method":    r.Method,
+			"path":      r.URL.Path,
+			"status":    sw.code,
+			"bytes":     sw.bytes,
+			"millis":    float64(d) / float64(time.Millisecond),
+		})
+	}
+}
+
+// logJSON writes one JSON log line; marshal errors are swallowed (the
+// fields are all plain values).
+func (s *Server) logJSON(fields map[string]any) {
+	line, err := json.Marshal(fields)
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	s.logW.Write(append(line, '\n'))
+	s.logMu.Unlock()
+}
 
 // Registry returns the server's universe cache.
 func (s *Server) Registry() *Registry { return s.reg }
@@ -156,6 +323,7 @@ func decode(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request, temporal bool) {
+	start := time.Now()
 	var req CheckRequest
 	if err := decode(w, r, &req); err != nil {
 		writeError(w, err)
@@ -170,6 +338,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request, temporal bo
 			Message: fmt.Sprintf("batch of %d formulas exceeds the limit of %d", len(req.Formulas), maxBatchSize)})
 		return
 	}
+	batchSizes(endpointLabel(r.URL.Path)).Observe(float64(len(req.Formulas)))
 	e, cached, err := s.reg.Get(r.Context(), req.Universe)
 	if err != nil {
 		writeError(w, err)
@@ -185,6 +354,21 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request, temporal bo
 		resp.Results = append(resp.Results, s.checkOne(e.Checker, input, temporal))
 	}
 	writeJSON(w, http.StatusOK, resp)
+	if d := time.Since(start); s.slowQuery > 0 && d >= s.slowQuery && s.logW != nil {
+		// The check handler owns the slow-query log (rather than the
+		// middleware) because only it can say which universe and
+		// formulas the time went to.
+		s.logJSON(map[string]any{
+			"ts":        start.UTC().Format(time.RFC3339Nano),
+			"level":     "slow_query",
+			"requestId": w.Header().Get("X-Request-ID"),
+			"path":      r.URL.Path,
+			"universe":  e.Digest,
+			"cached":    cached,
+			"formulas":  req.Formulas,
+			"millis":    float64(d) / float64(time.Millisecond),
+		})
+	}
 }
 
 // checkOne evaluates one formula of a batch against a hot session. A
@@ -257,5 +441,15 @@ func (s *Server) handleUniverseStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Stats: s.reg.Stats()})
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:         "ok",
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Version:        s.version,
+		GoVersion:      s.goVersion,
+		Goroutines:     runtime.NumGoroutine(),
+		HeapInuseBytes: ms.HeapInuse,
+		Stats:          s.reg.Stats(),
+	})
 }

@@ -1,0 +1,22 @@
+package temporal
+
+import "hpl/internal/obs"
+
+// One counter per exported kernel entry. The derived operators
+// (EF/AF/AG/EG/Hist) have no counters of their own — their work shows
+// up under the primitive they expand to (eu/au/once) — while ax/ay
+// count themselves and additionally tick ex/ey through their duals.
+var (
+	kernEX   = kernel("ex")
+	kernAX   = kernel("ax")
+	kernEY   = kernel("ey")
+	kernAY   = kernel("ay")
+	kernEU   = kernel("eu")
+	kernAU   = kernel("au")
+	kernOnce = kernel("once")
+)
+
+func kernel(op string) *obs.Counter {
+	return obs.Default.Counter("hpl_temporal_kernel_total",
+		"Primitive temporal kernel sweeps over the transition graph.", "op", op)
+}

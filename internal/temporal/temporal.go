@@ -66,6 +66,7 @@ func trueVec(t *universe.Transitions) []uint64 {
 // EX returns ∃◯f: some one-event extension satisfies f. False at
 // members with no extension.
 func EX(t *universe.Transitions, f []uint64) []uint64 {
+	kernEX.Inc()
 	out := words(t)
 	// Each member has at most one parent, so scattering child truth to
 	// parents visits every edge exactly once.
@@ -81,12 +82,14 @@ func EX(t *universe.Transitions, f []uint64) []uint64 {
 // AX returns ∀◯f: every one-event extension satisfies f, vacuously true
 // at members with no extension. AX f = ¬EX ¬f.
 func AX(t *universe.Transitions, f []uint64) []uint64 {
+	kernAX.Inc()
 	return not(t, EX(t, not(t, f)))
 }
 
 // EY returns ∃●f (exists-yesterday): the one-event-shorter prefix
 // satisfies f. False at members without a predecessor (null).
 func EY(t *universe.Transitions, f []uint64) []uint64 {
+	kernEY.Inc()
 	out := words(t)
 	n := t.Len()
 	for j := 0; j < n; j++ {
@@ -100,6 +103,7 @@ func EY(t *universe.Transitions, f []uint64) []uint64 {
 // AY returns ∀●f: vacuously true where there is no predecessor,
 // otherwise equal to EY f (predecessors are unique). AY f = ¬EY ¬f.
 func AY(t *universe.Transitions, f []uint64) []uint64 {
+	kernAY.Inc()
 	return not(t, EY(t, not(t, f)))
 }
 
@@ -109,6 +113,7 @@ func AY(t *universe.Transitions, f []uint64) []uint64 {
 // down (every edge lengthens the computation, so successors are always
 // visited first).
 func EU(t *universe.Transitions, f, g []uint64) []uint64 {
+	kernEU.Inc()
 	out := words(t)
 	order := t.Order()
 	for k := len(order) - 1; k >= 0; k-- {
@@ -134,6 +139,7 @@ func EU(t *universe.Transitions, f, g []uint64) []uint64 {
 // holding until then — the least fixpoint of
 // Z = g ∨ (f ∧ EX true ∧ AX Z). At a leaf A[f U g] reduces to g.
 func AU(t *universe.Transitions, f, g []uint64) []uint64 {
+	kernAU.Inc()
 	out := words(t)
 	order := t.Order()
 	for k := len(order) - 1; k >= 0; k-- {
@@ -179,6 +185,7 @@ func EG(t *universe.Transitions, f []uint64) []uint64 { return not(t, AF(t, not(
 // prefix of it — the least fixpoint of Z = f ∨ EY Z, one sweep from the
 // shortest members up.
 func Once(t *universe.Transitions, f []uint64) []uint64 {
+	kernOnce.Inc()
 	out := words(t)
 	for _, i := range t.Order() {
 		if get(f, i) {

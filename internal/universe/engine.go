@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hpl/internal/trace"
 )
@@ -96,6 +97,12 @@ type engine struct {
 	emitted  atomic.Int64
 	frontier atomic.Int64
 
+	// Symmetry-filter totals, flushed from worker-local counters when
+	// each worker retires; symNanos is measured only under WithTrace.
+	symCheckN  atomic.Int64
+	symRejectN atomic.Int64
+	symNanos   atomic.Int64
+
 	// progMu serializes the user's progress callback.
 	progMu sync.Mutex
 
@@ -135,6 +142,12 @@ type worker struct {
 
 	svScratch []string
 	buf       []byte
+
+	// Symmetry-filter tallies, local so the hot path pays plain
+	// increments; flushed into the engine once when the worker retires.
+	symChecks  int64
+	symRejects int64
+	symNanos   int64
 }
 
 type stepsKey struct{ sv, proc int32 }
@@ -300,13 +313,28 @@ func enumerate(p Protocol, cfg config, seed *seedState) (*Universe, error) {
 				wk.stabCache = make(map[uint64][]int32)
 			}
 			e.run(wk)
+			if wk.symChecks > 0 {
+				e.symCheckN.Add(wk.symChecks)
+				e.symRejectN.Add(wk.symRejects)
+				e.symNanos.Add(wk.symNanos)
+			}
 		}(w)
 	}
+	expandSp := cfg.trace.Start("enumerate.expand")
 	wg.Wait()
+	phaseExpand.ObserveDuration(expandSp.End())
+	if n := e.symCheckN.Load(); n > 0 {
+		symChecksTotal.Add(n)
+		symRejectsTotal.Add(e.symRejectN.Load())
+		// Filter time is a sub-span of expand (workers time it inline),
+		// recorded separately so quotient builds can see its share.
+		cfg.trace.AddN("symmetry.filter", n, time.Duration(e.symNanos.Load()))
+	}
 	if e.stopErr != nil {
 		return nil, e.stopErr
 	}
 
+	canonSp := cfg.trace.Start("enumerate.canonicalize")
 	total := 0
 	for _, out := range e.outs {
 		total += len(out)
@@ -378,6 +406,13 @@ func enumerate(p Protocol, cfg config, seed *seedState) (*Universe, error) {
 		u.orbitSize = orbs
 		u.fullSize = full
 	}
+	// The trace rides on the universe so the lazy partition/transition
+	// builds and snapshot encodes this build triggers later join its
+	// phase breakdown.
+	u.tr = cfg.trace
+	phaseCanonicalize.ObserveDuration(canonSp.End())
+	engineBuilds.Inc()
+	engineMembers.Add(int64(len(comps)))
 	return u, nil
 }
 
@@ -554,8 +589,22 @@ func (w *worker) expand(nd enode, children *[]enode) error {
 			if qi >= 0 {
 				mask |= 1 << uint(qi)
 			}
-			if e.grp != nil && !w.symCanonical(c, nd.mask, ev, int32(pi), qi, w.evCount[pi], w.nextMsg[pi]) {
-				continue
+			if e.grp != nil {
+				w.symChecks++
+				// Per-check wall time is only sampled under WithTrace;
+				// untraced runs pay two plain increments here.
+				var t0 time.Time
+				if e.cfg.trace != nil {
+					t0 = time.Now()
+				}
+				canon := w.symCanonical(c, nd.mask, ev, int32(pi), qi, w.evCount[pi], w.nextMsg[pi])
+				if e.cfg.trace != nil {
+					w.symNanos += int64(time.Since(t0))
+				}
+				if !canon {
+					w.symRejects++
+					continue
+				}
 			}
 			*children = append(*children, enode{comp: w.arena.Extend(c, ev), sv: w.stepChild(nd.sv, int32(pi), ai, a), mask: mask})
 		}

@@ -1,6 +1,10 @@
 package universe
 
-import "context"
+import (
+	"context"
+
+	"hpl/internal/obs"
+)
 
 // DefaultMaxEvents bounds computations when WithMaxEvents is not given.
 // Protocols with unbounded runs (a token circulating forever) would
@@ -34,6 +38,10 @@ type config struct {
 	// sym quotients the enumeration by a process-symmetry group; nil
 	// (or a trivial group) enumerates the full universe.
 	sym *Symmetry
+	// trace accumulates per-phase build timings (WithTrace); nil —
+	// the common case — records nothing, and the engine's global
+	// phase metrics are fed either way.
+	trace *obs.Trace
 }
 
 func defaultConfig() config {
@@ -129,6 +137,18 @@ func WithSymmetry(g *Symmetry) Option {
 		}
 		c.sym = g
 	}
+}
+
+// WithTrace attaches a trace that accumulates the enumeration's
+// per-phase wall times (frontier expansion, canonical sort, symmetry
+// stabilizer filtering) and travels with the universe, so the lazy
+// partition/transition builds and snapshot encodes it triggers later
+// land in the same breakdown. The same trace may be shared across
+// builds; phases accumulate. Overhead is a handful of timestamps per
+// enumeration — per-node costs are batched into worker-local counters —
+// so tracing is safe to leave on in production paths.
+func WithTrace(tr *obs.Trace) Option {
+	return func(c *config) { c.trace = tr }
 }
 
 // withProgressEvery tunes the callback interval; exported options keep

@@ -228,7 +228,11 @@ func (u *Universe) Partition(p trace.ProcSet) *Partition {
 		v, _ = u.parts.LoadOrStore(k, &partitionCell{})
 	}
 	cell := v.(*partitionCell)
-	cell.once.Do(func() { cell.pt.Store(NewPartition(u, p)) })
+	cell.once.Do(func() {
+		sp := u.tr.Start("partition.build")
+		cell.pt.Store(NewPartition(u, p))
+		phasePartition.ObserveDuration(sp.End())
+	})
 	return cell.pt.Load()
 }
 

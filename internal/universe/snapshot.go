@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 
+	"hpl/internal/obs"
 	"hpl/internal/trace"
 )
 
@@ -94,6 +95,8 @@ func WriteSnapshot(w io.Writer, u *Universe, digest string) error {
 	if u.maxEvents < 0 || u.states == nil || len(u.memberSV) != u.Len() || !u.sorted {
 		return fmt.Errorf("universe: snapshot requires an enumerated universe")
 	}
+	sp := u.tr.Start("snapshot.encode")
+	defer func() { phaseSnapEncode.ObserveDuration(sp.End()) }()
 	if u.sym != nil && len(u.orbitSize) != u.Len() {
 		return fmt.Errorf("universe: snapshot requires orbit sizes for every member of a quotient universe")
 	}
@@ -248,6 +251,10 @@ func WriteSnapshot(w io.Writer, u *Universe, digest string) error {
 // (ErrSnapshotFormat, ErrSnapshotVersion, ErrSnapshotTruncated, or
 // ErrSnapshotCorrupt), never a panic.
 func ReadSnapshot(r io.Reader) (*Universe, string, error) {
+	// No universe (hence no per-build trace) exists yet; decode time
+	// goes to the global phase histogram only.
+	sp := (*obs.Trace)(nil).Start("snapshot.decode")
+	defer func() { phaseSnapDecode.ObserveDuration(sp.End()) }()
 	hdr := make([]byte, len(snapshotMagic)+9)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, "", fmt.Errorf("%w: header: %v", ErrSnapshotTruncated, err)

@@ -201,7 +201,11 @@ func (t *Transitions) buildForward() {
 // Transitions returns the universe's prefix-extension transition graph,
 // building it on first use. Concurrent callers share one build.
 func (u *Universe) Transitions() *Transitions {
-	u.transOnce.Do(func() { u.trans.Store(NewTransitions(u)) })
+	u.transOnce.Do(func() {
+		sp := u.tr.Start("transitions.build")
+		u.trans.Store(NewTransitions(u))
+		phaseTransitions.ObserveDuration(sp.End())
+	})
 	return u.trans.Load()
 }
 

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hpl/internal/obs"
 	"hpl/internal/trace"
 )
 
@@ -82,6 +83,12 @@ type Universe struct {
 	sym       *Symmetry
 	orbitSize []int64
 	fullSize  int64
+
+	// tr is the build trace attached by WithTrace, carried here so the
+	// lazily built caches (Partition, Transitions) and snapshot encodes
+	// report into the same per-build phase breakdown. Nil — the common
+	// case — records nothing; the global obs metrics are fed either way.
+	tr *obs.Trace
 }
 
 // New builds a universe from the given computations (duplicates by

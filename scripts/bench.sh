@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Runs the enumeration, symmetry-quotient, snapshot, and
 # incremental-extension benchmarks and records the results as
-# BENCH_8.json at the repo root, so the perf trajectory has
+# BENCH_9.json at the repo root, so the perf trajectory has
 # version-controlled data points. BENCHTIME tunes accuracy vs runtime
 # (default 3x; CI uses 1x for a smoke pass):
 #
@@ -38,6 +38,6 @@ echo "bench.sh: $CPU_NOTE" >&2
 
 go test -run 'XXX' -bench "$BENCH" -benchmem -benchtime "${BENCHTIME:-3x}" . |
 	tee /dev/stderr |
-	go run ./cmd/benchjson -out BENCH_8.json \
-		-note "PR-8 symmetry-reduced universes. $CPU_NOTE Headline rows: EnumerateSymmetry/quotient vs /full is the orbit reduction under the full 3-process interchange group — at MaxEvents=6 the quotient materializes 17,933 canonical members standing for all 107,593 (6.00x fewer members, ~6x less enumeration time and memory; see the computations vs full-members metrics), and every downstream pass (partitions, truth vectors, temporal sweeps) shrinks by the same factor. SnapshotLoadLarge/load vs /enumerate remains the cold-start race on the 107k-member full universe (expect >=10x); ExtendLargeBound/extend-6to7 vs /from-scratch-7 the incremental 621,673-member extension."
-echo "wrote BENCH_8.json" >&2
+	go run ./cmd/benchjson -out BENCH_9.json \
+		-note "PR-9 end-to-end observability. $CPU_NOTE Headline comparison: EnumerateLargeTraced/workers=1 vs EnumerateLarge/workers=1 is the instrumentation overhead gate — a full build trace plus per-phase histograms must cost <=2% (measured 1.8% min-of-8 paired on the recording box; span timestamps fire only at phase boundaries and per-node symmetry costs batch into worker-local counters, so the hot loop is untouched). EnumerateSymmetry/quotient vs /full remains the 6.00x orbit reduction (107,593 -> 17,933 members at MaxEvents=6), SnapshotLoadLarge/load vs /enumerate the cold-start race, ExtendLargeBound/extend-6to7 vs /from-scratch-7 the incremental 621,673-member extension."
+echo "wrote BENCH_9.json" >&2

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Load-tests the hpld service and records the results at the repo root
-# (BENCH_8_service.json by default — BENCH_8.json is owned by
+# (BENCH_9_service.json by default — BENCH_9.json is owned by
 # scripts/bench.sh): starts a daemon with a snapshot directory,
 # measures cold-start time-to-first-answer twice — first against the
 # empty directory (the first answer pays the enumeration) and then
@@ -10,6 +10,11 @@
 # repeats the sustained arms against the symmetry quotient of the same
 # spec (hplbench -symmetry, symmetric formula pool) into a second
 # record, so the service rows carry the full-vs-quotient comparison.
+# Each sustained arm is bracketed by /metrics scrapes, so the records
+# carry server-side latency percentiles (serverLatencyMicros) next to
+# the client-observed ones, and the daemon's final /metrics exposition
+# is dumped next to OUT as <OUT>.metrics.txt — the raw counter state
+# behind the summary numbers.
 # Tunables (defaults match the recorded data point; CI uses a short
 # DURATION for a smoke pass):
 #
@@ -27,7 +32,7 @@ ADDR="${ADDR:-127.0.0.1:8097}"
 DURATION="${DURATION:-5s}"
 CONC="${CONC:-16}"
 BATCHES="${BATCHES:-1,8}"
-OUT="${OUT:-BENCH_8_service.json}"
+OUT="${OUT:-BENCH_9_service.json}"
 SYMOUT="${SYMOUT:-${OUT%.json}.sym.json}"
 SNAPDIR="${SNAPDIR:-$(mktemp -d)}"
 
@@ -91,3 +96,10 @@ echo "wrote $OUT" >&2
 	-out "$SYMOUT" \
 	-note "scripts/load.sh symmetry-quotient arm on $ADDR: same spec under the full process-interchange group (members stand for fullMembers computations), symmetric formula pool; compare against the full-universe record in $OUT"
 echo "wrote $SYMOUT" >&2
+
+# Dump the daemon's final metric state next to the records: the raw
+# build-phase histograms, cache outcomes, and per-endpoint counters the
+# summary percentiles were derived from.
+METRICS_OUT="${METRICS_OUT:-${OUT%.json}.metrics.txt}"
+curl -fsS "http://$ADDR/metrics" >"$METRICS_OUT"
+echo "wrote $METRICS_OUT" >&2
