@@ -13,6 +13,7 @@ import (
 	"hpl/internal/causality"
 	"hpl/internal/experiments"
 	"hpl/internal/failure"
+	"hpl/internal/faults"
 	"hpl/internal/knowledge"
 	"hpl/internal/obs"
 	"hpl/internal/protocols/diffusing"
@@ -135,6 +136,44 @@ func BenchmarkEnumerateLarge(b *testing.B) {
 			}
 			if size < 100000 {
 				b.Fatalf("universe too small for the large-bound benchmark: %d", size)
+			}
+			b.ReportMetric(float64(size), "computations")
+		})
+	}
+}
+
+// BenchmarkEnumerateFaults prices the adversarial channel layer on the
+// parallel-scaling universe: "plain" is the unwrapped system, "reliable"
+// the identity wrap (its cost over plain is the wrapper's passthrough
+// overhead — expect noise), and the fault arms enumerate the strictly
+// larger fault-extended universes, so their cost is dominated by the
+// extra members (reported per run), not by the wrapper.
+func BenchmarkEnumerateFaults(b *testing.B) {
+	cfg := universe.FreeConfig{Procs: []trace.ProcID{"p", "q", "r"}, MaxSends: 1}
+	arms := []struct {
+		name string
+		wrap func(universe.Protocol) universe.Protocol
+	}{
+		{"plain", func(p universe.Protocol) universe.Protocol { return p }},
+		{"reliable", func(p universe.Protocol) universe.Protocol { return faults.Wrap(p, faults.Model{}) }},
+		{"crash", func(p universe.Protocol) universe.Protocol {
+			return faults.Wrap(p, faults.Model{CrashAll: true})
+		}},
+		{"crash+drop+dup", func(p universe.Protocol) universe.Protocol {
+			return faults.Wrap(p, faults.Model{CrashAll: true, Drops: 1, Dups: 1})
+		}},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var size int
+			for i := 0; i < b.N; i++ {
+				u, err := universe.EnumerateWith(arm.wrap(universe.NewFree(cfg)),
+					universe.WithMaxEvents(5))
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = u.Len()
 			}
 			b.ReportMetric(float64(size), "computations")
 		})

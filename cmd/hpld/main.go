@@ -10,7 +10,7 @@
 // Usage:
 //
 //	hpld [-addr :8090] [-mem-mib 512] [-max-members 500000] [-par 0] [-drain 10s] [-snapshot-dir DIR]
-//	     [-slow-query 1s] [-access-log] [-pprof-addr 127.0.0.1:6060]
+//	     [-slow-query 1s] [-request-timeout 0] [-access-log] [-pprof-addr 127.0.0.1:6060]
 //
 // Endpoints (see internal/service for the wire types):
 //
@@ -32,7 +32,11 @@
 //
 // Oversized requests degrade gracefully: a spec whose enumeration
 // overruns the member cap gets a structured 422, one whose universe
-// would not fit the memory budget a 413 — never a 500 or an OOM.
+// would not fit the memory budget a 413 — never a 500 or an OOM. With
+// -request-timeout set, a request whose universe cannot be built inside
+// the deadline gets a structured 503 with code deadline_exceeded (a
+// transient verdict — retrying clients back off and resend) and the
+// timeout is recorded in the slow-query log.
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // queries for up to -drain.
 //
@@ -69,6 +73,7 @@ func main() {
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window for in-flight queries")
 	snapDir := fs.String("snapshot-dir", "", "persist universes here and serve cold misses from disk (empty = off)")
 	slowQuery := fs.Duration("slow-query", time.Second, "log check requests slower than this as JSON lines on stderr (0 = off)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline for universe-building requests; expiry answers a structured 503 deadline_exceeded (0 = unbounded)")
 	accessLog := fs.Bool("access-log", false, "log every request as a JSON line on stderr")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this side address (empty = off)")
 	fs.Parse(os.Args[1:])
@@ -90,6 +95,9 @@ func main() {
 	}
 	if *accessLog {
 		opts = append(opts, service.WithAccessLog())
+	}
+	if *reqTimeout > 0 {
+		opts = append(opts, service.WithRequestTimeout(*reqTimeout))
 	}
 	srv := &http.Server{
 		Addr:    *addr,

@@ -5,12 +5,19 @@
 // Usage:
 //
 //	mck [-procs p,q] [-sends 1] [-events 4] [-par 4] [-timeout 30s]
-//	    [-progress] [-trace] [-valid] [-temporal] [-server http://host:port]
+//	    [-faults crash,drop:1] [-progress] [-trace] [-valid] [-temporal]
+//	    [-server http://host:port] [-retries 3]
 //	    'K{q} "sent(p,m)"'
 //
-// Atoms available in the vocabulary: "sent(<proc>,m)" and
-// "received(<proc>,m)" for every process. The formula grammar is
-// documented in internal/logic. -par enumerates the universe on several
+// The vocabulary is the spec's standard atom set: "sent(<proc>,m)",
+// "received(<proc>,m)" and the any-process closures for every process,
+// plus "quiescent"; with -faults also "crashed(<proc>)", "anyCrashed",
+// "dropped(m)" and "duplicated(m)" as the model enables them. The
+// formula grammar is documented in internal/logic. -faults wraps the
+// system in an adversarial channel model (internal/faults) before
+// enumerating: processes may crash-stop, and per-process budgets of
+// message drops and duplications extend the universe with every way the
+// channel could misbehave. -par enumerates the universe on several
 // workers, -timeout aborts enumeration cleanly, and -progress reports
 // engine snapshots on stderr. -trace prints a per-phase time breakdown
 // of the build and evaluation (frontier expansion, canonicalization,
@@ -28,13 +35,17 @@
 // every later one (from any client) reuses the cached universe and its
 // memoized truth vectors. Output and exit statuses are identical to
 // local mode; -par and -progress are meaningless remotely and ignored,
-// -timeout bounds the request.
+// -timeout bounds the request. -retries N resends transiently failed
+// requests (connection errors, 503s — a daemon still building, a
+// request deadline) up to N attempts with exponential backoff; verdict
+// errors (4xx) are never retried.
 //
 // Examples:
 //
 //	mck -valid 'K{q} "sent(p,m)" -> "sent(p,m)"'   # fact 4: knowledge is true
 //	mck -temporal 'AG (K{q} "sent(p,m)" -> Once "received(q,m)")'  # gain theorem
 //	mck -temporal 'EF K{q} "sent(p,m)"'            # q can come to know b
+//	mck -faults crash -temporal 'AG ("anyCrashed" -> AG "anyCrashed")'  # crash-stop is absorbing
 package main
 
 import (
@@ -67,6 +78,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	valid := fs.Bool("valid", false, "report only whether the formula holds at every computation")
 	temporal := fs.Bool("temporal", false, "model-check the formula at the initial (null) computation over the prefix-extension transition graph")
 	server := fs.String("server", "", "forward the query to a running hpld daemon at this base URL instead of enumerating locally")
+	faults := fs.String("faults", "", "adversarial channel model: comma-separated \"crash\", \"crash:<proc>\", \"drop:<n>\", \"dup:<n>\" (empty = reliable)")
+	retries := fs.Int("retries", 1, "with -server: total attempts per request; transport errors and 503s are retried with backoff")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -82,21 +95,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ids = append(ids, hpl.ProcID(s))
 		}
 	}
+	spec := hpl.UniverseSpec{
+		Procs:     ids,
+		MaxSends:  *sends,
+		MaxEvents: *events,
+		Faults:    *faults,
+		Cap:       200000,
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(stderr, "mck: %v\n", err)
+		return 2
+	}
 
 	if *server != "" {
-		return runRemote(*server, hpl.UniverseSpec{
-			Procs:     ids,
-			MaxSends:  *sends,
-			MaxEvents: *events,
-			Cap:       200000,
-		}, fs.Arg(0), *valid, *temporal, *timeout, stdout, stderr)
+		return runRemote(*server, spec, fs.Arg(0), *valid, *temporal, *timeout, *retries, stdout, stderr)
 	}
 
-	opts := []hpl.EnumOption{
-		hpl.WithMaxEvents(*events),
-		hpl.WithCap(200000),
-		hpl.WithParallelism(*par),
-	}
+	opts := []hpl.EnumOption{hpl.WithParallelism(*par)}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
@@ -117,16 +132,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	ck, err := hpl.CheckProtocol(hpl.NewFree(hpl.FreeConfig{
-		Procs:    ids,
-		MaxSends: *sends,
-	}), opts...)
+	// CheckSpec builds the (possibly fault-wrapped) system the spec
+	// describes and seeds the full standard vocabulary — per-process and
+	// any-process atoms, plus crashed/dropped/duplicated atoms when a
+	// fault model is active — exactly as the daemon would for the same
+	// spec.
+	ck, err := hpl.CheckSpec(spec, opts...)
 	if err != nil {
 		fmt.Fprintf(stderr, "mck: %v\n", err)
 		return 1
-	}
-	for _, p := range ids {
-		ck.Define(hpl.SentTag(p, "m"), hpl.ReceivedTag(p, "m"))
 	}
 
 	if *temporal {
@@ -169,7 +183,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runRemote forwards one query to an hpld daemon and renders the result
 // in the same shapes (and with the same exit statuses) as local mode.
-func runRemote(base string, spec hpl.UniverseSpec, formula string, valid, temporal bool, timeout time.Duration, stdout, stderr io.Writer) int {
+func runRemote(base string, spec hpl.UniverseSpec, formula string, valid, temporal bool, timeout time.Duration, retries int, stdout, stderr io.Writer) int {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -177,6 +191,9 @@ func runRemote(base string, spec hpl.UniverseSpec, formula string, valid, tempor
 		defer cancel()
 	}
 	cl := &service.Client{Base: base}
+	if retries > 1 {
+		cl.Retry = &service.RetryPolicy{MaxAttempts: retries}
+	}
 
 	var resp service.CheckResponse
 	var err error

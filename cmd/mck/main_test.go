@@ -199,6 +199,43 @@ func TestServerModeMatchesLocal(t *testing.T) {
 	}
 }
 
+// TestFaultsFlag covers -faults in both modes: the adversarial model
+// extends the vocabulary and the universe, bad grammar is a usage
+// error, and the local and remote verdicts agree on fault formulas.
+func TestFaultsFlag(t *testing.T) {
+	code, out, _ := runWith(t, "-faults", "crash", "-temporal",
+		`AG ("anyCrashed" -> AG "anyCrashed")`)
+	if code != 0 || !strings.Contains(out, "HOLDS at the initial computation") {
+		t.Fatalf("crash-stop absorption: exit %d, output:\n%s", code, out)
+	}
+	code, out, _ = runWith(t, "-faults", "crash,drop:1", "-valid", `"crashed(q)" -> "anyCrashed"`)
+	if code != 0 || !strings.Contains(out, "VALID over") {
+		t.Fatalf("fault atoms under crash,drop:1: exit %d, output:\n%s", code, out)
+	}
+	if code, _, errOut := runWith(t, "-faults", "lossy", `"quiescent"`); code != 2 ||
+		!strings.Contains(errOut, "bad faults field") {
+		t.Fatalf("bad grammar: exit %d, stderr:\n%s", code, errOut)
+	}
+	if code, _, errOut := runWith(t, "-faults", "crash:z", `"quiescent"`); code != 2 ||
+		!strings.Contains(errOut, "unknown process") {
+		t.Fatalf("unknown crash target: exit %d, stderr:\n%s", code, errOut)
+	}
+
+	ts := httptest.NewServer(service.NewServer(service.NewRegistry(service.Config{})))
+	defer ts.Close()
+	for _, q := range []string{
+		`"crashed(q)" -> "anyCrashed"`,
+		`K{p} "crashed(q)"`,
+	} {
+		_, local, _ := runWith(t, "-faults", "crash", q)
+		_, remote, _ := runWith(t, "-server", ts.URL, "-faults", "crash", q)
+		li, ri := strings.Index(local, "holds at"), strings.Index(remote, "holds at")
+		if li < 0 || ri < 0 || local[li:] != remote[ri:] {
+			t.Errorf("local and remote disagree on %s:\nlocal:  %s\nremote: %s", q, local, remote)
+		}
+	}
+}
+
 // TestServerModeUnreachable checks the error path when no daemon listens.
 func TestServerModeUnreachable(t *testing.T) {
 	code, _, errOut := runWith(t, "-server", "http://127.0.0.1:1", `"sent(p,m)"`)

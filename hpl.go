@@ -445,6 +445,22 @@ func AnyReceivedTag(tag string) Predicate { return knowledge.AnyReceivedTag(tag)
 // tagged tag.
 func AnyDidInternal(tag string) Predicate { return knowledge.AnyDidInternal(tag) }
 
+// Crashed holds when p has crash-stopped under a fault model (see
+// UniverseSpec.Faults and internal/faults).
+func Crashed(p ProcID) Predicate { return knowledge.Crashed(p) }
+
+// AnyCrashed holds when some process has crash-stopped; the
+// renaming-invariant closure of Crashed.
+func AnyCrashed() Predicate { return knowledge.AnyCrashed() }
+
+// Dropped holds when the channel dropped a message tagged tag under a
+// fault model.
+func Dropped(tag string) Predicate { return knowledge.Dropped(tag) }
+
+// Duplicated holds when the channel duplicated a message tagged tag
+// under a fault model.
+func Duplicated(tag string) Predicate { return knowledge.Duplicated(tag) }
+
 // --- Formula language (package logic) ---
 
 // Vocabulary resolves atom names for the textual formula language.

@@ -683,7 +683,7 @@ func registry() []func() (Table, error) {
 		Theorem4Path, Theorem5Gain, Theorem6Loss,
 		TokenBus, Tracking, FailureDetection, TerminationBound,
 		StateAbstraction, CommitKnowledge, KnowledgeLadder, Generalizations,
-		LargeBound,
+		LargeBound, AdversarialChannels,
 	}
 }
 

@@ -13,8 +13,8 @@ func TestAllExperimentsPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 21 {
-		t.Fatalf("tables = %d, want 21", len(tables))
+	if len(tables) != 22 {
+		t.Fatalf("tables = %d, want 22", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tb := range tables {
@@ -33,7 +33,7 @@ func TestAllExperimentsPass(t *testing.T) {
 		"FIG-3-1", "FIG-3-2", "FIG-3-3", "EXP-P", "EXP-T1", "EXP-T3",
 		"EXP-K", "EXP-LP", "EXP-CK", "EXP-T4", "EXP-T5", "EXP-T6",
 		"EXP-TOK", "EXP-A1", "EXP-A2", "EXP-A3", "EXP-EXT", "EXP-CMT", "EXP-E", "EXP-GEN",
-		"EXP-LB",
+		"EXP-LB", "EXP-FLT",
 	} {
 		if !seen[id] {
 			t.Errorf("missing experiment %s", id)

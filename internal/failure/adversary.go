@@ -1,0 +1,119 @@
+package failure
+
+import (
+	"errors"
+	"fmt"
+
+	"hpl/internal/faults"
+	"hpl/internal/knowledge"
+	"hpl/internal/protocols/heartbeat"
+	"hpl/internal/trace"
+	"hpl/internal/universe"
+)
+
+// This file re-checks the §5 forever-unsure impossibility per fault
+// model: the heartbeat system is rebuilt as a crash-free pulse protocol
+// and the crash (plus any drop/duplication the model allows) is
+// supplied by the adversary via faults.Wrap. The theorem only gets
+// stronger as channels worsen — every model must keep the monitor
+// unsure at every computation — and checking it per model pins the
+// fault layer's semantics to the paper's result.
+
+// AdversarialModels are the named channel models the impossibility is
+// verified under (beyond the original built-in-crash system): crash
+// only, crash with a lossy channel, crash with a duplicating channel,
+// and all three combined.
+func AdversarialModels() []faults.Model {
+	return []faults.Model{
+		{CrashAll: true},
+		{CrashAll: true, Drops: 1},
+		{CrashAll: true, Dups: 1},
+		{CrashAll: true, Drops: 1, Dups: 1},
+	}
+}
+
+// ModelReport extends UnsureReport with the fault-schedule coverage of
+// the checked universe.
+type ModelReport struct {
+	UnsureReport
+	// Model is the canonical rendering of the checked model.
+	Model string
+	// DropComputations / DupComputations count members containing at
+	// least one drop / duplicate event — vacuity guards for models whose
+	// budgets allow them.
+	DropComputations int
+	DupComputations  int
+}
+
+// CheckForeverUnsureUnder model-checks the §5 impossibility over the
+// heartbeat system wrapped in the fault model m: at every computation,
+// the monitor neither knows "the worker crashed" nor knows its
+// negation. The model must allow the worker to crash (otherwise the
+// check is vacuous by construction) and the enumeration bound is chosen
+// so every fault schedule within the budgets fits.
+func CheckForeverUnsureUnder(m faults.Model, maxHeartbeats int) (ModelReport, error) {
+	cm := m.Canonical()
+	sys, err := heartbeat.NewPulse("w", "m", maxHeartbeats)
+	if err != nil {
+		return ModelReport{}, err
+	}
+	rep := ModelReport{Model: cm.String()}
+	if !cm.CanCrash(sys.Worker) {
+		return rep, fmt.Errorf("failure: model %q cannot crash the worker; the impossibility check is vacuous", cm)
+	}
+	// Every heartbeat is a send+receive (2 events) or a drop (1 event),
+	// plus one crash per crashable process and send+receive per
+	// duplicate: the bound admits every schedule the budgets allow.
+	bound := 2*maxHeartbeats + 2*cm.Dups + 1
+	if cm.CanCrash(sys.Monitor) {
+		bound++
+	}
+	u, err := universe.EnumerateWith(faults.Wrap(sys, cm), universe.WithMaxEvents(bound))
+	if err != nil {
+		return rep, err
+	}
+	e := knowledge.NewEvaluator(u)
+	failed := knowledge.NewAtom(knowledge.Crashed(sys.Worker))
+	dropped := knowledge.NewAtom(knowledge.Dropped(heartbeat.TagHeartbeat))
+	duplicated := knowledge.NewAtom(knowledge.Duplicated(heartbeat.TagHeartbeat))
+	mon := trace.Singleton(sys.Monitor)
+	rep.UniverseSize = u.Len()
+
+	// Sanity: the failure predicate is local to the worker — the crash
+	// event the wrapper injects is on the worker's own projection.
+	if !e.LocalTo(failed, trace.Singleton(sys.Worker)) {
+		return rep, errors.New("failure: crash predicate is not local to the worker")
+	}
+
+	knows := knowledge.Knows(mon, failed)
+	knowsNot := knowledge.Knows(mon, knowledge.Not(failed))
+	for i := 0; i < u.Len(); i++ {
+		if e.HoldsAt(failed, i) {
+			rep.CrashComputations++
+		}
+		if e.HoldsAt(dropped, i) {
+			rep.DropComputations++
+		}
+		if e.HoldsAt(duplicated, i) {
+			rep.DupComputations++
+		}
+		if e.HoldsAt(knows, i) {
+			rep.MonitorEverKnows = true
+			return rep, fmt.Errorf("failure: under %q the monitor knows the crash at member %d — impossibility violated", cm, i)
+		}
+		if e.HoldsAt(knowsNot, i) {
+			rep.MonitorEverKnowsNot = true
+			return rep, fmt.Errorf("failure: under %q the monitor knows non-crash at member %d — impossibility violated", cm, i)
+		}
+	}
+	if rep.CrashComputations == 0 {
+		return rep, errors.New("failure: no crash computations enumerated; check is vacuous")
+	}
+	if cm.Drops > 0 && maxHeartbeats > 0 && rep.DropComputations == 0 {
+		return rep, errors.New("failure: drop budget allowed but no drop computations enumerated; check is vacuous")
+	}
+	if cm.Dups > 0 && maxHeartbeats > 0 && rep.DupComputations == 0 {
+		return rep, errors.New("failure: dup budget allowed but no duplicate computations enumerated; check is vacuous")
+	}
+	return rep, nil
+}

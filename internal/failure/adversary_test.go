@@ -1,0 +1,49 @@
+package failure
+
+import (
+	"testing"
+
+	"hpl/internal/faults"
+	"hpl/internal/trace"
+)
+
+// TestForeverUnsurePerModel re-verifies the §5 impossibility
+// exhaustively under every named adversarial channel model: the
+// monitor stays unsure whether the worker crashed at every computation
+// of every fault-extended heartbeat universe.
+func TestForeverUnsurePerModel(t *testing.T) {
+	for _, m := range AdversarialModels() {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			for _, hb := range []int{0, 1, 2} {
+				rep, err := CheckForeverUnsureUnder(m, hb)
+				if err != nil {
+					t.Fatalf("maxHeartbeats=%d: %v", hb, err)
+				}
+				if rep.UniverseSize == 0 || rep.CrashComputations == 0 {
+					t.Fatalf("maxHeartbeats=%d: vacuous report %+v", hb, rep)
+				}
+				if m.Drops > 0 && hb > 0 && rep.DropComputations == 0 {
+					t.Fatalf("maxHeartbeats=%d: no drop schedules under %s", hb, m)
+				}
+				if m.Dups > 0 && hb > 0 && rep.DupComputations == 0 {
+					t.Fatalf("maxHeartbeats=%d: no duplicate schedules under %s", hb, m)
+				}
+				if rep.MonitorEverKnows || rep.MonitorEverKnowsNot {
+					t.Fatalf("maxHeartbeats=%d: %+v", hb, rep)
+				}
+			}
+		})
+	}
+}
+
+// TestForeverUnsureUnderRejectsVacuousModels: a model that cannot
+// crash the worker cannot certify the impossibility.
+func TestForeverUnsureUnderRejectsVacuousModels(t *testing.T) {
+	if _, err := CheckForeverUnsureUnder(faults.Reliable(), 1); err == nil {
+		t.Fatal("reliable model accepted for the impossibility check")
+	}
+	if _, err := CheckForeverUnsureUnder(faults.Model{Crash: []trace.ProcID{"m"}}, 1); err == nil {
+		t.Fatal("monitor-only crash model accepted")
+	}
+}

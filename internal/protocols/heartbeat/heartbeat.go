@@ -33,6 +33,10 @@ type System struct {
 	Monitor trace.ProcID
 	// MaxHeartbeats bounds the worker's sends so the universe is finite.
 	MaxHeartbeats int
+	// pulse drops the built-in crash action: the worker only ever sends
+	// heartbeats, and failure behaviour is supplied externally (by
+	// wrapping the system in a faults.Model — see NewPulse).
+	pulse bool
 }
 
 // New builds the system.
@@ -44,6 +48,20 @@ func New(worker, monitor trace.ProcID, maxHeartbeats int) (*System, error) {
 		return nil, fmt.Errorf("heartbeat: negative heartbeat bound")
 	}
 	return &System{Worker: worker, Monitor: monitor, MaxHeartbeats: maxHeartbeats}, nil
+}
+
+// NewPulse builds the crash-free variant: the worker sends heartbeats
+// and never crashes on its own. It exists to be wrapped in a fault
+// model (faults.Wrap) so the §5 impossibility can be re-checked with
+// the crash supplied by the adversary instead of the protocol — under
+// crash-only, crash+drop, crash+dup and combined channel models.
+func NewPulse(worker, monitor trace.ProcID, maxHeartbeats int) (*System, error) {
+	s, err := New(worker, monitor, maxHeartbeats)
+	if err != nil {
+		return nil, err
+	}
+	s.pulse = true
+	return s, nil
 }
 
 // Failed returns the predicate "the worker has failed", which is local to
@@ -95,7 +113,9 @@ func (s *System) Steps(p trace.ProcID, state string) []universe.Action {
 	if k < s.MaxHeartbeats {
 		out = append(out, universe.Action{Kind: trace.KindSend, To: s.Monitor, Tag: TagHeartbeat})
 	}
-	out = append(out, universe.Action{Kind: trace.KindInternal, Tag: TagCrash})
+	if !s.pulse {
+		out = append(out, universe.Action{Kind: trace.KindInternal, Tag: TagCrash})
+	}
 	return out
 }
 

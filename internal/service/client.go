@@ -18,6 +18,11 @@ type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8090".
 	Base       string
 	HTTPClient *http.Client
+	// Retry, when non-nil, resends requests that failed in a transient
+	// way: transport errors and 503s, never 4xx verdicts. Requests are
+	// idempotent (checking a formula twice is checking it once), so
+	// retrying after a connection dropped mid-flight is safe.
+	Retry *RetryPolicy
 }
 
 func (c *Client) http() *http.Client {
@@ -28,12 +33,31 @@ func (c *Client) http() *http.Client {
 }
 
 // post sends a JSON body and decodes a JSON response, converting
-// structured service errors back into *Error values.
+// structured service errors back into *Error values. With a Retry
+// policy set, transient failures (transport errors, 503s) are resent
+// with exponential backoff and jitter up to the attempt budget; the
+// context bounds the whole exchange including backoff sleeps.
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
+	var lastErr error
+	for attempt := 0; attempt < c.Retry.attempts(); attempt++ {
+		if attempt > 0 {
+			if err := c.Retry.pause(ctx, attempt-1); err != nil {
+				return lastErr
+			}
+		}
+		lastErr = c.postOnce(ctx, path, body, out)
+		if !retryable(lastErr) {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) postOnce(ctx context.Context, path string, body []byte, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		strings.TrimSuffix(c.Base, "/")+path, bytes.NewReader(body))
 	if err != nil {

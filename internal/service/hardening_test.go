@@ -1,0 +1,231 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"hpl"
+)
+
+// TestServerRequestTimeout pins the deadline path: a build that cannot
+// finish inside the server's per-request timeout yields a structured
+// 503 deadline_exceeded (which a retrying client treats as transient),
+// and the slow-query log records the timed-out request. The build
+// function blocks on its context rather than sleeping, so the test is
+// deterministic and fast.
+func TestServerRequestTimeout(t *testing.T) {
+	reg := NewRegistry(Config{})
+	reg.buildFn = func(ctx context.Context, spec hpl.UniverseSpec) (*hpl.Checker, error) {
+		<-ctx.Done() // a build that never finishes on its own
+		return nil, ctx.Err()
+	}
+	var logBuf bytes.Buffer
+	srv := NewServer(reg,
+		WithRequestTimeout(5*time.Millisecond),
+		WithSlowQueryLog(time.Nanosecond),
+		WithLogWriter(&logBuf))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := &Client{Base: ts.URL, HTTPClient: ts.Client()}
+
+	_, err := cl.Check(context.Background(), testSpec, `"sent(p,m)"`)
+	var serr *Error
+	if !errors.As(err, &serr) {
+		t.Fatalf("want structured error, got %v", err)
+	}
+	if serr.Status != 503 || serr.Code != CodeDeadlineExceeded {
+		t.Errorf("got %d/%s, want 503/%s", serr.Status, serr.Code, CodeDeadlineExceeded)
+	}
+	if !retryable(serr) {
+		t.Errorf("deadline_exceeded must be retryable — it is a transient verdict")
+	}
+	var line map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("slow-query log did not record the timeout: %q", logBuf.String())
+	}
+	if line["level"] != "slow_query" || line["timeout"] != true {
+		t.Errorf("slow-query line %v missing timeout marker", line)
+	}
+
+	// /v1/universe-stats takes the same deadline.
+	_, err = cl.UniverseStats(context.Background(), testSpec)
+	if !errors.As(err, &serr) || serr.Code != CodeDeadlineExceeded {
+		t.Errorf("universe-stats deadline: got %v", err)
+	}
+}
+
+// TestServerNoTimeoutByDefault: without WithRequestTimeout a slow build
+// is allowed to finish (the historical behaviour).
+func TestServerNoTimeoutByDefault(t *testing.T) {
+	_, cl := newTestServer(t, Config{})
+	if _, err := cl.Check(context.Background(), testSpec, `"sent(p,m)"`); err != nil {
+		t.Fatalf("unbounded server rejected a normal request: %v", err)
+	}
+}
+
+// TestRegistryInjectedBuildFault drives the registry's build-failure
+// branch through the injection hook: the structured error reaches the
+// caller and nothing is cached.
+func TestRegistryInjectedBuildFault(t *testing.T) {
+	r := NewRegistry(Config{})
+	boom := &Error{Status: 503, Code: CodeBuildCancelled, Message: "injected"}
+	r.injectFault = func(point, digest string) error {
+		if point == "build" {
+			return boom
+		}
+		return nil
+	}
+	_, _, err := r.Get(context.Background(), testSpec)
+	var serr *Error
+	if !errors.As(err, &serr) || serr.Message != "injected" {
+		t.Fatalf("injected build fault did not surface: %v", err)
+	}
+	if r.Cached(testSpec) {
+		t.Errorf("failed build left a cache entry")
+	}
+	// Clearing the fault heals the registry: the same spec now builds.
+	r.injectFault = nil
+	if _, _, err := r.Get(context.Background(), testSpec); err != nil {
+		t.Fatalf("registry did not recover after the fault cleared: %v", err)
+	}
+}
+
+// TestRegistryInjectedSnapshotFaults exercises both disk degradation
+// branches: a poisoned snapshot read falls back to a build (and removes
+// the bad file), and a poisoned write is counted but not fatal.
+func TestRegistryInjectedSnapshotFaults(t *testing.T) {
+	dir := t.TempDir()
+	warm := NewRegistry(Config{SnapshotDir: dir})
+	e, _, err := warm.Get(context.Background(), testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := warm.snapshotPath(e.Digest)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+
+	// A fully degraded disk: reads look corrupt, writes fail. The cold
+	// registry must remove the poisoned file, fall back to a build,
+	// count both degradations, and still answer the query.
+	cold := NewRegistry(Config{SnapshotDir: dir})
+	cold.injectFault = func(point, digest string) error {
+		if point == "snapshot-load" || point == "snapshot-write" {
+			return errors.New("injected disk fault at " + point)
+		}
+		return nil
+	}
+	e2, _, err := cold.Get(context.Background(), testSpec)
+	if err != nil {
+		t.Fatalf("disk faults were not survivable: %v", err)
+	}
+	if e2.Source != SourceBuild {
+		t.Errorf("source = %q, want %q (fallback build)", e2.Source, SourceBuild)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("poisoned snapshot not removed")
+	}
+	if st := cold.Stats(); st.SnapshotMisses != 1 || st.SnapshotErrors != 1 {
+		t.Errorf("degradations not counted (want 1 miss, 1 error): %+v", st)
+	}
+
+	// The faults are the disk's, not the universe's: the fallback
+	// session answers exactly like the original.
+	rep, err := e2.Checker.ParseAndCheck(`K{q} "sent(p,m)" -> "sent(p,m)"`)
+	if err != nil || !rep.Valid() {
+		t.Errorf("fallback session broken: valid=%v err=%v", rep.Valid(), err)
+	}
+}
+
+// TestServerFaultSpecRoundTrip runs an adversarial-channel spec through
+// the whole service surface: digest-stable caching, fault atoms in the
+// seeded vocabulary, checks over the fault-extended universe, and a
+// snapshot restart that rebinds the wrapped protocol from the spec.
+func TestServerFaultSpecRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry(Config{SnapshotDir: dir})
+	ts := httptest.NewServer(NewServer(reg))
+	defer ts.Close()
+	cl := &Client{Base: ts.URL, HTTPClient: ts.Client()}
+
+	reliable := testSpec
+	fault := testSpec
+	fault.Faults = "crash,drop:1"
+	ctx := context.Background()
+
+	rStats, err := cl.UniverseStats(ctx, reliable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fStats, err := cl.UniverseStats(ctx, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fStats.Universe == rStats.Universe {
+		t.Fatalf("fault spec shares the reliable spec's cache key")
+	}
+	if fStats.Members <= rStats.Members {
+		t.Errorf("fault universe %d members, reliable %d — wrapping must add computations",
+			fStats.Members, rStats.Members)
+	}
+	for _, atom := range []string{"crashed(p)", "crashed(q)", "anyCrashed", "dropped(m)"} {
+		if !slices.Contains(fStats.Atoms, atom) {
+			t.Errorf("fault vocabulary missing %q: %v", atom, fStats.Atoms)
+		}
+	}
+	if slices.Contains(rStats.Atoms, "anyCrashed") {
+		t.Errorf("reliable vocabulary gained fault atoms")
+	}
+
+	resp, err := cl.Check(ctx, fault,
+		`"crashed(q)" -> "anyCrashed"`,
+		`K{q} "crashed(p)" -> "crashed(p)"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range resp.Results {
+		if res.Error != "" || !res.Valid {
+			t.Errorf("fault-universe check %q: %+v", res.Formula, res)
+		}
+	}
+	tresp, err := cl.CheckTemporal(ctx, fault, `AG ("anyCrashed" -> AG "anyCrashed")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tresp.Results[0]; res.Error != "" || res.AtInit == nil || !*res.AtInit {
+		t.Errorf("crash-stop is not absorbing over the service path: %+v", res)
+	}
+
+	// Restart: a cold registry must serve the fault spec from its
+	// snapshot, rebinding the fault-wrapped protocol via the spec.
+	cold := NewRegistry(Config{SnapshotDir: dir})
+	cold.buildFn = func(ctx context.Context, spec hpl.UniverseSpec) (*hpl.Checker, error) {
+		return nil, errors.New("fault spec fell back to a build after restart")
+	}
+	e, _, err := cold.Get(ctx, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Source != SourceSnapshot {
+		t.Errorf("source = %q, want %q", e.Source, SourceSnapshot)
+	}
+	if e.Checker.Universe().Len() != fStats.Members {
+		t.Errorf("restarted fault universe has %d members, served one had %d",
+			e.Checker.Universe().Len(), fStats.Members)
+	}
+	rep, err := e.Checker.ParseAndCheck(`"crashed(q)" -> "anyCrashed"`)
+	if err != nil || !rep.Valid() {
+		t.Errorf("fault atoms broken after snapshot restart: valid=%v err=%v", rep.Valid(), err)
+	}
+	if !strings.HasPrefix(e.Digest, fStats.Universe[:8]) {
+		t.Errorf("digest changed across restart: %s vs %s", e.Digest, fStats.Universe)
+	}
+}

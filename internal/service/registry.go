@@ -50,6 +50,7 @@ const (
 	CodeBudgetExceeded   = "budget_exceeded"    // 413: built universe exceeds the memory budget
 	CodeBuildCancelled   = "build_cancelled"    // 503: every waiter abandoned the build
 	CodeNotFound         = "not_found"          // 404
+	CodeDeadlineExceeded = "deadline_exceeded"  // 503: the server's per-request deadline elapsed
 )
 
 func badSpec(err error) *Error {
@@ -96,6 +97,13 @@ type Registry struct {
 	// buildFn builds a session for a canonical spec; tests substitute
 	// counting/blocking builders.
 	buildFn func(ctx context.Context, spec hpl.UniverseSpec) (*hpl.Checker, error)
+	// injectFault, when non-nil, is consulted at the registry's fault
+	// points — "build", "snapshot-load", "snapshot-write" — with the
+	// universe digest; a non-nil error simulates that step failing.
+	// Test-only: it lets degradation paths (failed builds, corrupt
+	// snapshots, full disks) be exercised deterministically without
+	// manufacturing the underlying condition.
+	injectFault func(point, digest string) error
 
 	mu      sync.Mutex
 	entries map[string]*Entry
@@ -404,6 +412,11 @@ func (r *Registry) materialize(ctx context.Context, spec hpl.UniverseSpec, diges
 		// Anything else (a seed that cannot extend) falls through to a
 		// full build.
 	}
+	if r.injectFault != nil {
+		if ferr := r.injectFault("build", digest); ferr != nil {
+			return nil, SourceBuild, "", ferr
+		}
+	}
 	ck, err = r.buildFn(ctx, spec)
 	return ck, SourceBuild, "", err
 }
@@ -489,6 +502,14 @@ func (r *Registry) loadSnapshot(spec hpl.UniverseSpec, digest string) *hpl.Check
 		return miss()
 	}
 	defer f.Close()
+	if r.injectFault != nil {
+		// A simulated read fault behaves exactly like corruption: the
+		// file is removed and the miss falls through to a build.
+		if ferr := r.injectFault("snapshot-load", digest); ferr != nil {
+			os.Remove(path)
+			return miss()
+		}
+	}
 	u, stored, err := hpl.ReadSnapshot(bufio.NewReaderSize(f, 1<<20))
 	if err != nil || stored != digest {
 		os.Remove(path)
@@ -515,6 +536,12 @@ func (r *Registry) writeSnapshot(e *Entry) {
 		r.mu.Lock()
 		r.snapErrors++
 		r.mu.Unlock()
+	}
+	if r.injectFault != nil {
+		if ferr := r.injectFault("snapshot-write", e.Digest); ferr != nil {
+			fail()
+			return
+		}
 	}
 	tmp, err := os.CreateTemp(r.snapDir, "."+e.Digest+".tmp-*")
 	if err != nil {

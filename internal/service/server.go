@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -164,6 +165,10 @@ type Server struct {
 	// slowQuery is the latency threshold above which check requests are
 	// logged with their spec digest and formulas; 0 disables.
 	slowQuery time.Duration
+	// reqTimeout bounds each universe-building request (check,
+	// check-temporal, universe-stats); 0 means unbounded. On expiry the
+	// client gets a structured 503 deadline_exceeded.
+	reqTimeout time.Duration
 	// logMu serializes JSON log lines (access + slow-query) onto logW.
 	logMu     sync.Mutex
 	logW      io.Writer
@@ -179,6 +184,18 @@ type ServerOption func(*Server)
 // server's log writer. threshold <= 0 disables.
 func WithSlowQueryLog(threshold time.Duration) ServerOption {
 	return func(s *Server) { s.slowQuery = threshold }
+}
+
+// WithRequestTimeout bounds every universe-touching request: if the
+// universe cannot be produced (built, extended, or loaded) within d,
+// the client receives a structured 503 with code deadline_exceeded —
+// a transient verdict, since a concurrent or later request may find
+// the universe hot. d <= 0 disables. The timeout composes with the
+// client's own context: whichever deadline lands first cancels the
+// build wait (the build itself keeps running for remaining waiters,
+// per the registry's detach semantics).
+func WithRequestTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.reqTimeout = d }
 }
 
 // WithAccessLog emits one structured JSON line per finished request on
@@ -312,6 +329,28 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, serr.Status, serr)
 }
 
+// reqContext derives the handler context: the client's own context,
+// additionally bounded by the server's per-request timeout when one is
+// configured.
+func (s *Server) reqContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.reqTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.reqTimeout)
+}
+
+// deadlineError converts a deadline expiry into the structured 503 the
+// client sees; err is returned unchanged when the deadline is not the
+// cause (a client hanging up cancels rather than times out, and that
+// is not a server condition worth a structured code).
+func (s *Server) deadlineError(err error) error {
+	if s.reqTimeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+		return &Error{Status: http.StatusServiceUnavailable, Code: CodeDeadlineExceeded,
+			Message: fmt.Sprintf("request exceeded the server's %v deadline", s.reqTimeout)}
+	}
+	return err
+}
+
 // decode reads a bounded JSON body.
 func decode(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -339,8 +378,27 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request, temporal bo
 		return
 	}
 	batchSizes(endpointLabel(r.URL.Path)).Observe(float64(len(req.Formulas)))
-	e, cached, err := s.reg.Get(r.Context(), req.Universe)
+	ctx, cancel := s.reqContext(r)
+	defer cancel()
+	e, cached, err := s.reg.Get(ctx, req.Universe)
 	if err != nil {
+		err = s.deadlineError(err)
+		var serr *Error
+		if s.slowQuery > 0 && s.logW != nil && errors.As(err, &serr) && serr.Code == CodeDeadlineExceeded {
+			// A timed-out request is by definition a slow query: record
+			// it with the same shape as an over-threshold success so one
+			// log stream answers "where did the time go".
+			s.logJSON(map[string]any{
+				"ts":        start.UTC().Format(time.RFC3339Nano),
+				"level":     "slow_query",
+				"requestId": w.Header().Get("X-Request-ID"),
+				"path":      r.URL.Path,
+				"universe":  req.Universe.Digest(),
+				"formulas":  req.Formulas,
+				"timeout":   true,
+				"millis":    float64(time.Since(start)) / float64(time.Millisecond),
+			})
+		}
 		writeError(w, err)
 		return
 	}
@@ -412,9 +470,11 @@ func (s *Server) handleUniverseStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	e, cached, err := s.reg.Get(r.Context(), req.Universe)
+	ctx, cancel := s.reqContext(r)
+	defer cancel()
+	e, cached, err := s.reg.Get(ctx, req.Universe)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, s.deadlineError(err))
 		return
 	}
 	resp := StatsResponse{

@@ -17,7 +17,7 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden sn
 
 // goldenUniverse is the small fixed universe behind the golden-file
 // tests: free system on {p, q}, one send each, three events.
-func goldenUniverse(t *testing.T) *universe.Universe {
+func goldenUniverse(t testing.TB) *universe.Universe {
 	t.Helper()
 	u, err := universe.EnumerateWith(universe.NewFree(universe.FreeConfig{
 		Procs:    []trace.ProcID{"p", "q"},
@@ -34,7 +34,7 @@ func goldenUniverse(t *testing.T) *universe.Universe {
 	return u
 }
 
-func goldenBytes(t *testing.T) []byte {
+func goldenBytes(t testing.TB) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := universe.WriteSnapshot(&buf, goldenUniverse(t), "golden-digest"); err != nil {

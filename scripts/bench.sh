@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
-# Runs the enumeration, symmetry-quotient, snapshot, and
-# incremental-extension benchmarks and records the results as
-# BENCH_9.json at the repo root, so the perf trajectory has
+# Runs the enumeration, symmetry-quotient, snapshot,
+# incremental-extension, and fault-model benchmarks and records the
+# results as BENCH_10.json at the repo root, so the perf trajectory has
 # version-controlled data points. BENCHTIME tunes accuracy vs runtime
 # (default 3x; CI uses 1x for a smoke pass):
 #
@@ -28,7 +28,7 @@ case "${GOMAXPROCS:-}" in
 esac
 
 if [ "$CPUS" -le 1 ]; then
-	BENCH='EnumerateSymmetry|Enumerate.*/workers=1$|Snapshot|Extend'
+	BENCH='EnumerateSymmetry|EnumerateFaults|Enumerate.*/workers=1$|Snapshot|Extend'
 	CPU_NOTE="1 CPU available: multi-worker rows skipped (workers>1 on one core measures scheduler overhead, not scaling); CI's bench-smoke job records the full worker matrix."
 else
 	BENCH='Enumerate|Snapshot|Extend'
@@ -38,6 +38,6 @@ echo "bench.sh: $CPU_NOTE" >&2
 
 go test -run 'XXX' -bench "$BENCH" -benchmem -benchtime "${BENCHTIME:-3x}" . |
 	tee /dev/stderr |
-	go run ./cmd/benchjson -out BENCH_9.json \
-		-note "PR-9 end-to-end observability. $CPU_NOTE Headline comparison: EnumerateLargeTraced/workers=1 vs EnumerateLarge/workers=1 is the instrumentation overhead gate — a full build trace plus per-phase histograms must cost <=2% (measured 1.8% min-of-8 paired on the recording box; span timestamps fire only at phase boundaries and per-node symmetry costs batch into worker-local counters, so the hot loop is untouched). EnumerateSymmetry/quotient vs /full remains the 6.00x orbit reduction (107,593 -> 17,933 members at MaxEvents=6), SnapshotLoadLarge/load vs /enumerate the cold-start race, ExtendLargeBound/extend-6to7 vs /from-scratch-7 the incremental 621,673-member extension."
-echo "wrote BENCH_9.json" >&2
+	go run ./cmd/benchjson -out BENCH_10.json \
+		-note "PR-10 adversarial channels. $CPU_NOTE Headline comparison: EnumerateFaults/reliable vs /plain is the wrapper-identity gate — the reliable wrap must be free (same universe byte-for-byte, passthrough dispatch only), while the fault arms' cost tracks their universe growth (the computations metric: crash roughly 6x the members at this bound, crash+drop+dup roughly 30x), so the fault layer prices in members, not per-event overhead. EnumerateLargeTraced/workers=1 vs EnumerateLarge/workers=1 remains the <=2% instrumentation gate, EnumerateSymmetry/quotient vs /full the 6.00x orbit reduction, SnapshotLoadLarge/load vs /enumerate the cold-start race, ExtendLargeBound/extend-6to7 vs /from-scratch-7 the incremental extension."
+echo "wrote BENCH_10.json" >&2

@@ -8,6 +8,8 @@ import (
 	"slices"
 	"strings"
 
+	"hpl/internal/faults"
+	"hpl/internal/knowledge"
 	"hpl/internal/universe"
 )
 
@@ -49,6 +51,15 @@ type UniverseSpec struct {
 	// interchanging all processes (free systems are fully symmetric).
 	// Quotients serve symmetric formulas only — see WithSymmetry.
 	Symmetry string `json:"symmetry,omitempty"`
+	// Faults selects an adversarial channel model in the grammar of
+	// faults.Parse: "none" (or empty) is the reliable system; otherwise
+	// comma-separated tokens "crash" (any process may crash-stop),
+	// "crash:<proc>", "drop:<n>" and "dup:<n>" (per-process budgets)
+	// wrap the system via faults.Wrap before enumeration. Fault events
+	// appear in the computations under reserved "fault:" tags and the
+	// vocabulary gains the matching atoms (crashed(p), anyCrashed,
+	// dropped(t), duplicated(t)).
+	Faults string `json:"faults,omitempty"`
 }
 
 // Canonical returns the spec with every field in normal form: protocol
@@ -87,6 +98,16 @@ func (s UniverseSpec) Canonical() UniverseSpec {
 	out.Symmetry = strings.ToLower(strings.TrimSpace(s.Symmetry))
 	if out.Symmetry == "" {
 		out.Symmetry = "none"
+	}
+	out.Faults = strings.ToLower(strings.TrimSpace(s.Faults))
+	if out.Faults == "" {
+		out.Faults = "none"
+	}
+	// Equivalent spellings of the same model ("dup:1,crash" vs
+	// "crash,dup:1") canonicalize to one string so they share a digest;
+	// unparsable strings pass through for Validate to report.
+	if m, err := faults.Parse(out.Faults); err == nil {
+		out.Faults = m.String()
 	}
 	return out
 }
@@ -129,6 +150,18 @@ func (s UniverseSpec) Validate() error {
 	default:
 		return fmt.Errorf("hpl: unknown symmetry %q (want \"none\" or \"full\")", c.Symmetry)
 	}
+	m, err := faults.Parse(c.Faults)
+	if err != nil {
+		return fmt.Errorf("hpl: bad faults field: %w", err)
+	}
+	for _, p := range m.Canonical().Crash {
+		if !slices.Contains(c.Procs, p) {
+			return fmt.Errorf("hpl: faults name unknown process %q", p)
+		}
+	}
+	if c.Symmetry != "none" && !m.Uniform() {
+		return fmt.Errorf("hpl: faults %q name specific processes, which breaks the symmetry %q quotient; use \"crash\" (all processes) or symmetry \"none\"", c.Faults, c.Symmetry)
+	}
 	return nil
 }
 
@@ -169,6 +202,12 @@ func (s UniverseSpec) Digest() string {
 	if c.Symmetry != "none" {
 		writeField("symmetry", c.Symmetry)
 	}
+	// Same treatment for the faults field (added later still): reliable
+	// specs keep their historical digests, fault-extended universes get
+	// their own cache/snapshot identity.
+	if c.Faults != "none" {
+		writeField("faults", c.Faults)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -178,13 +217,21 @@ func (s UniverseSpec) System() (Protocol, error) {
 		return nil, err
 	}
 	c := s.Canonical()
-	return NewFree(FreeConfig{
+	sys := NewFree(FreeConfig{
 		Procs:        c.Procs,
 		MaxSends:     c.MaxSends,
 		MaxInternal:  c.MaxInternal,
 		SendTags:     c.SendTags,
 		InternalTags: c.InternalTags,
-	}), nil
+	})
+	if c.Faults != "none" {
+		m, err := faults.Parse(c.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("hpl: bad faults field: %w", err)
+		}
+		sys = faults.Wrap(sys, m)
+	}
+	return sys, nil
 }
 
 // EnumOptions returns the enumeration options the canonical spec pins
@@ -234,6 +281,24 @@ func (s UniverseSpec) Predicates() []Predicate {
 		preds = append(preds, AnyDidInternal(t))
 	}
 	preds = append(preds, NoMessagesInFlight())
+	if m, err := faults.Parse(c.Faults); err == nil && !m.IsReliable() {
+		if m.CrashAll || len(m.Crash) > 0 {
+			for _, p := range c.Procs {
+				if m.CanCrash(p) {
+					preds = append(preds, knowledge.Crashed(p))
+				}
+			}
+			preds = append(preds, knowledge.AnyCrashed())
+		}
+		for _, t := range c.SendTags {
+			if m.Drops > 0 {
+				preds = append(preds, knowledge.Dropped(t))
+			}
+			if m.Dups > 0 {
+				preds = append(preds, knowledge.Duplicated(t))
+			}
+		}
+	}
 	return preds
 }
 

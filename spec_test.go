@@ -25,6 +25,7 @@ func TestSpecDigestCollides(t *testing.T) {
 			SendTags: []string{"m", "m"}, InternalTags: []string{"i"}}, // defaults explicit
 		{Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 2, MaxEvents: 6, MaxInternal: -3, Cap: -1}, // clamped
 		{Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 2, MaxEvents: 6, Symmetry: "NONE "},        // pre-symmetry digests stay stable
+		{Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 2, MaxEvents: 6, Faults: " None "},         // pre-faults digests stay stable
 	}
 	want := base.Digest()
 	for i, s := range same {
@@ -47,6 +48,8 @@ func TestSpecDigestSeparates(t *testing.T) {
 		"sendTags":     {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, SendTags: []string{"a", "b"}},
 		"internalTags": {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, InternalTags: []string{"x"}},
 		"symmetry":     {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, Symmetry: "full"},
+		"faults":       {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, Faults: "crash"},
+		"faultsDrop":   {Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, Faults: "drop:1"},
 	}
 	seen := map[string]string{base.Digest(): "base"}
 	for name, s := range diff {
@@ -186,10 +189,80 @@ func TestCheckSpec(t *testing.T) {
 	}
 }
 
+// TestSpecFaults covers the adversarial-channel field end to end:
+// equivalent model spellings share a cache key, validation rejects bad
+// grammar, unknown crash targets and symmetry-breaking combinations,
+// and a fault spec's session exposes the fault atoms and a strictly
+// larger universe.
+func TestSpecFaults(t *testing.T) {
+	base := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4, Faults: "crash,drop:1,dup:1"}
+	for _, spelling := range []string{"dup:1, crash, drop:1", "DROP:1,DUP:1,CRASH"} {
+		s := base
+		s.Faults = spelling
+		if s.Digest() != base.Digest() {
+			t.Errorf("fault spelling %q does not collide with canonical %q", spelling, base.Faults)
+		}
+	}
+	if c := base.Canonical(); c.Faults != "crash,drop:1,dup:1" {
+		t.Errorf("canonical faults = %q", c.Faults)
+	}
+
+	ok := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q"}, MaxSends: 1, MaxEvents: 4}
+	for _, bad := range []string{"lossy", "drop:-1", "crash:", "crash;drop:1"} {
+		s := ok
+		s.Faults = bad
+		if err := s.Validate(); err == nil {
+			t.Errorf("faults %q validated", bad)
+		}
+	}
+	s := ok
+	s.Faults = "crash:r" // r is not a process of the spec
+	if err := s.Validate(); err == nil {
+		t.Errorf("crash of unknown process validated")
+	}
+	s = ok
+	s.Symmetry, s.Faults = "full", "crash:p"
+	if err := s.Validate(); err == nil {
+		t.Errorf("process-specific crash under symmetry quotient validated")
+	}
+	s.Faults = "crash" // uniform: every process crashable, quotient sound
+	if err := s.Validate(); err != nil {
+		t.Errorf("uniform crash under symmetry rejected: %v", err)
+	}
+
+	reliable, err := hpl.CheckSpec(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := ok
+	fs.Faults = "crash"
+	faulty, err := hpl.CheckSpec(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Universe().Len() <= reliable.Universe().Len() {
+		t.Fatalf("fault universe %d members, reliable %d — wrapping must add computations",
+			faulty.Universe().Len(), reliable.Universe().Len())
+	}
+	rep, err := faulty.ParseAndCheckTemporal(`AG ("crashed(q)" -> "anyCrashed")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AtInit {
+		t.Errorf("crashed(q) -> anyCrashed fails on fault universe")
+	}
+	if _, err := faulty.Parse(`"crashed(p)"`); err != nil {
+		t.Errorf("fault atom missing from spec vocabulary: %v", err)
+	}
+	if _, err := reliable.Parse(`"anyCrashed"`); err == nil {
+		t.Errorf("reliable spec vocabulary should not include fault atoms")
+	}
+}
+
 // TestSpecJSONRoundTrip guards the wire format: a spec survives
 // marshal/unmarshal with its digest intact.
 func TestSpecJSONRoundTrip(t *testing.T) {
-	s := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 2, MaxEvents: 6, Cap: 200000}
+	s := hpl.UniverseSpec{Procs: []hpl.ProcID{"p", "q", "r"}, MaxSends: 2, MaxEvents: 6, Cap: 200000, Faults: "crash,drop:1"}
 	b, err := json.Marshal(s)
 	if err != nil {
 		t.Fatal(err)
